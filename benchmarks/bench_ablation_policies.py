@@ -1,0 +1,47 @@
+"""Ablation — the full policy zoo (§VI future work).
+
+The paper evaluates MPC and HRI and names MPC-C, LPC, LPC-C and BFP
+without measuring them; §VI promises experiments with more policies.
+This bench runs the Figure 7 protocol across every policy in the
+library, including the extension policies, and prints one comparison
+table — the experiment the paper's future-work section asks for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_fig7_table
+from repro.experiments.ablations import policy_zoo
+
+from benchmarks.conftest import print_banner
+
+POLICIES = ("mpc", "mpc-c", "lpc", "lpc-c", "bfp", "hri", "hri-c", "random", "fair", "hybrid")
+
+
+def test_policy_zoo(benchmark, bench_config):
+    """Figure 7 protocol across all ten policies."""
+    result = benchmark.pedantic(
+        policy_zoo,
+        args=(bench_config,),
+        kwargs={"policies": POLICIES},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Ablation: the full target-selection policy zoo")
+    print(format_fig7_table(result))
+
+    by_name = {o.policy: o for o in result.outcomes}
+    # Every policy keeps the lights on: bounded performance loss, some
+    # overspend reduction, no red state (collections may act strongest).
+    for name, outcome in by_name.items():
+        assert outcome.performance > 0.85, name
+        assert outcome.overspend_reduction > 0.2, name
+    # Collection policies pull back at least as hard as their single-job
+    # counterparts on the overspend metric.
+    assert (
+        by_name["mpc-c"].overspend_reduction
+        >= by_name["mpc"].overspend_reduction - 0.1
+    )
+    # The structured headline policies beat the random baseline on ΔP×T.
+    assert by_name["mpc"].overspend_reduction > by_name["random"].overspend_reduction - 0.05

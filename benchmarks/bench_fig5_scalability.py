@@ -1,0 +1,79 @@
+"""Figure 5 — scalability of the global manager.
+
+Paper: the CPU utilisation of the central management node "increases
+non-linearly with the sizes of A_candidate".
+
+This bench produces both views:
+
+* pytest-benchmark measures *this implementation's* collection +
+  estimation + ranking cycle at |A_candidate| ∈ {8, 32, 128};
+* the printed table shows the calibrated cost model's curve (the
+  figure's y-axis) across the full sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core.policies import PolicyContext, make_policy
+from repro.core.sets import NodeSets
+from repro.core.thresholds import PowerThresholds
+from repro.experiments.fig5_scalability import (
+    DEFAULT_SIZES,
+    _busy_cluster,
+    run_fig5,
+)
+from repro.power import NodePowerEstimator, PowerModel
+from repro.telemetry import TelemetryCollector
+
+from benchmarks.conftest import print_banner
+
+
+def _cycle_runner(size: int):
+    cluster = _busy_cluster(128)
+    sets = NodeSets.select(cluster, size)
+    collector = TelemetryCollector(cluster.state, sets.candidates)
+    estimator = NodePowerEstimator(PowerModel(cluster.spec))
+    policy = make_policy("mpc")
+    thresholds = PowerThresholds(p_low=1.0, p_high=2.0)
+
+    def one_cycle():
+        snapshot = collector.collect(0.0)
+        ctx = PolicyContext(snapshot, collector.previous, estimator, 10.0, thresholds)
+        policy.select(ctx)
+
+    return one_cycle
+
+
+@pytest.mark.parametrize("size", [8, 32, 128])
+def test_fig5_measured_cycle_cost(benchmark, size):
+    """Measured management-cycle wall time at |A_candidate| = size."""
+    benchmark(_cycle_runner(size))
+
+
+def test_fig5_report():
+    """Print the Figure 5 curve (modelled + measured)."""
+    result = run_fig5(sizes=DEFAULT_SIZES, measure=True)
+    print_banner("Figure 5: scalability of the global power manager")
+    table = Table(
+        ["|A_candidate|", "modelled mgmt CPU", "measured cycle (µs)", "per-node (µs)"]
+    )
+    for i, size in enumerate(result.sizes):
+        measured = result.measured_cycle_s[i]
+        per_node = measured / size * 1e6 if size else 0.0
+        table.add_row(
+            int(size),
+            f"{result.modelled_cpu[i]:.1%}",
+            f"{measured * 1e6:.1f}",
+            f"{per_node:.2f}",
+        )
+    print(table.render())
+    print(
+        f"\nnonlinearity (per-node cost at 128 / at 8): "
+        f"{result.nonlinearity():.2f}x  (paper: clearly superlinear)"
+    )
+    # Shape assertions: monotone increase, superlinear growth.
+    assert np.all(np.diff(result.modelled_cpu) > 0)
+    assert result.nonlinearity() > 1.5

@@ -1,0 +1,75 @@
+"""Figure 6 — power capping effect at different sizes of A_candidate.
+
+Paper: normalised P_max and ΔP×T vs |A_candidate| for MPC and HRI —
+monotone improvement with candidate count, trend curves of the two
+policies similar, and diminishing returns once the set is "large enough"
+(48 of 128 nodes in the paper's environment).
+
+The sweep runs 1 baseline + |sizes|×|policies| full protocols, so it is
+the most expensive bench; it executes once under pytest-benchmark and
+prints the normalised table plus an ASCII rendition of the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_chart, format_fig6_table
+from repro.experiments import run_fig6
+
+from benchmarks.conftest import print_banner
+
+SIZES = (0, 8, 16, 32, 48, 64, 96, 128)
+
+
+def test_fig6_sweep(benchmark, bench_config):
+    """The full Figure 6 sweep (both policies, 8 sizes)."""
+    result = benchmark.pedantic(
+        run_fig6,
+        args=(bench_config,),
+        kwargs={"sizes": SIZES, "policies": ("mpc", "hri")},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_banner("Figure 6: power capping effect vs |A_candidate|")
+    print(format_fig6_table(result))
+    sizes_mpc, pmax_mpc, over_mpc = result.series("mpc")
+    sizes_hri, pmax_hri, over_hri = result.series("hri")
+    print()
+    print(
+        ascii_chart(
+            sizes_mpc.astype(float),
+            {
+                "dPxT mpc": over_mpc,
+                "dPxT hri": over_hri,
+                "Pmax mpc": pmax_mpc,
+            },
+            title="normalised metrics vs candidate-set size (1.0 = unmanaged)",
+            height=12,
+        )
+    )
+    knee_mpc = result.knee_size("mpc", tolerance=0.05)
+    print(
+        f"\nknee (dPxT within 0.05 of best): mpc at {knee_mpc} nodes "
+        f"(paper: ~48 of 128)"
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # Full management strictly better than none on both metrics.
+    assert over_mpc[-1] < 1.0 and over_hri[-1] < 1.0
+    assert pmax_mpc[-1] < 1.0 and pmax_hri[-1] < 1.0
+    # Broad monotone trend: the best improvement sits at large sizes and
+    # the small-size end is clearly worse (sampling noise allows local
+    # wiggles, so compare ends rather than every step).
+    assert over_mpc[-1] < over_mpc[1]
+    assert over_hri[-1] < over_hri[1]
+    # Diminishing returns: the second half of the sweep improves ΔP×T by
+    # less than the first half does.
+    mid = len(sizes_mpc) // 2
+    first_half_gain = over_mpc[0] - over_mpc[mid]
+    second_half_gain = over_mpc[mid] - over_mpc[-1]
+    assert first_half_gain > second_half_gain
+    # The knee falls well inside the machine (paper: ~48 of 128).
+    assert knee_mpc <= 96

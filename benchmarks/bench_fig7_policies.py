@@ -1,0 +1,62 @@
+"""Figure 7 — power capping results of different policies.
+
+Paper (§V.D, 128 candidates): performance loss ≈ 2%, P_max reduced ≈
+10%, ΔP×T reduced 73% (MPC) / 66% (HRI), CPLJ(MPC) > CPLJ(HRI), and the
+capped system never enters the red state.
+
+The bench runs the full calibrated protocol (uncapped baseline + MPC +
+HRI over the identical job stream) once under pytest-benchmark, prints
+the Figure 7 table with the paper's reference values, and asserts the
+shape: direction of every effect and generous quantitative bands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_fig7_table
+from repro.experiments import run_fig7
+
+from benchmarks.conftest import print_banner
+
+
+def _run(config):
+    return run_fig7(config, policies=("mpc", "hri"))
+
+
+def test_fig7_run(benchmark, bench_config):
+    """One full Figure 7 protocol (baseline + MPC + HRI runs)."""
+    result = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+
+    print_banner("Figure 7: power capping results of different policies")
+    print(format_fig7_table(result))
+    mpc = result.outcome("mpc")
+    hri = result.outcome("hri")
+    print(
+        "\npaper reference: perf loss ~2% (both), Pmax -10%, "
+        "dPxT -73% (MPC) / -66% (HRI), CPLJ(MPC) > CPLJ(HRI), no red state"
+    )
+    print(
+        f"measured:        perf loss {mpc.performance_loss:.1%} (MPC) / "
+        f"{hri.performance_loss:.1%} (HRI), Pmax {1 - mpc.p_max_ratio:.1%} / "
+        f"{1 - hri.p_max_ratio:.1%}, dPxT -{mpc.overspend_reduction:.0%} / "
+        f"-{hri.overspend_reduction:.0%}, CPLJ gap "
+        f"{result.cplj_gap():+.1%}"
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # Performance loss small for both policies (paper: ~2%).
+    assert mpc.performance > 0.90
+    assert hri.performance > 0.90
+    # Peak power visibly reduced (paper: ~10%).
+    assert mpc.p_max_ratio < 0.97
+    assert hri.p_max_ratio < 0.97
+    # ΔP×T reduced by tens of percent, MPC more than HRI (paper: 73/66).
+    assert mpc.overspend_reduction > 0.5
+    assert hri.overspend_reduction > 0.4
+    assert mpc.overspend_reduction > hri.overspend_reduction
+    # CPLJ: MPC keeps more jobs lossless than HRI.
+    assert result.cplj_gap("mpc", "hri") > 0
+    # Red state never (or at most a stray compressed-scale cycle).
+    assert not mpc.entered_red
+    assert not hri.entered_red

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Not paper figures — these guard the engineering budget that makes the
+reproduction runs cheap: the vectorised Formula (1) evaluation, a full
+manager control cycle, and a full scheduler tick at paper scale
+(128 nodes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import NodeSets, PowerManager, ThresholdController
+from repro.core.policies import make_policy
+from repro.power import PowerModel, SystemPowerMeter
+from repro.scheduler import BatchScheduler, KeepQueueFilledFeeder
+from repro.sim import RandomSource
+from repro.workload import JobExecutor, RandomJobGenerator
+
+
+@pytest.fixture
+def loaded_cluster():
+    cluster = Cluster.tianhe_1a(num_nodes=128)
+    rng = np.random.default_rng(0)
+    state = cluster.state
+    state.level[:] = rng.integers(0, cluster.spec.num_levels, 128)
+    state.cpu_util[:] = rng.random(128)
+    state.mem_frac[:] = rng.random(128)
+    state.nic_frac[:] = rng.random(128)
+    for start in range(0, 128, 8):
+        state.job_id[start : start + 8] = start // 8
+    return cluster
+
+
+def test_power_model_full_cluster(benchmark, loaded_cluster):
+    """Formula (1) over all 128 nodes (the per-cycle ground truth)."""
+    model = PowerModel(loaded_cluster.spec)
+    benchmark(model.system_power, loaded_cluster.state)
+
+
+def test_power_model_scaling_1024_nodes(benchmark):
+    """Formula (1) over a 1024-node machine (8x the paper's scale)."""
+    cluster = Cluster.tianhe_1a(num_nodes=1024)
+    rng = np.random.default_rng(0)
+    cluster.state.cpu_util[:] = rng.random(1024)
+    model = PowerModel(cluster.spec)
+    benchmark(model.system_power, cluster.state)
+
+
+def test_manager_control_cycle(benchmark, loaded_cluster):
+    """One complete sense→classify→select→actuate cycle."""
+    sets = NodeSets(loaded_cluster)
+    model = PowerModel(loaded_cluster.spec)
+    meter = SystemPowerMeter(model, loaded_cluster.state)
+    thresholds = ThresholdController.from_training(meter.true_power() * 1.05)
+    manager = PowerManager(
+        loaded_cluster, sets, meter, thresholds, make_policy("mpc")
+    )
+    clock = [0.0]
+
+    def cycle():
+        clock[0] += 1.0
+        manager.control_cycle(clock[0])
+
+    benchmark(cycle)
+
+
+def test_scheduler_tick(benchmark):
+    """One scheduler tick with a live 128-node mix."""
+    rng = RandomSource(seed=1)
+    cluster = Cluster.tianhe_1a(num_nodes=128)
+    generator = RandomJobGenerator(rng.stream("gen"), runtime_scale=0.25)
+    executor = JobExecutor(cluster.state, rng.stream("exec"))
+    scheduler = BatchScheduler(cluster, executor, KeepQueueFilledFeeder(generator))
+    for t in range(1, 200):  # warm the machine up
+        scheduler.tick(float(t), 1.0)
+    clock = [200.0]
+
+    def tick():
+        clock[0] += 1.0
+        scheduler.tick(clock[0], 1.0)
+
+    benchmark(tick)

@@ -1,0 +1,53 @@
+"""§III.A — threshold setting and adjustment.
+
+Not a numbered figure, but a described mechanism with concrete
+parameters (93%/84% of P_peak, 24 h training, adjustment every t_p
+cycles).  The bench measures the controller's per-observation cost and
+prints the learned-threshold trajectory from a calibrated training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import ThresholdController
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import print_banner
+
+
+def test_threshold_observation_cost(benchmark):
+    """Per-cycle cost of ThresholdController.observe (hot-path budget)."""
+    controller = ThresholdController(initial_peak_w=40_000.0, adjust_every_cycles=600)
+    rng = np.random.default_rng(0)
+    readings = (38_000.0 + 2_000.0 * rng.random(1024)).tolist()
+    index = [0]
+
+    def observe():
+        controller.observe(readings[index[0] & 1023])
+        index[0] += 1
+
+    benchmark(observe)
+
+
+def test_threshold_learning_report(bench_config):
+    """Run the §III.A protocol and print the learned thresholds."""
+    result = run_experiment(bench_config, "mpc")
+    print_banner("III.A: threshold learning (93% / 84% of P_peak)")
+    table = Table(["quantity", "watts", "fraction of training peak"])
+    peak = result.training_peak_w
+    table.add_row("training peak (P_peak)", f"{peak:,.0f}", "100.0%")
+    table.add_row("P_H (= 93% peak)", f"{result.p_high_w:,.0f}", f"{result.p_high_w / peak:.1%}")
+    table.add_row("P_L (= 84% peak)", f"{result.p_low_w:,.0f}", f"{result.p_low_w / peak:.1%}")
+    table.add_row("provision P_th", f"{result.provision_w:,.0f}", f"{result.provision_w / peak:.1%}")
+    table.add_row("capped P_max", f"{result.metrics.p_max_w:,.0f}", f"{result.metrics.p_max_w / peak:.1%}")
+    print(table.render())
+
+    # The paper's margin formulas hold exactly (running peak may ratchet
+    # the absolute values upward together).
+    assert result.p_high_w >= 0.93 * peak - 1e-6
+    assert result.p_low_w / result.p_high_w == pytest.approx(0.84 / 0.93, rel=1e-9)
+    # Capping kept the system at/below P_H (the no-red claim).
+    assert result.metrics.p_max_w <= result.p_high_w * 1.001

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Every ``bench_fig*.py`` module regenerates one of the paper's figures at
+the *calibrated* scale (see ``ExperimentConfig.calibrated``) and prints
+the same rows/series the paper reports, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction report.  EXPERIMENTS.md
+records one such run against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The calibrated reproduction configuration (shared by all benches)."""
+    return ExperimentConfig.calibrated(seed=2012)
+
+
+def print_banner(title: str) -> None:
+    """Uniform section banner in benchmark output."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

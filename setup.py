@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so the
+PEP 517 editable-install path (which shells out to ``bdist_wheel``) fails.
+This shim lets ``pip install -e . --no-use-pep517`` take the legacy
+``setup.py develop`` route; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""Export experiment artifacts to CSV/JSON files.
+
+An :class:`~repro.experiments.common.ExperimentResult` carries three
+artifacts a downstream analysis (pandas, R, a spreadsheet) wants:
+
+* the **power trace** — `(time, power)` rows;
+* the **job table** — one row per finished job with identity, timing
+  and degradation exposure;
+* the **metrics** — the scalar §V.C bundle plus run metadata.
+
+:func:`export_result` writes all three next to each other with a common
+stem, and :func:`load_power_trace` round-trips the trace for replay or
+re-scoring against a different provision threshold.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.workload.job import Job
+
+__all__ = [
+    "power_trace_csv",
+    "jobs_csv",
+    "metrics_json",
+    "export_result",
+    "load_power_trace",
+]
+
+_TRACE_HEADER = "time_s,power_w"
+_JOBS_HEADER = (
+    "job_id,app,nprocs,nodes,submit_time_s,start_time_s,finish_time_s,"
+    "nominal_runtime_s,actual_runtime_s,degraded_exposure_s"
+)
+
+
+def power_trace_csv(times: np.ndarray, power_w: np.ndarray) -> str:
+    """The power trace as CSV text."""
+    t = np.asarray(times, dtype=np.float64)
+    p = np.asarray(power_w, dtype=np.float64)
+    if t.shape != p.shape or t.ndim != 1:
+        raise MetricError("times/power must be equal-length 1-D arrays")
+    lines = [_TRACE_HEADER]
+    lines.extend(f"{float(ti)!r},{float(pi)!r}" for ti, pi in zip(t, p))
+    return "\n".join(lines) + "\n"
+
+
+def load_power_trace(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read back a trace written by :func:`power_trace_csv`."""
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+    if not lines or lines[0] != _TRACE_HEADER:
+        raise MetricError("power-trace CSV missing header")
+    times, power = [], []
+    for ln in lines[1:]:
+        t_str, p_str = ln.split(",")
+        times.append(float(t_str))
+        power.append(float(p_str))
+    return np.asarray(times), np.asarray(power)
+
+
+def jobs_csv(jobs: Sequence[Job]) -> str:
+    """The finished-job table as CSV text (one row per finished job)."""
+    lines = [_JOBS_HEADER]
+    for job in jobs:
+        if job.finish_time is None:
+            continue
+        lines.append(
+            ",".join(
+                str(v)
+                for v in (
+                    job.job_id,
+                    job.app.name,
+                    job.nprocs,
+                    len(job.nodes),
+                    job.submit_time,
+                    job.start_time,
+                    job.finish_time,
+                    job.nominal_runtime_s,
+                    job.actual_runtime_s,
+                    job.degraded_exposure_s,
+                )
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(result) -> str:
+    """Run metadata + the §V.C metric bundle as pretty JSON."""
+    m = result.metrics
+    payload = {
+        "label": result.label,
+        "seed": result.config.seed,
+        "num_nodes": result.config.num_nodes,
+        "runtime_scale": result.config.runtime_scale,
+        "training_peak_w": result.training_peak_w,
+        "provision_w": result.provision_w,
+        "p_low_w": result.p_low_w,
+        "p_high_w": result.p_high_w,
+        "performance": m.performance,
+        "cplj": m.cplj,
+        "finished_jobs": m.finished_jobs,
+        "p_max_w": m.p_max_w,
+        "avg_power_w": m.avg_power_w,
+        "energy_j": m.energy_j,
+        "overspend": m.overspend,
+        "state_cycles": result.state_cycles,
+        "entered_red": result.entered_red,
+        "commands_sent": result.commands_sent,
+        "peak_temperature_c": result.peak_temperature_c,
+        "expected_failures": result.expected_failures,
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def export_result(result, directory: str | Path, stem: str | None = None) -> list[Path]:
+    """Write trace CSV, jobs CSV and metrics JSON for one result.
+
+    Args:
+        result: An :class:`~repro.experiments.common.ExperimentResult`.
+        directory: Target directory (created if missing).
+        stem: Filename stem; defaults to the run label.
+
+    Returns:
+        The three written paths,
+        ``[<stem>.trace.csv, <stem>.jobs.csv, <stem>.metrics.json]``.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    base = stem or result.label
+    paths = [
+        out_dir / f"{base}.trace.csv",
+        out_dir / f"{base}.jobs.csv",
+        out_dir / f"{base}.metrics.json",
+    ]
+    paths[0].write_text(power_trace_csv(result.times, result.power_w), encoding="utf-8")
+    paths[1].write_text(jobs_csv(result.finished_jobs), encoding="utf-8")
+    paths[2].write_text(metrics_json(result), encoding="utf-8")
+    return paths

@@ -1,0 +1,97 @@
+"""Summary statistics and resampling confidence intervals.
+
+Experiment results from a stochastic simulator deserve error bars; these
+helpers provide the two tools the reports use: five-number summaries of a
+series and bootstrap confidence intervals of a statistic over per-job or
+per-run samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MetricError
+
+__all__ = ["SeriesSummary", "summarize", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number summary plus mean/std of a scalar sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} p25={self.p25:.4g} med={self.median:.4g} "
+            f"p75={self.p75:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: np.ndarray) -> SeriesSummary:
+    """Five-number summary of ``values``.
+
+    Raises:
+        MetricError: on an empty sample.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise MetricError("cannot summarize an empty sample")
+    q = np.percentile(v, [25, 50, 75])
+    return SeriesSummary(
+        count=int(v.size),
+        mean=float(v.mean()),
+        std=float(v.std(ddof=1)) if v.size > 1 else 0.0,
+        minimum=float(v.min()),
+        p25=float(q[0]),
+        median=float(q[1]),
+        p75=float(q[2]),
+        maximum=float(v.max()),
+    )
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval of ``statistic``.
+
+    Args:
+        values: The sample (e.g. per-job slowdowns).
+        statistic: Function of a 1-D array → scalar.
+        confidence: Interval mass, e.g. 0.95.
+        resamples: Bootstrap resamples.
+        rng: Generator (a fresh seeded one is created if omitted —
+            pass one for reproducible reports).
+
+    Returns:
+        ``(point_estimate, lower, upper)``.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise MetricError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise MetricError("confidence must lie in (0, 1)")
+    if resamples < 1:
+        raise MetricError("resamples must be >= 1")
+    gen = rng if rng is not None else np.random.default_rng(0)
+    point = float(statistic(v))
+    idx = gen.integers(0, v.size, size=(resamples, v.size))
+    stats = np.asarray([statistic(v[row]) for row in idx])
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return point, float(lower), float(upper)

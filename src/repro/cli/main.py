@@ -1,0 +1,336 @@
+"""Argument parsing and command dispatch for ``python -m repro``.
+
+Every command accepts ``--preset quick|calibrated|paper`` plus explicit
+overrides of the most common :class:`~repro.experiments.common.
+ExperimentConfig` fields, builds the configuration once, runs the
+corresponding harness and prints the same tables the benchmark suite
+prints.  ``--json`` switches the output to machine-readable JSON (used
+by the CLI tests and handy for piping into other tools).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import Any, Callable, Sequence
+
+from repro.analysis import Table, format_fig6_table, format_fig7_table
+from repro.core.policies import available_policies
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    run_experiment,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+)
+from repro.experiments.ablations import policy_zoo
+from repro.metrics import compare_runs
+from repro.units import fmt_power
+
+__all__ = ["build_parser", "main"]
+
+_PRESETS: dict[str, Callable[..., ExperimentConfig]] = {
+    "quick": ExperimentConfig.quick,
+    "calibrated": ExperimentConfig.calibrated,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = _PRESETS[args.preset](seed=args.seed)
+    overrides: dict[str, Any] = {}
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.candidate_size is not None:
+        overrides["candidate_size"] = args.candidate_size
+    if args.runtime_scale is not None:
+        overrides["runtime_scale"] = args.runtime_scale
+    if args.training is not None:
+        overrides["training_duration_s"] = args.training
+    if args.duration is not None:
+        overrides["run_duration_s"] = args.duration
+    if args.steady_green is not None:
+        overrides["steady_green_cycles"] = args.steady_green
+    return replace(config, **overrides) if overrides else config
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("experiment configuration")
+    group.add_argument(
+        "--preset",
+        choices=sorted(_PRESETS),
+        default="quick",
+        help="base configuration (default: quick)",
+    )
+    group.add_argument("--seed", type=int, default=2012, help="root seed")
+    group.add_argument("--nodes", type=int, default=None, help="cluster size")
+    group.add_argument(
+        "--candidate-size", type=int, default=None, help="|A_candidate|"
+    )
+    group.add_argument(
+        "--runtime-scale", type=float, default=None, help="job runtime compression"
+    )
+    group.add_argument(
+        "--training", type=float, default=None, help="training window, seconds"
+    )
+    group.add_argument(
+        "--duration", type=float, default=None, help="evaluation window, seconds"
+    )
+    group.add_argument(
+        "--steady-green", type=int, default=None, help="T_g in control cycles"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of tables"
+    )
+
+
+def _metrics_dict(result) -> dict[str, Any]:
+    m = result.metrics
+    return {
+        "label": result.label,
+        "training_peak_w": result.training_peak_w,
+        "provision_w": result.provision_w,
+        "p_low_w": result.p_low_w,
+        "p_high_w": result.p_high_w,
+        "performance": m.performance,
+        "cplj": m.cplj,
+        "finished_jobs": m.finished_jobs,
+        "p_max_w": m.p_max_w,
+        "avg_power_w": m.avg_power_w,
+        "energy_j": m.energy_j,
+        "overspend": m.overspend,
+        "state_cycles": result.state_cycles,
+        "entered_red": result.entered_red,
+        "commands_sent": result.commands_sent,
+    }
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    policy = None if args.policy in (None, "none") else args.policy
+    result = run_experiment(config, policy)
+    if args.json:
+        print(json.dumps(_metrics_dict(result), indent=2))
+        return 0
+    m = result.metrics
+    table = Table(["metric", "value"])
+    table.add_row("policy", result.label)
+    table.add_row("training peak", fmt_power(result.training_peak_w))
+    table.add_row("provision P_th", fmt_power(result.provision_w))
+    table.add_row("P_L / P_H", f"{fmt_power(result.p_low_w)} / {fmt_power(result.p_high_w)}")
+    table.add_row("observed P_max", fmt_power(m.p_max_w))
+    table.add_row("average power", fmt_power(m.avg_power_w))
+    table.add_row("Performance(cap)", f"{m.performance:.4f}")
+    table.add_row("CPLJ", f"{m.cplj}/{m.finished_jobs}")
+    table.add_row("dPxT overspend", f"{m.overspend:.5f}")
+    if result.state_cycles:
+        table.add_row(
+            "green/yellow/red",
+            "/".join(str(result.state_cycles[k]) for k in ("green", "yellow", "red")),
+        )
+        table.add_row("DVFS commands", result.commands_sent)
+    print(table.render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_fig7(config, policies=tuple(args.policies))
+    if args.json:
+        rows = [
+            {
+                "policy": o.policy,
+                "performance": o.performance,
+                "cplj_fraction": o.cplj_fraction,
+                "p_max_ratio": o.p_max_ratio,
+                "overspend_reduction": o.overspend_reduction,
+                "entered_red": o.entered_red,
+            }
+            for o in result.outcomes
+        ]
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(format_fig7_table(result))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    result = run_fig5(sizes=tuple(args.sizes), measure=not args.no_measure)
+    if args.json:
+        payload = {
+            "sizes": result.sizes.tolist(),
+            "modelled_cpu": result.modelled_cpu.tolist(),
+            "measured_cycle_s": (
+                result.measured_cycle_s.tolist()
+                if result.measured_cycle_s is not None
+                else None
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    table = Table(["|A_candidate|", "modelled mgmt CPU", "measured cycle (us)"])
+    for i, size in enumerate(result.sizes):
+        measured = (
+            f"{result.measured_cycle_s[i] * 1e6:.1f}"
+            if result.measured_cycle_s is not None
+            else "-"
+        )
+        table.add_row(int(size), f"{result.modelled_cpu[i]:.1%}", measured)
+    print(table.render())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_fig6(config, sizes=tuple(args.sizes), policies=tuple(args.policies))
+    if args.json:
+        rows = [
+            {
+                "policy": p.policy,
+                "size": p.size,
+                "p_max_ratio": p.p_max_ratio,
+                "overspend_ratio": p.overspend_ratio,
+                "performance": p.performance,
+            }
+            for p in result.points
+        ]
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(format_fig6_table(result))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    args.policies = ["mpc", "hri"]
+    return _cmd_compare(args)
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = policy_zoo(config)
+    print(format_fig7_table(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import render_run_report
+
+    config = _config_from_args(args)
+    if args.thermal:
+        config = replace(config, track_thermal=True)
+    results = [run_experiment(config, None)]
+    for policy in args.policies:
+        results.append(run_experiment(config, policy))
+    text = render_run_report(
+        results, title=f"Power capping report (seed {config.seed})"
+    )
+    if args.output == "-":
+        print(text)
+    else:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(available_policies()))
+        return 0
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Power Provision and Capping Architecture "
+            "for Large Scale Systems' (IPPS 2012)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment protocol")
+    p_run.add_argument(
+        "--policy",
+        default="mpc",
+        help="selection policy name, or 'none' for the unmanaged baseline",
+    )
+    _add_config_arguments(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="baseline + several policies")
+    p_cmp.add_argument("policies", nargs="+", help="policy names to compare")
+    _add_config_arguments(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_f5 = sub.add_parser("fig5", help="Figure 5: manager scalability")
+    p_f5.add_argument(
+        "--sizes", type=int, nargs="+", default=[0, 8, 16, 32, 48, 64, 96, 128]
+    )
+    p_f5.add_argument(
+        "--no-measure", action="store_true", help="skip wall-clock measurement"
+    )
+    p_f5.add_argument("--json", action="store_true")
+    p_f5.set_defaults(func=_cmd_fig5)
+
+    p_f6 = sub.add_parser("fig6", help="Figure 6: effect vs candidate size")
+    p_f6.add_argument(
+        "--sizes", type=int, nargs="+", default=[0, 8, 16, 32, 48, 64, 96, 128]
+    )
+    p_f6.add_argument("--policies", nargs="+", default=["mpc", "hri"])
+    _add_config_arguments(p_f6)
+    p_f6.set_defaults(func=_cmd_fig6)
+
+    p_f7 = sub.add_parser("fig7", help="Figure 7: MPC vs HRI")
+    _add_config_arguments(p_f7)
+    p_f7.set_defaults(func=_cmd_fig7)
+
+    p_zoo = sub.add_parser("zoo", help="all registered policies")
+    _add_config_arguments(p_zoo)
+    p_zoo.set_defaults(func=_cmd_zoo)
+
+    p_rep = sub.add_parser("report", help="write a Markdown experiment report")
+    p_rep.add_argument(
+        "policies", nargs="*", default=["mpc", "hri"],
+        help="policies to include beside the baseline (default: mpc hri)",
+    )
+    p_rep.add_argument(
+        "-o", "--output", default="report.md",
+        help="output path, or '-' for stdout (default: report.md)",
+    )
+    p_rep.add_argument(
+        "--thermal", action="store_true", help="include the thermal section"
+    )
+    _add_config_arguments(p_rep)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_pol = sub.add_parser("policies", help="list selection policies")
+    p_pol.add_argument("--json", action="store_true")
+    p_pol.set_defaults(func=_cmd_policies)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

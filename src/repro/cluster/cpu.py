@@ -1,0 +1,109 @@
+"""Processor specification and per-level CPU power figures.
+
+Formula (1) in the paper needs, for each DVFS level ``l``, the *maximal
+dynamic* power of a CPU unit ``P_cpu(l)`` — "the gap between its maximal
+power and idle power" — plus the CPU's contribution to the node's static
+(idle) power.  :class:`ProcessorSpec` derives both from a handful of
+datasheet-style figures and the :class:`~repro.cluster.dvfs.DvfsTable`:
+
+* dynamic power at the top level is ``max_power - idle power`` there, and
+  scales down with the table's ``f·V²`` factor;
+* static (idle) power tracks voltage via leakage ``∝ V²`` between the
+  given idle figures at the bottom and top of the ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.dvfs import DvfsTable
+from repro.errors import ConfigurationError
+
+__all__ = ["ProcessorSpec"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One physical CPU package (socket).
+
+    Args:
+        name: Marketing name, for reports.
+        cores: Physical core count.
+        dvfs: The package's P-state ladder.
+        max_power_w: Package power at the top level under full load
+            (roughly the TDP).
+        idle_power_top_w: Package power when idle at the *top* level.
+        idle_power_bottom_w: Package power when idle at the *bottom* level.
+    """
+
+    name: str
+    cores: int
+    dvfs: DvfsTable
+    max_power_w: float
+    idle_power_top_w: float
+    idle_power_bottom_w: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("a processor needs at least one core")
+        if self.max_power_w <= 0:
+            raise ConfigurationError("max_power_w must be positive")
+        if not 0 <= self.idle_power_bottom_w <= self.idle_power_top_w:
+            raise ConfigurationError(
+                "idle power figures must satisfy 0 <= bottom <= top"
+            )
+        if self.idle_power_top_w >= self.max_power_w:
+            raise ConfigurationError("idle power must be below max power")
+
+    @classmethod
+    def xeon_x5670(cls) -> "ProcessorSpec":
+        """The Intel Xeon X5670 used in Tianhe-1A compute blades.
+
+        6 cores, 95 W TDP; idle figures chosen so a dual-socket node idles
+        near 160 W and peaks near 350 W, consistent with published
+        Tianhe-1A blade-level numbers.
+        """
+        return cls(
+            name="Intel Xeon X5670",
+            cores=6,
+            dvfs=DvfsTable.xeon_x5670(),
+            max_power_w=95.0,
+            idle_power_top_w=32.0,
+            idle_power_bottom_w=20.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-level power figures (vectorised over the whole ladder)
+    # ------------------------------------------------------------------
+    def idle_power_per_level(self) -> np.ndarray:
+        """Static (idle) package power at every level, watts.
+
+        Leakage scales roughly with ``V²``; we interpolate between the two
+        datasheet idle figures along the normalised ``V²`` ramp.
+        """
+        v = np.asarray(self.dvfs.voltages_v, dtype=np.float64)
+        v2 = v**2
+        lo, hi = v2[0], v2[-1]
+        frac = (v2 - lo) / (hi - lo) if hi > lo else np.zeros_like(v2)
+        return self.idle_power_bottom_w + frac * (
+            self.idle_power_top_w - self.idle_power_bottom_w
+        )
+
+    def dynamic_power_per_level(self) -> np.ndarray:
+        """Maximal dynamic package power ``P_cpu(l)`` at every level, watts.
+
+        This is the Formula (1) coefficient: multiplied by CPU utilisation
+        it gives the load-dependent part of the package's draw.
+        """
+        top_dynamic = self.max_power_w - self.idle_power_top_w
+        scale = np.asarray(
+            self.dvfs.dynamic_scale(np.arange(self.dvfs.num_levels)),
+            dtype=np.float64,
+        )
+        return top_dynamic * scale
+
+    def max_power_per_level(self) -> np.ndarray:
+        """Total package power at full utilisation per level, watts."""
+        return self.idle_power_per_level() + self.dynamic_power_per_level()

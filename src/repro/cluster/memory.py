@@ -1,0 +1,99 @@
+"""Memory subsystem specification.
+
+Formula (1) charges the memory subsystem ``(Mem_used / Mem_total) ·
+P_mem(l)`` where ``P_mem(l)`` is the maximal dynamic power of all memory
+devices at node power level ``l``.  DRAM power does not follow CPU DVFS
+directly, but on the paper's platform the *only* actuator is CPU frequency
+and memory traffic slows with the cores, so ``P_mem(l)`` retains a mild
+level dependence (§V.A: "the power consumption of all other devices is
+indirectly managed … through decreas[ing] the power consumption level of
+the processors").  We model that with a configurable coupling factor:
+
+``P_mem(l) = P_mem_max · ((1 - coupling) + coupling · speed(l))``
+
+``coupling = 0`` makes memory power level-independent; ``coupling = 1``
+scales it fully with core speed.  The default 0.4 reflects that DRAM
+activate/precharge energy tracks request rate (which tracks core speed for
+bandwidth-bound phases) while background/refresh power does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.dvfs import DvfsTable
+from repro.errors import ConfigurationError
+from repro.units import gib
+
+__all__ = ["MemorySpec"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """The memory devices of one node.
+
+    Args:
+        devices: Number of DIMMs.
+        capacity_per_device_bytes: Capacity of each DIMM, bytes.
+        max_dynamic_power_per_device_w: Peak dynamic power of one DIMM.
+        idle_power_per_device_w: Background (idle + refresh) power per DIMM.
+        dvfs_coupling: Fraction of dynamic memory power that scales with
+            core speed (see module docstring), in ``[0, 1]``.
+    """
+
+    devices: int
+    capacity_per_device_bytes: int
+    max_dynamic_power_per_device_w: float
+    idle_power_per_device_w: float
+    dvfs_coupling: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ConfigurationError("a node needs at least one memory device")
+        if self.capacity_per_device_bytes <= 0:
+            raise ConfigurationError("memory capacity must be positive")
+        if self.max_dynamic_power_per_device_w < 0:
+            raise ConfigurationError("memory dynamic power must be non-negative")
+        if self.idle_power_per_device_w < 0:
+            raise ConfigurationError("memory idle power must be non-negative")
+        if not 0.0 <= self.dvfs_coupling <= 1.0:
+            raise ConfigurationError("dvfs_coupling must lie in [0, 1]")
+
+    @classmethod
+    def tianhe_ddr3(cls) -> "MemorySpec":
+        """6 × 4 GB DDR3-1333 RDIMMs per socket pair, as in §V.A.
+
+        The paper's nodes carry 6 DIMMs per processor; with two processors
+        that is 12 devices and 48 GB per node.  (The text says each
+        processor is configured with 6 devices of 4 GB.)
+        """
+        return cls(
+            devices=12,
+            capacity_per_device_bytes=gib(4),
+            max_dynamic_power_per_device_w=3.0,
+            idle_power_per_device_w=1.5,
+            dvfs_coupling=0.4,
+        )
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Aggregate memory capacity of the node, bytes."""
+        return self.devices * self.capacity_per_device_bytes
+
+    @property
+    def total_idle_power_w(self) -> float:
+        """Aggregate background memory power, watts (part of node idle)."""
+        return self.devices * self.idle_power_per_device_w
+
+    @property
+    def max_dynamic_power_w(self) -> float:
+        """Aggregate peak dynamic memory power at the top level, watts."""
+        return self.devices * self.max_dynamic_power_per_device_w
+
+    def dynamic_power_per_level(self, dvfs: DvfsTable) -> np.ndarray:
+        """``P_mem(l)`` for every level of ``dvfs``, watts."""
+        speed = np.asarray(dvfs.speed(np.arange(dvfs.num_levels)), dtype=np.float64)
+        factor = (1.0 - self.dvfs_coupling) + self.dvfs_coupling * speed
+        return self.max_dynamic_power_w * factor

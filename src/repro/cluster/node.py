@@ -1,0 +1,219 @@
+"""Node specification and per-node object view.
+
+:class:`NodeSpec` bundles the device specs of one compute blade and
+pre-computes the four per-level coefficient vectors that Formula (1)
+consumes:
+
+* ``idle_power_per_level`` — ``P_idle(l)``: board + CPU static + memory
+  background + NIC idle;
+* ``cpu_dynamic_per_level`` — ``Σ_x P_x(l)`` over all CPU packages;
+* ``mem_dynamic_per_level`` — ``P_mem(l)``;
+* ``nic_dynamic_per_level`` — ``P_NIC(l)``.
+
+All four are plain numpy vectors indexed by DVFS level, so evaluating the
+whole cluster's power is four gathers and a fused multiply-add (see
+:mod:`repro.power.model`).
+
+:class:`ComputeNode` is a convenience object view over one index of the
+structure-of-arrays :class:`~repro.cluster.state.ClusterState`; it exists
+for API ergonomics (examples, tests, debugging) — hot paths use the arrays
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.cpu import ProcessorSpec
+from repro.cluster.dvfs import DvfsTable
+from repro.cluster.memory import MemorySpec
+from repro.cluster.nic import NicSpec
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.state import ClusterState
+
+__all__ = ["NodeSpec", "ComputeNode"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Specification of one compute node (blade).
+
+    Args:
+        processor: CPU package spec (all sockets are identical).
+        sockets: Number of CPU packages.
+        memory: Memory subsystem spec (totals for the whole node).
+        nic: Communication device spec.
+        board_power_w: Constant power of everything else on the blade —
+            voltage regulators, fans' share, baseboard logic.
+    """
+
+    processor: ProcessorSpec
+    sockets: int
+    memory: MemorySpec
+    nic: NicSpec
+    board_power_w: float
+    idle_power_per_level: np.ndarray = field(init=False, repr=False, compare=False)
+    cpu_dynamic_per_level: np.ndarray = field(init=False, repr=False, compare=False)
+    mem_dynamic_per_level: np.ndarray = field(init=False, repr=False, compare=False)
+    nic_dynamic_per_level: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ConfigurationError("a node needs at least one socket")
+        if self.board_power_w < 0:
+            raise ConfigurationError("board power must be non-negative")
+        dvfs = self.processor.dvfs
+        idle = (
+            self.board_power_w
+            + self.sockets * self.processor.idle_power_per_level()
+            + self.memory.total_idle_power_w
+            + self.nic.idle_power_w
+        )
+        object.__setattr__(self, "idle_power_per_level", idle)
+        object.__setattr__(
+            self,
+            "cpu_dynamic_per_level",
+            self.sockets * self.processor.dynamic_power_per_level(),
+        )
+        object.__setattr__(
+            self, "mem_dynamic_per_level", self.memory.dynamic_power_per_level(dvfs)
+        )
+        object.__setattr__(
+            self, "nic_dynamic_per_level", self.nic.dynamic_power_per_level(dvfs)
+        )
+        for arr in (
+            self.idle_power_per_level,
+            self.cpu_dynamic_per_level,
+            self.mem_dynamic_per_level,
+            self.nic_dynamic_per_level,
+        ):
+            arr.setflags(write=False)
+
+    @classmethod
+    def tianhe_1a(cls) -> "NodeSpec":
+        """The paper's compute blade: 2× Xeon X5670, 12× 4 GB DDR3, TH NIC."""
+        return cls(
+            processor=ProcessorSpec.xeon_x5670(),
+            sockets=2,
+            memory=MemorySpec.tianhe_ddr3(),
+            nic=NicSpec.tianhe_interconnect(),
+            board_power_w=70.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    @property
+    def dvfs(self) -> DvfsTable:
+        """The node's DVFS ladder (that of its processors)."""
+        return self.processor.dvfs
+
+    @property
+    def num_levels(self) -> int:
+        """Number of node power states (= processor P-states)."""
+        return self.dvfs.num_levels
+
+    @property
+    def top_level(self) -> int:
+        """Highest (full-performance) power state index."""
+        return self.dvfs.top_level
+
+    @property
+    def cores(self) -> int:
+        """Total core count of the node."""
+        return self.sockets * self.processor.cores
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total memory capacity of the node, bytes."""
+        return self.memory.total_capacity_bytes
+
+    def max_power(self, level: int | None = None) -> float:
+        """Peak node power (all devices saturated) at ``level``.
+
+        Defaults to the top level, which is the per-node term ``P_i`` of
+        the paper's theoretical maximum ``P_thy = Σ P_i``.
+        """
+        l = self.top_level if level is None else level
+        self.dvfs._check_level(l)
+        return float(
+            self.idle_power_per_level[l]
+            + self.cpu_dynamic_per_level[l]
+            + self.mem_dynamic_per_level[l]
+            + self.nic_dynamic_per_level[l]
+        )
+
+    def min_power(self) -> float:
+        """Idle node power at the lowest level (floor of controllability)."""
+        return float(self.idle_power_per_level[0])
+
+
+class ComputeNode:
+    """Read/write object view of one node inside a cluster state.
+
+    All properties delegate to the shared structure-of-arrays, so a
+    ``ComputeNode`` is always coherent with vectorised code operating on
+    the same :class:`~repro.cluster.state.ClusterState`.
+    """
+
+    __slots__ = ("_state", "_index")
+
+    def __init__(self, state: "ClusterState", index: int) -> None:
+        self._state = state
+        self._index = index
+
+    @property
+    def node_id(self) -> int:
+        """Index of this node within the cluster."""
+        return self._index
+
+    @property
+    def level(self) -> int:
+        """Current DVFS level."""
+        return int(self._state.level[self._index])
+
+    @level.setter
+    def level(self, value: int) -> None:
+        self._state.set_level(self._index, value)
+
+    @property
+    def cpu_utilisation(self) -> float:
+        """Current CPU utilisation in [0, 1]."""
+        return float(self._state.cpu_util[self._index])
+
+    @property
+    def memory_fraction(self) -> float:
+        """``Mem_used / Mem_total`` in [0, 1]."""
+        return float(self._state.mem_frac[self._index])
+
+    @property
+    def nic_utilisation(self) -> float:
+        """``Data_NIC / (τ · BW_NIC)`` in [0, 1]."""
+        return float(self._state.nic_frac[self._index])
+
+    @property
+    def job_id(self) -> int | None:
+        """Id of the job occupying this node, or ``None`` when idle."""
+        jid = int(self._state.job_id[self._index])
+        return None if jid < 0 else jid
+
+    @property
+    def controllable(self) -> bool:
+        """Whether this node may be throttled (not privileged)."""
+        return bool(self._state.controllable[self._index])
+
+    @property
+    def frequency(self) -> float:
+        """Current core frequency, hertz."""
+        return self._state.spec.dvfs.frequency(self.level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ComputeNode {self._index} level={self.level} "
+            f"util={self.cpu_utilisation:.2f} job={self.job_id}>"
+        )

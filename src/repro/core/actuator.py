@@ -1,0 +1,83 @@
+"""DVFS actuation: applying capping decisions to the machine.
+
+On the paper's platform "the power manager will send commands to all
+nodes in the A_target, and tell them to regulate their power state to the
+corresponding target level" (§III.A), each level being one processor
+frequency step.  Here the actuator writes the commanded levels into the
+cluster state — atomically for the whole target set, matching the paper's
+property that the algorithm "regulates the power states of all nodes in
+the system synchronously" — and keeps actuation statistics the
+experiments report (commands issued, degrade/upgrade totals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.core.capping import CappingAction, CappingDecision
+from repro.errors import PowerManagementError
+
+__all__ = ["DvfsActuator"]
+
+
+class DvfsActuator:
+    """Applies :class:`~repro.core.capping.CappingDecision` to the state."""
+
+    def __init__(self, state: ClusterState) -> None:
+        self._state = state
+        self._commands_sent = 0
+        self._levels_lowered = 0
+        self._levels_raised = 0
+        self._emergencies = 0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def commands_sent(self) -> int:
+        """Total per-node DVFS commands issued."""
+        return self._commands_sent
+
+    @property
+    def levels_lowered(self) -> int:
+        """Cumulative levels removed across all degrade commands."""
+        return self._levels_lowered
+
+    @property
+    def levels_raised(self) -> int:
+        """Cumulative levels restored across all upgrade commands."""
+        return self._levels_raised
+
+    @property
+    def emergencies(self) -> int:
+        """Number of red-state (emergency) actuations."""
+        return self._emergencies
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def apply(self, decision: CappingDecision) -> None:
+        """Issue the decision's DVFS commands.
+
+        Raises:
+            PowerManagementError: if a command addresses a privileged
+                (uncontrollable) node — by construction that cannot
+                happen with targets drawn from ``A_candidate``, so it
+                indicates a wiring bug and must not be silently ignored.
+        """
+        if decision.action is CappingAction.NONE or decision.num_targets == 0:
+            return
+        ids = decision.node_ids
+        if not np.all(self._state.controllable[ids]):
+            raise PowerManagementError(
+                "capping decision addresses a privileged node"
+            )
+        before = self._state.level[ids].copy()
+        self._state.set_levels(ids, decision.new_levels)
+        delta = self._state.level[ids] - before
+        self._commands_sent += len(ids)
+        self._levels_lowered += int(-delta[delta < 0].sum())
+        self._levels_raised += int(delta[delta > 0].sum())
+        if decision.action is CappingAction.EMERGENCY:
+            self._emergencies += 1

@@ -1,0 +1,213 @@
+"""The assembled power manager: one object, one control cycle.
+
+:class:`PowerManager` wires together everything the architecture diagram
+(Figure 1) shows around the global power manager: the system power meter,
+the candidate set's telemetry collector, the Formula (1) estimator, the
+threshold controller, Algorithm 1, a target-selection policy and the DVFS
+actuator.  The experiment harness calls :meth:`PowerManager.control_cycle`
+once per control period (normally equal to the sampling interval τ) and
+gets back a :class:`CycleReport`; the manager also appends the standard
+series (power, state, targets) to its recorder for the metrics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core.actuator import DvfsActuator
+from repro.core.capping import CappingAction, CappingDecision, PowerCappingAlgorithm
+from repro.core.policies.base import PolicyContext, SelectionPolicy
+from repro.core.sets import NodeSets
+from repro.core.states import PowerState, classify_power_state
+from repro.core.thresholds import ThresholdController
+from repro.power.estimator import NodePowerEstimator
+from repro.power.hetero import make_power_model
+from repro.power.meter import SystemPowerMeter
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.recorder import TimeSeriesRecorder
+
+__all__ = ["PowerManager", "CycleReport"]
+
+#: Standard recorder series names written by the manager.
+SERIES_POWER = "power_w"
+SERIES_STATE = "state_severity"
+SERIES_TARGETS = "targets"
+SERIES_P_LOW = "p_low_w"
+SERIES_P_HIGH = "p_high_w"
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """What one control cycle saw and did."""
+
+    time: float
+    power_w: float
+    state: PowerState
+    decision: CappingDecision
+    p_low: float
+    p_high: float
+
+    @property
+    def acted(self) -> bool:
+        """Whether any DVFS command was issued this cycle."""
+        return self.decision.action is not CappingAction.NONE
+
+
+class PowerManager:
+    """The global power manager of the proposed architecture.
+
+    Args:
+        cluster: The machine under management.
+        sets: Node classification (candidate set = monitored + throttled).
+        meter: Whole-system power meter.
+        thresholds: Threshold controller (learning or fixed).
+        policy: Target-set selection policy for yellow cycles.
+        steady_green_cycles: ``T_g`` for Algorithm 1 (paper: 10).
+        cost_model: Management-cost accounting (Figure 5); optional.
+        recorder: Series recorder; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        sets: NodeSets,
+        meter: SystemPowerMeter,
+        thresholds: ThresholdController,
+        policy: SelectionPolicy,
+        steady_green_cycles: int = 10,
+        cost_model: ManagementCostModel | None = None,
+        recorder: TimeSeriesRecorder | None = None,
+    ) -> None:
+        self._cluster = cluster
+        self._sets = sets
+        self._meter = meter
+        self._thresholds = thresholds
+        self._policy = policy
+        self._collector = TelemetryCollector(
+            cluster.state, sets.candidates, cost_model
+        )
+        self._estimator = NodePowerEstimator(make_power_model(cluster))
+        self._capping = PowerCappingAlgorithm(
+            sets, cluster.spec.top_level, steady_green_cycles
+        )
+        self._actuator = DvfsActuator(cluster.state)
+        self.recorder = recorder if recorder is not None else TimeSeriesRecorder()
+        self._cycles = 0
+        self._state_counts = {s: 0 for s in PowerState}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sets(self) -> NodeSets:
+        """The node-set classification."""
+        return self._sets
+
+    @property
+    def policy(self) -> SelectionPolicy:
+        """The active target-selection policy."""
+        return self._policy
+
+    @property
+    def thresholds(self) -> ThresholdController:
+        """The threshold controller."""
+        return self._thresholds
+
+    @property
+    def collector(self) -> TelemetryCollector:
+        """The candidate-set telemetry collector."""
+        return self._collector
+
+    @property
+    def actuator(self) -> DvfsActuator:
+        """The DVFS actuator (actuation statistics)."""
+        return self._actuator
+
+    @property
+    def capping(self) -> PowerCappingAlgorithm:
+        """The Algorithm 1 instance (``A_degraded``, ``Time_g``)."""
+        return self._capping
+
+    @property
+    def cycles(self) -> int:
+        """Control cycles run so far."""
+        return self._cycles
+
+    def state_count(self, state: PowerState) -> int:
+        """Number of cycles classified as ``state``."""
+        return self._state_counts[state]
+
+    def ever_entered_red(self) -> bool:
+        """Whether any cycle was classified red (§V.D checks this)."""
+        return self._state_counts[PowerState.RED] > 0
+
+    # ------------------------------------------------------------------
+    # The control cycle
+    # ------------------------------------------------------------------
+    def control_cycle(self, now: float) -> CycleReport:
+        """Sense → classify → decide → actuate, and record the series."""
+        power = self._meter.read()
+        self._thresholds.observe(power)
+        th = self._thresholds.thresholds
+        state = classify_power_state(power, th.p_low, th.p_high)
+
+        snapshot = self._collector.collect(now)
+        ctx = PolicyContext(
+            snapshot=snapshot,
+            previous=self._collector.previous,
+            estimator=self._estimator,
+            system_power=power,
+            thresholds=th,
+        )
+        decision = self._decide(state, ctx)
+        self._actuator.apply(decision)
+
+        self._cycles += 1
+        self._state_counts[state] += 1
+        rec = self.recorder
+        rec.record(SERIES_POWER, now, power)
+        rec.record(SERIES_STATE, now, state.severity)
+        rec.record(SERIES_TARGETS, now, decision.num_targets)
+        rec.record(SERIES_P_LOW, now, th.p_low)
+        rec.record(SERIES_P_HIGH, now, th.p_high)
+        return CycleReport(
+            time=now,
+            power_w=power,
+            state=state,
+            decision=decision,
+            p_low=th.p_low,
+            p_high=th.p_high,
+        )
+
+    def _decide(self, state: PowerState, ctx: PolicyContext) -> CappingDecision:
+        """The decision step of one cycle.
+
+        The default implementation is the paper's Algorithm 1 driven by
+        the configured target-selection policy; baseline controllers
+        (:mod:`repro.core.baselines`) override this single method and
+        inherit all sensing, actuation and reporting machinery.
+        """
+        return self._capping.decide(state, ctx, self._policy)
+
+    def reset_episode_state(self) -> None:
+        """Clear Algorithm 1 and policy cross-cycle state (new run)."""
+        self._capping.reset()
+        self._policy.reset()
+
+    def release_all(self) -> None:
+        """Restore every candidate node to the top level (end of run)."""
+        candidates = self._sets.candidates
+        if len(candidates) == 0:
+            return
+        self._cluster.state.set_levels(
+            candidates, self._cluster.spec.top_level
+        )
+        self._capping.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PowerManager policy={self._policy.name!r} "
+            f"candidates={self._sets.size} cycles={self._cycles}>"
+        )

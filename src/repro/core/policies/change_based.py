@@ -1,0 +1,74 @@
+"""Change-based policies: HRI and HRI-C (§IV.B).
+
+Instead of ranking jobs by their current power, change-based policies
+rank by the *rate of increase*::
+
+    ΔP^t(J) = (P^t(J) − P^{t−1}(J)) / P^{t−1}(J)
+
+targeting the job most likely to have *caused* the excursion into yellow
+— "fairer because it punishes the job that cause[d the] problem".  The
+paper notes the flip side: the targeted job's node set may be small, so
+each control cycle sheds less power than MPC and the pull-back to green
+can be slower (this is exactly the mechanism behind MPC beating HRI on
+the ΔP×T metric in Figure 7).
+
+Jobs only acquire a rate once they appear in two consecutive snapshots
+with positive previous power; on the very first cycle (no previous
+snapshot) the selection is empty and the capping algorithm simply tries
+again next cycle.
+
+HRI-C is the collection counterpart (the paper defines it as the analogue
+of MPC-C): accumulate jobs in decreasing-rate order until the estimated
+savings cover the deficit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import (
+    PolicyContext,
+    SelectionPolicy,
+    register_policy,
+)
+
+__all__ = ["HighestRateOfIncreasePolicy", "HighestRateCollectionPolicy"]
+
+
+def _jobs_by_rate(ctx: PolicyContext) -> list[int]:
+    """Job ids in decreasing ΔP^t(J) order; ties toward lower job id."""
+    rates = ctx.job_increase_rates()
+    return sorted(rates, key=lambda jid: (-rates[jid], jid))
+
+
+@register_policy("hri")
+class HighestRateOfIncreasePolicy(SelectionPolicy):
+    """HRI: target the job with the highest rate of power increase."""
+
+    def select(self, ctx: PolicyContext) -> np.ndarray:
+        for jid in _jobs_by_rate(ctx):
+            nodes = ctx.degradable_nodes_of_job(jid)
+            if len(nodes):
+                return nodes
+        return self.empty_selection()
+
+
+@register_policy("hri-c")
+class HighestRateCollectionPolicy(SelectionPolicy):
+    """HRI-C: accumulate highest-rate jobs until savings cover the deficit."""
+
+    def select(self, ctx: PolicyContext) -> np.ndarray:
+        deficit = ctx.deficit_w
+        saved = 0.0
+        collected: list[np.ndarray] = []
+        for jid in _jobs_by_rate(ctx):
+            nodes = ctx.degradable_nodes_of_job(jid)
+            if len(nodes) == 0:
+                continue
+            collected.append(nodes)
+            saved += ctx.savings_of_job(jid)
+            if saved >= deficit:
+                break
+        if not collected:
+            return self.empty_selection()
+        return np.sort(np.concatenate(collected))

@@ -1,0 +1,71 @@
+"""SLA-aware target selection (Ranganathan-style, §I.B).
+
+Ranganathan et al. throttle "based on SLA": when power must come down,
+the lowest-service-class work pays first, and sufficiently important
+work is never degraded at all.  :class:`SlaAwarePolicy` brings that
+semantics into the paper's architecture as one more selection policy:
+
+* jobs are ranked by ``(priority ascending, Power(J) descending,
+  job_id)`` — the cheapest-to-hurt, most-power-saving job first;
+* jobs at or above ``protect_priority`` (if set) are *never* selected,
+  a job-granular complement to the node-granular privileged set
+  ``A_uncontrollable``.
+
+The policy needs to know each job's priority class; the paper's
+telemetry plane does not carry it, so the constructor takes a lookup
+callable (typically
+:meth:`repro.workload.generator.RandomJobGenerator.priority_of`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.policies.base import (
+    PolicyContext,
+    SelectionPolicy,
+    register_policy,
+)
+from repro.errors import PolicyError
+
+__all__ = ["SlaAwarePolicy"]
+
+
+@register_policy("sla")
+class SlaAwarePolicy(SelectionPolicy):
+    """Throttle the least-important job first; protect the VIP class.
+
+    Args:
+        priority_of: Maps a job id to its priority class (higher = more
+            important).
+        protect_priority: Jobs with priority >= this are never selected;
+            ``None`` disables protection (pure ordering).
+    """
+
+    def __init__(
+        self,
+        priority_of: Callable[[int], int],
+        protect_priority: int | None = None,
+    ) -> None:
+        if priority_of is None:
+            raise PolicyError("SlaAwarePolicy needs a priority lookup")
+        self._priority_of = priority_of
+        self._protect = protect_priority
+
+    def select(self, ctx: PolicyContext) -> np.ndarray:
+        table = ctx.job_table
+        ranked: list[tuple[int, float, int]] = []
+        for job_id in table.job_ids:
+            jid = int(job_id)
+            priority = int(self._priority_of(jid))
+            if self._protect is not None and priority >= self._protect:
+                continue
+            ranked.append((priority, -table.power_of(jid), jid))
+        ranked.sort()
+        for _, _, jid in ranked:
+            nodes = ctx.degradable_nodes_of_job(jid)
+            if len(nodes):
+                return nodes
+        return self.empty_selection()

@@ -1,0 +1,53 @@
+"""Power consumption states: green / yellow / red (§II.B).
+
+Two thresholds split the power axis into three regimes:
+
+* **GREEN** (``P < P_L``) — safe, no action;
+* **YELLOW** (``P_L ≤ P < P_H``) — within provision but too close to the
+  limit; mild throttling (one level, one policy-selected job);
+* **RED** (``P ≥ P_H``) — critical; maximal throttling of every candidate
+  immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import PowerManagementError
+
+__all__ = ["PowerState", "classify_power_state"]
+
+
+class PowerState(enum.Enum):
+    """The three §II.B power-consumption states."""
+
+    GREEN = "green"
+    YELLOW = "yellow"
+    RED = "red"
+
+    @property
+    def severity(self) -> int:
+        """0 (green) → 2 (red), for ordering and aggregation."""
+        return {"green": 0, "yellow": 1, "red": 2}[self.value]
+
+
+def classify_power_state(power: float, p_low: float, p_high: float) -> PowerState:
+    """Classify a power reading against the two thresholds.
+
+    Args:
+        power: Measured total system power, watts.
+        p_low: ``P_L`` (green/yellow boundary), watts.
+        p_high: ``P_H`` (yellow/red boundary), watts.
+
+    Raises:
+        PowerManagementError: unless ``0 < p_low <= p_high``.
+    """
+    if not 0.0 < p_low <= p_high:
+        raise PowerManagementError(
+            f"thresholds must satisfy 0 < P_L <= P_H, got P_L={p_low}, P_H={p_high}"
+        )
+    if power < p_low:
+        return PowerState.GREEN
+    if power < p_high:
+        return PowerState.YELLOW
+    return PowerState.RED

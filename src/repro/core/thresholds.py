@@ -1,0 +1,197 @@
+"""Threshold setting and adjustment (§III.A).
+
+The thresholds derive from the observed peak power::
+
+    P_H = (1 − 7%)  · P_peak = 93% · P_peak
+    P_L = (1 − 16%) · P_peak = 84% · P_peak
+
+The 7%/16% margins come from Fan et al.'s observation of the gap between
+achieved and theoretical aggregate power in large-scale systems.
+
+Protocol implemented by :class:`ThresholdController`:
+
+1. ``P_peak`` starts at the power provision capability ``P_Max``
+   ("the initial value of P_peak is set to be the value of P_max");
+2. during the **training period** the system runs unmanaged and the
+   maximal observed power is recorded;
+3. at the end of training, ``P_peak`` is replaced by the recorded maximum
+   and the thresholds recomputed;
+4. afterwards, observation continues and the thresholds are re-adjusted
+   every ``t_p`` control cycles from the running peak (which can only
+   ratchet upward — a lull never loosens safety margins downward).
+
+Thresholds may also be pinned manually ("set … by the system
+administrator based on his empirical knowledge") via
+:meth:`ThresholdController.fixed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, PowerManagementError
+
+__all__ = ["PowerThresholds", "ThresholdController"]
+
+
+@dataclass(frozen=True)
+class PowerThresholds:
+    """An immutable ``(P_L, P_H)`` pair, watts."""
+
+    p_low: float
+    p_high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_low <= self.p_high:
+            raise ConfigurationError(
+                f"need 0 < P_L <= P_H, got P_L={self.p_low}, P_H={self.p_high}"
+            )
+
+
+class ThresholdController:
+    """Learns and periodically adjusts ``P_L``/``P_H`` from observed peaks.
+
+    Args:
+        initial_peak_w: Starting ``P_peak`` (the provision capability).
+        margin_high: Fractional gap below the peak for ``P_H`` (paper: 0.07).
+        margin_low: Fractional gap below the peak for ``P_L`` (paper: 0.16).
+        adjust_every_cycles: ``t_p`` — re-derive thresholds from the
+            running peak every this many :meth:`observe` calls.  Must be
+            "relatively large" compared to the capping cadence.
+        frozen: When True the thresholds never change (admin-pinned).
+    """
+
+    def __init__(
+        self,
+        initial_peak_w: float,
+        margin_high: float = 0.07,
+        margin_low: float = 0.16,
+        adjust_every_cycles: int = 600,
+        frozen: bool = False,
+    ) -> None:
+        if initial_peak_w <= 0:
+            raise ConfigurationError("initial peak must be positive")
+        if not 0.0 <= margin_high < margin_low < 1.0:
+            raise ConfigurationError(
+                "margins must satisfy 0 <= margin_high < margin_low < 1 "
+                f"(got high={margin_high}, low={margin_low})"
+            )
+        if adjust_every_cycles < 1:
+            raise ConfigurationError("adjust_every_cycles must be >= 1")
+        self._margin_high = float(margin_high)
+        self._margin_low = float(margin_low)
+        self._adjust_every = int(adjust_every_cycles)
+        self._frozen = bool(frozen)
+        self._peak = float(initial_peak_w)
+        self._running_peak = float(initial_peak_w)
+        self._observations = 0
+        self._adjustments = 0
+        self._thresholds = self._derive(self._peak)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def fixed(cls, p_low: float, p_high: float) -> "ThresholdController":
+        """Admin-pinned thresholds that never adjust."""
+        if not 0.0 < p_low <= p_high:
+            raise ConfigurationError("need 0 < P_L <= P_H")
+        controller = cls(initial_peak_w=p_high, frozen=True)
+        controller._thresholds = PowerThresholds(p_low=p_low, p_high=p_high)
+        return controller
+
+    @classmethod
+    def from_training(
+        cls,
+        training_peak_w: float,
+        margin_high: float = 0.07,
+        margin_low: float = 0.16,
+        adjust_every_cycles: int = 600,
+    ) -> "ThresholdController":
+        """Controller initialised from a completed training period's peak."""
+        return cls(
+            initial_peak_w=training_peak_w,
+            margin_high=margin_high,
+            margin_low=margin_low,
+            adjust_every_cycles=adjust_every_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def thresholds(self) -> PowerThresholds:
+        """The current ``(P_L, P_H)``."""
+        return self._thresholds
+
+    @property
+    def p_low(self) -> float:
+        """Current ``P_L``, watts."""
+        return self._thresholds.p_low
+
+    @property
+    def p_high(self) -> float:
+        """Current ``P_H``, watts."""
+        return self._thresholds.p_high
+
+    @property
+    def peak(self) -> float:
+        """The ``P_peak`` the current thresholds derive from, watts."""
+        return self._peak
+
+    @property
+    def running_peak(self) -> float:
+        """Highest power observed so far (≥ ``peak``), watts."""
+        return self._running_peak
+
+    @property
+    def adjustments(self) -> int:
+        """Number of periodic adjustments performed."""
+        return self._adjustments
+
+    def _derive(self, peak: float) -> PowerThresholds:
+        return PowerThresholds(
+            p_low=(1.0 - self._margin_low) * peak,
+            p_high=(1.0 - self._margin_high) * peak,
+        )
+
+    # ------------------------------------------------------------------
+    # Observation / adjustment
+    # ------------------------------------------------------------------
+    def observe(self, power_w: float) -> bool:
+        """Feed one power reading; returns True if thresholds changed.
+
+        The running peak ratchets up immediately; thresholds are only
+        re-derived every ``t_p`` observations (and never while frozen).
+        """
+        if power_w < 0:
+            raise PowerManagementError("negative power reading")
+        if power_w > self._running_peak:
+            self._running_peak = float(power_w)
+        self._observations += 1
+        if self._frozen:
+            return False
+        if self._observations % self._adjust_every != 0:
+            return False
+        return self._apply_peak(self._running_peak)
+
+    def complete_training(self, training_peak_w: float) -> bool:
+        """End the training period: adopt its recorded maximum as P_peak.
+
+        Returns True if the thresholds changed.
+        """
+        if training_peak_w <= 0:
+            raise PowerManagementError("training peak must be positive")
+        if self._frozen:
+            return False
+        if training_peak_w > self._running_peak:
+            self._running_peak = float(training_peak_w)
+        return self._apply_peak(self._running_peak)
+
+    def _apply_peak(self, peak: float) -> bool:
+        if peak == self._peak:
+            return False
+        self._peak = float(peak)
+        self._thresholds = self._derive(self._peak)
+        self._adjustments += 1
+        return True

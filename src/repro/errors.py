@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream callers can catch the whole family with a
+single ``except`` clause while still distinguishing configuration mistakes
+(:class:`ConfigurationError`), violations of simulator invariants
+(:class:`SimulationError`) and misuse of the power-management API
+(:class:`PowerManagementError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "AllocationError",
+    "PowerManagementError",
+    "PolicyError",
+    "TelemetryError",
+    "WorkloadError",
+    "MetricError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object failed validation.
+
+    Raised eagerly at construction time (all config dataclasses validate in
+    ``__post_init__``) so that a bad parameter fails fast rather than
+    corrupting a multi-hour simulation half-way through.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """An invariant of the discrete-event simulation kernel was violated.
+
+    Examples: scheduling an event in the past, stepping a finished engine,
+    or re-entrant calls into :meth:`repro.sim.engine.SimulationEngine.run`.
+    """
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """The batch scheduler was driven into an invalid state.
+
+    Examples: completing a job that was never started, or submitting the
+    same job object twice.
+    """
+
+
+class AllocationError(SchedulingError):
+    """A node allocation request could not be honoured.
+
+    Raised when a job requests more processes than the cluster has cores,
+    i.e. the request can *never* be satisfied (requests that merely have to
+    wait are queued, not errored).
+    """
+
+
+class PowerManagementError(ReproError, RuntimeError):
+    """The power manager or capping algorithm was misused.
+
+    Examples: running a control cycle before the manager is attached to a
+    cluster, or actuating a DVFS level outside the node's frequency table.
+    """
+
+
+class PolicyError(PowerManagementError):
+    """A target-set selection policy failed or was configured incorrectly.
+
+    Also raised by the policy registry on lookup of an unknown policy name.
+    """
+
+
+class TelemetryError(ReproError, RuntimeError):
+    """Telemetry collection failed (unknown node, agent not sampled yet)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload definition is malformed.
+
+    Examples: a job with zero processes, an application profile with no
+    phases, or a phase with utilisation outside ``[0, 1]``.
+    """
+
+
+class MetricError(ReproError, ValueError):
+    """A metric was evaluated on invalid input.
+
+    Examples: ΔP×T over an empty trace, or Performance(cap) with mismatched
+    baseline/capped job sets.
+    """

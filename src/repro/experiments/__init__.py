@@ -1,0 +1,37 @@
+"""Experiment harnesses: one module per paper figure, plus ablations.
+
+* :mod:`repro.experiments.common` — configuration and the single-run
+  engine (training period → threshold learning → managed/unmanaged main
+  window → metrics);
+* :mod:`repro.experiments.fig5_scalability` — central-manager cost vs
+  candidate-set size (Figure 5);
+* :mod:`repro.experiments.fig6_candidate_size` — capping effect vs
+  ``|A_candidate|`` for MPC and HRI (Figure 6);
+* :mod:`repro.experiments.fig7_policies` — the headline policy
+  comparison (Figure 7 and §V.D's text numbers);
+* :mod:`repro.experiments.ablations` — T_g, threshold margins, sampling
+  interval and the full policy zoo.
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiments.fig5_scalability import Fig5Result, run_fig5
+from repro.experiments.fig6_candidate_size import Fig6Point, Fig6Result, run_fig6
+from repro.experiments.fig7_policies import Fig7Result, PolicyOutcome, run_fig7
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Fig5Result",
+    "Fig6Point",
+    "Fig6Result",
+    "Fig7Result",
+    "PolicyOutcome",
+    "run_experiment",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+]

@@ -1,0 +1,125 @@
+"""Ablation sweeps over the design choices DESIGN.md calls out.
+
+The paper fixes several knobs without exploring them (T_g = 10 cycles,
+7%/16% margins, τ = one control period) and defers "other selection
+policies" to future work.  These sweeps fill that gap:
+
+* :func:`sweep_steady_green` — T_g: patience before restoring degraded
+  nodes trades recovery speed (performance) against oscillation (power);
+* :func:`sweep_margins` — the (margin_high, margin_low) pair: tighter
+  margins throttle earlier (safer, slower);
+* :func:`sweep_control_period` — τ: slower control reacts later, letting
+  spikes run further past the thresholds;
+* :func:`policy_zoo` — every registered policy, including the paper's
+  un-evaluated ones (MPC-C, LPC, LPC-C, BFP, HRI-C) and our extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentConfig, run_experiment
+from repro.experiments.fig7_policies import Fig7Result, run_fig7
+from repro.metrics.summary import compare_runs
+
+__all__ = [
+    "AblationRow",
+    "sweep_steady_green",
+    "sweep_margins",
+    "sweep_control_period",
+    "policy_zoo",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration's outcome in an ablation sweep."""
+
+    label: str
+    performance: float
+    p_max_ratio: float
+    overspend_reduction: float
+    cplj_fraction: float
+    entered_red: bool
+
+
+def _evaluate(config: ExperimentConfig, policy: str, label: str) -> AblationRow:
+    baseline = run_experiment(config, None)
+    result = run_experiment(config, policy)
+    comparison = compare_runs(result.metrics, baseline.metrics)
+    return AblationRow(
+        label=label,
+        performance=comparison.performance,
+        p_max_ratio=comparison.p_max_ratio,
+        overspend_reduction=comparison.overspend_reduction,
+        cplj_fraction=comparison.cplj_fraction,
+        entered_red=result.entered_red,
+    )
+
+
+def sweep_steady_green(
+    config: ExperimentConfig,
+    values: tuple[int, ...] = (2, 5, 10, 20, 40),
+    policy: str = "mpc",
+) -> list[AblationRow]:
+    """Sweep ``T_g`` (the paper uses 10 cycles)."""
+    if not values:
+        raise ConfigurationError("empty T_g sweep")
+    return [
+        _evaluate(replace(config, steady_green_cycles=v), policy, f"T_g={v}")
+        for v in values
+    ]
+
+
+def sweep_margins(
+    config: ExperimentConfig,
+    pairs: tuple[tuple[float, float], ...] = (
+        (0.03, 0.08),
+        (0.05, 0.12),
+        (0.07, 0.16),  # the paper's pair
+        (0.10, 0.22),
+    ),
+    policy: str = "mpc",
+) -> list[AblationRow]:
+    """Sweep the (margin_high, margin_low) threshold pair."""
+    rows = []
+    for high, low in pairs:
+        cfg = replace(config, margin_high=high, margin_low=low)
+        rows.append(
+            _evaluate(cfg, policy, f"margins={high:.0%}/{low:.0%}")
+        )
+    return rows
+
+
+def sweep_control_period(
+    config: ExperimentConfig,
+    periods_s: tuple[float, ...] = (0.5, 1.0, 2.0, 5.0),
+    policy: str = "mpc",
+) -> list[AblationRow]:
+    """Sweep the control-cycle period τ."""
+    return [
+        _evaluate(
+            replace(config, control_period_s=p), policy, f"tau={p:g}s"
+        )
+        for p in periods_s
+    ]
+
+
+def policy_zoo(
+    config: ExperimentConfig,
+    policies: tuple[str, ...] = (
+        "mpc",
+        "mpc-c",
+        "lpc",
+        "lpc-c",
+        "bfp",
+        "hri",
+        "hri-c",
+        "random",
+        "fair",
+        "hybrid",
+    ),
+) -> Fig7Result:
+    """The Figure 7 protocol across every policy in the library."""
+    return run_fig7(config, policies=policies)

@@ -1,0 +1,116 @@
+"""Figure 6: power capping effect vs candidate-set size.
+
+For each size ``k`` of ``A_candidate`` and each policy (the paper sweeps
+MPC and HRI), run the full protocol and report the maximal power and
+ΔP×T *normalised against the unmanaged run* ("the values when the system
+is executed without any power management (i.e. when the size of
+A_candidate is 0)").  The paper's observations this harness must
+reproduce:
+
+* both normalised metrics decrease monotonically (up to noise) with k;
+* the improvement saturates — beyond ~48 of 128 nodes, additional
+  candidates return little extra effect;
+* the MPC and HRI trend curves are similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.metrics.summary import compare_runs
+
+__all__ = ["Fig6Point", "Fig6Result", "run_fig6", "DEFAULT_SIZES"]
+
+#: Candidate sizes of the paper's sweep (x-axis of Figure 6).
+DEFAULT_SIZES: tuple[int, ...] = (0, 8, 16, 32, 48, 64, 96, 128)
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One (policy, size) cell of Figure 6 (values normalised to size 0)."""
+
+    policy: str
+    size: int
+    p_max_ratio: float
+    overspend_ratio: float
+    performance: float
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """The full Figure 6 sweep."""
+
+    baseline: ExperimentResult
+    points: list[Fig6Point]
+
+    def series(self, policy: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(sizes, p_max_ratio, overspend_ratio)`` arrays for ``policy``."""
+        rows = sorted(
+            (p for p in self.points if p.policy == policy), key=lambda p: p.size
+        )
+        if not rows:
+            raise ConfigurationError(f"no points for policy {policy!r}")
+        return (
+            np.asarray([p.size for p in rows]),
+            np.asarray([p.p_max_ratio for p in rows]),
+            np.asarray([p.overspend_ratio for p in rows]),
+        )
+
+    def knee_size(self, policy: str, tolerance: float = 0.02) -> int:
+        """Smallest size whose ΔP×T ratio is within ``tolerance`` of the
+        best (largest-size) ratio — where adding candidates stops paying.
+        """
+        sizes, _, overspend = self.series(policy)
+        best = overspend[-1]
+        for size, value in zip(sizes, overspend):
+            if value <= best + tolerance:
+                return int(size)
+        return int(sizes[-1])
+
+
+def run_fig6(
+    config: ExperimentConfig,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    policies: tuple[str, ...] = ("mpc", "hri"),
+) -> Fig6Result:
+    """Run the Figure 6 sweep.
+
+    Size 0 is the unmanaged baseline (ratios exactly 1 by definition);
+    it is run once and shared across policies.
+    """
+    if 0 not in sizes:
+        sizes = (0,) + tuple(sizes)
+    baseline = run_experiment(config, None)
+    points: list[Fig6Point] = []
+    for policy in policies:
+        points.append(
+            Fig6Point(
+                policy=policy,
+                size=0,
+                p_max_ratio=1.0,
+                overspend_ratio=1.0,
+                performance=baseline.metrics.performance,
+            )
+        )
+        for size in sorted(s for s in sizes if s > 0):
+            cfg = replace(config, candidate_size=size)
+            result = run_experiment(cfg, policy)
+            comparison = compare_runs(result.metrics, baseline.metrics)
+            points.append(
+                Fig6Point(
+                    policy=policy,
+                    size=size,
+                    p_max_ratio=comparison.p_max_ratio,
+                    overspend_ratio=comparison.overspend_ratio,
+                    performance=comparison.performance,
+                )
+            )
+    return Fig6Result(baseline=baseline, points=points)

@@ -1,0 +1,95 @@
+"""Figure 7 and §V.D's headline numbers: the policy comparison.
+
+With all nodes in the candidate set, the paper reports (MPC and HRI):
+
+* system performance lost ≈ 2% under either policy;
+* maximal power reduced ≈ 10%;
+* ΔP×T reduced 73% (MPC) and 66% (HRI) — the metric that separates the
+  policies;
+* CPLJ(MPC) exceeds CPLJ(HRI) by ≈ 1.4 percentage points;
+* the capped system never enters the red state.
+
+This harness runs the unmanaged baseline plus one run per requested
+policy over the identical stream and reports exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.metrics.summary import compare_runs
+
+__all__ = ["PolicyOutcome", "Fig7Result", "run_fig7"]
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One policy's row of the Figure 7 comparison."""
+
+    policy: str
+    performance: float  #: Performance(cap); paper ≈ 0.98
+    performance_loss: float  #: 1 − performance; paper ≈ 0.02
+    cplj: int
+    cplj_fraction: float
+    p_max_ratio: float  #: capped/uncapped peak; paper ≈ 0.90
+    overspend_reduction: float  #: ΔP×T decrease; paper 0.73 / 0.66
+    entered_red: bool  #: paper: never
+    commands_sent: int
+    result: ExperimentResult
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The full policy comparison."""
+
+    baseline: ExperimentResult
+    outcomes: list[PolicyOutcome]
+
+    def outcome(self, policy: str) -> PolicyOutcome:
+        """The row for ``policy``.
+
+        Raises:
+            ConfigurationError: if the policy was not part of the run.
+        """
+        for row in self.outcomes:
+            if row.policy == policy:
+                return row
+        raise ConfigurationError(f"no outcome for policy {policy!r}")
+
+    def cplj_gap(self, a: str = "mpc", b: str = "hri") -> float:
+        """``CPLJ_a − CPLJ_b`` as a fraction of finished jobs (paper:
+        MPC beats HRI by ≈ 1.4%)."""
+        return self.outcome(a).cplj_fraction - self.outcome(b).cplj_fraction
+
+
+def run_fig7(
+    config: ExperimentConfig,
+    policies: tuple[str, ...] = ("mpc", "hri"),
+) -> Fig7Result:
+    """Run the Figure 7 comparison: baseline + one run per policy."""
+    baseline = run_experiment(config, None)
+    outcomes: list[PolicyOutcome] = []
+    for policy in policies:
+        result = run_experiment(config, policy)
+        comparison = compare_runs(result.metrics, baseline.metrics)
+        outcomes.append(
+            PolicyOutcome(
+                policy=policy,
+                performance=comparison.performance,
+                performance_loss=1.0 - comparison.performance,
+                cplj=result.metrics.cplj,
+                cplj_fraction=comparison.cplj_fraction,
+                p_max_ratio=comparison.p_max_ratio,
+                overspend_reduction=comparison.overspend_reduction,
+                entered_red=result.entered_red,
+                commands_sent=result.commands_sent,
+                result=result,
+            )
+        )
+    return Fig7Result(baseline=baseline, outcomes=outcomes)

@@ -1,0 +1,61 @@
+"""Metric library: the paper's four evaluation metrics plus the related-
+work metrics its §I.B surveys.
+
+Paper metrics (§V.C):
+
+* :func:`~repro.metrics.performance.performance_metric` —
+  ``Performance(cap) = (1/J) Σ T_j / T_cap,j`` over finished jobs;
+* :func:`~repro.metrics.performance.count_performance_lossless_jobs` —
+  CPLJ;
+* :func:`~repro.metrics.power.peak_power` — ``P_max``;
+* :func:`~repro.metrics.power.accumulated_overspend` — ``ΔP×T``, the
+  paper's new metric (ratio of over-threshold power-time integral to the
+  total power-time integral).
+
+Survey metrics (§I.B, for completeness of the library):
+``E×Dⁿ``, ``FLOPS/W`` (Green500), ``PUE``, and a TCO estimator.
+
+:mod:`repro.metrics.summary` bundles everything into per-run
+:class:`~repro.metrics.summary.RunMetrics` and baseline-normalised
+comparisons, which are what the figure harnesses print.
+"""
+
+from repro.metrics.efficiency import (
+    energy_delay_product,
+    flops_per_watt,
+    power_usage_effectiveness,
+    total_cost_of_ownership,
+)
+from repro.metrics.performance import (
+    count_performance_lossless_jobs,
+    mean_slowdown,
+    performance_metric,
+    per_application_performance,
+)
+from repro.metrics.power import (
+    accumulated_overspend,
+    average_power,
+    energy_joules,
+    peak_power,
+    time_fraction_above,
+)
+from repro.metrics.summary import RunComparison, RunMetrics, compare_runs
+
+__all__ = [
+    "RunComparison",
+    "RunMetrics",
+    "accumulated_overspend",
+    "average_power",
+    "compare_runs",
+    "count_performance_lossless_jobs",
+    "energy_delay_product",
+    "energy_joules",
+    "flops_per_watt",
+    "mean_slowdown",
+    "peak_power",
+    "per_application_performance",
+    "performance_metric",
+    "power_usage_effectiveness",
+    "time_fraction_above",
+    "total_cost_of_ownership",
+]

@@ -1,0 +1,80 @@
+"""Survey metrics from §I.B: E×Dⁿ, FLOPS/W, PUE, TCO.
+
+The paper reviews these as the established power/energy metrics that
+motivate its new ΔP×T (they "focus on the energy efficiency … but neglect
+the effect of power overload").  The library ships them so experiment
+reports can show both families side by side.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MetricError
+
+__all__ = [
+    "energy_delay_product",
+    "flops_per_watt",
+    "power_usage_effectiveness",
+    "total_cost_of_ownership",
+]
+
+
+def energy_delay_product(energy_j: float, delay_s: float, n: int = 1) -> float:
+    """``E × Dⁿ`` (Penzes & Martin): energy-performance trade-off.
+
+    Args:
+        energy_j: Energy consumed, joules.
+        delay_s: Execution time, seconds.
+        n: Delay exponent (n=1 classic EDP, n=2 ED²P, …).
+    """
+    if energy_j < 0:
+        raise MetricError("energy must be non-negative")
+    if delay_s <= 0:
+        raise MetricError("delay must be positive")
+    if n < 0:
+        raise MetricError("exponent must be non-negative")
+    return energy_j * delay_s**n
+
+
+def flops_per_watt(flops: float, average_power_w: float) -> float:
+    """``FLOPS/W`` (the Green500 measure).
+
+    Args:
+        flops: Sustained floating-point operations per second.
+        average_power_w: Average power over the measurement, watts.
+    """
+    if flops < 0:
+        raise MetricError("flops must be non-negative")
+    if average_power_w <= 0:
+        raise MetricError("power must be positive")
+    return flops / average_power_w
+
+
+def power_usage_effectiveness(
+    total_facility_power_w: float, it_equipment_power_w: float
+) -> float:
+    """``PUE`` (The Green Grid): facility power over IT power, ≥ 1.
+
+    A PUE of 1.7 matches the paper's LLNL example (0.7 W of cooling per
+    1.0 W of computing).
+    """
+    if it_equipment_power_w <= 0:
+        raise MetricError("IT power must be positive")
+    if total_facility_power_w < it_equipment_power_w:
+        raise MetricError("facility power cannot be below IT power")
+    return total_facility_power_w / it_equipment_power_w
+
+
+def total_cost_of_ownership(
+    construction_cost: float,
+    energy_kwh: float,
+    price_per_kwh: float,
+    maintenance_cost: float = 0.0,
+) -> float:
+    """A simple ``TCO`` estimator: construction + energy + maintenance.
+
+    Units are whatever currency the inputs use; the energy term is
+    ``energy_kwh × price_per_kwh``.
+    """
+    if min(construction_cost, energy_kwh, price_per_kwh, maintenance_cost) < 0:
+        raise MetricError("cost components must be non-negative")
+    return construction_cost + energy_kwh * price_per_kwh + maintenance_cost

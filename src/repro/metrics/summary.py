@@ -1,0 +1,134 @@
+"""Per-run metric bundles and baseline-normalised comparisons.
+
+:class:`RunMetrics` evaluates every §V.C metric for one experiment run
+(a power trace + the finished jobs + the overspend threshold);
+:func:`compare_runs` produces the normalised view the paper's Figures 6
+and 7 plot — capped values divided by the unmanaged baseline's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.performance import (
+    count_performance_lossless_jobs,
+    performance_metric,
+)
+from repro.metrics.power import (
+    accumulated_overspend,
+    average_power,
+    energy_joules,
+    peak_power,
+)
+from repro.workload.job import Job, JobState
+
+__all__ = ["RunMetrics", "RunComparison", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """All §V.C metrics of one run.
+
+    Attributes:
+        label: Run label ("uncapped", "mpc", …).
+        performance: ``Performance(cap)`` (1.0 = lossless).
+        cplj: Count of performance-lossless jobs.
+        finished_jobs: Number of finished jobs (CPLJ's denominator).
+        p_max_w: Observed peak power, watts.
+        avg_power_w: Time-weighted average power, watts.
+        energy_j: Total energy over the run, joules.
+        overspend: ΔP×T against the provision threshold.
+        threshold_w: The ``P_th`` used for ΔP×T, watts.
+    """
+
+    label: str
+    performance: float
+    cplj: int
+    finished_jobs: int
+    p_max_w: float
+    avg_power_w: float
+    energy_j: float
+    overspend: float
+    threshold_w: float
+
+    @property
+    def cplj_fraction(self) -> float:
+        """CPLJ as a fraction of finished jobs."""
+        if self.finished_jobs == 0:
+            raise MetricError("no finished jobs")
+        return self.cplj / self.finished_jobs
+
+    @classmethod
+    def evaluate(
+        cls,
+        label: str,
+        times: np.ndarray,
+        power_w: np.ndarray,
+        jobs: Sequence[Job],
+        threshold_w: float,
+    ) -> "RunMetrics":
+        """Evaluate every metric from raw run artifacts."""
+        finished = [j for j in jobs if j.state is JobState.FINISHED]
+        return cls(
+            label=label,
+            performance=performance_metric(finished),
+            cplj=count_performance_lossless_jobs(finished),
+            finished_jobs=len(finished),
+            p_max_w=peak_power(times, power_w),
+            avg_power_w=average_power(times, power_w),
+            energy_j=energy_joules(times, power_w),
+            overspend=accumulated_overspend(times, power_w, threshold_w),
+            threshold_w=threshold_w,
+        )
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """A capped run normalised against an unmanaged baseline.
+
+    ``*_ratio`` fields are capped/baseline (1.0 = unchanged);
+    ``overspend_reduction`` is the fractional *decrease* of ΔP×T
+    (0.73 reproduces the paper's "MPC reduced ΔP×T … by 73%").
+    """
+
+    capped: RunMetrics
+    baseline: RunMetrics
+    p_max_ratio: float
+    energy_ratio: float
+    overspend_ratio: float
+    overspend_reduction: float
+    performance: float
+    cplj_fraction: float
+
+
+def compare_runs(capped: RunMetrics, baseline: RunMetrics) -> RunComparison:
+    """Normalise a capped run against its unmanaged baseline.
+
+    Raises:
+        MetricError: if the runs used different ΔP×T thresholds (the
+            comparison would be meaningless).
+    """
+    if abs(capped.threshold_w - baseline.threshold_w) > 1e-9 * max(
+        capped.threshold_w, 1.0
+    ):
+        raise MetricError("runs evaluated against different thresholds")
+    if baseline.p_max_w <= 0 or baseline.energy_j <= 0:
+        raise MetricError("degenerate baseline")
+    if baseline.overspend > 0:
+        ratio = capped.overspend / baseline.overspend
+    else:
+        ratio = 1.0 if capped.overspend == 0 else float("inf")
+    return RunComparison(
+        capped=capped,
+        baseline=baseline,
+        p_max_ratio=capped.p_max_w / baseline.p_max_w,
+        energy_ratio=capped.energy_j / baseline.energy_j,
+        overspend_ratio=ratio,
+        overspend_reduction=1.0 - ratio,
+        performance=capped.performance,
+        cplj_fraction=capped.cplj_fraction,
+    )

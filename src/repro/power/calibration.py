@@ -1,0 +1,227 @@
+"""Least-squares calibration of the Formula (1) coefficient tables.
+
+On the real machine the per-level coefficients ``P_idle(l)``,
+``P_cpu(l)``, ``P_mem(l)``, ``P_NIC(l)`` are not datasheet constants —
+they are fitted from measurements: run the node at known operating
+points, read a power meter, and regress.  This module implements that
+workflow so a deployment of the architecture can calibrate its profile
+model against its own hardware:
+
+1. collect :class:`CalibrationSample` observations
+   ``(level, cpu_util, mem_frac, nic_frac, measured_power)``;
+2. :func:`fit_power_tables` solves, per DVFS level, the linear system
+   ``P = β₀ + β₁·u + β₂·m + β₃·d`` by ordinary least squares
+   (``numpy.linalg.lstsq``) — Formula (1) *is* linear in its
+   coefficients at fixed level;
+3. the result is a :class:`FittedPowerTables` exposing the same
+   ``evaluate`` interface as :class:`~repro.power.model.PowerModel`,
+   plus per-level fit diagnostics (RMSE, sample counts).
+
+:func:`synthesize_samples` produces measurement campaigns against a
+ground-truth model with configurable meter noise — used by the tests to
+verify coefficient recovery and by examples to demonstrate the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PowerManagementError
+from repro.power.model import PowerModel
+
+__all__ = [
+    "CalibrationSample",
+    "FittedPowerTables",
+    "fit_power_tables",
+    "synthesize_samples",
+]
+
+#: Minimum samples per level for a well-posed 4-coefficient fit.
+MIN_SAMPLES_PER_LEVEL = 8
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One measured operating point of one node."""
+
+    level: int
+    cpu_util: float
+    mem_frac: float
+    nic_frac: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ConfigurationError("negative DVFS level in sample")
+        for name in ("cpu_util", "mem_frac", "nic_frac"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"sample {name} outside [0, 1]")
+        if self.power_w < 0:
+            raise ConfigurationError("negative measured power")
+
+
+class FittedPowerTables:
+    """Per-level Formula (1) coefficients recovered from measurements.
+
+    Attributes:
+        idle_w: ``P_idle(l)`` estimates, shape (L,).
+        cpu_w: ``P_cpu(l)`` (total CPU dynamic) estimates, shape (L,).
+        mem_w: ``P_mem(l)`` estimates, shape (L,).
+        nic_w: ``P_NIC(l)`` estimates, shape (L,).
+        rmse_w: Per-level root-mean-square residual of the fit.
+        samples: Per-level sample counts.
+    """
+
+    def __init__(
+        self,
+        idle_w: np.ndarray,
+        cpu_w: np.ndarray,
+        mem_w: np.ndarray,
+        nic_w: np.ndarray,
+        rmse_w: np.ndarray,
+        samples: np.ndarray,
+    ) -> None:
+        self.idle_w = idle_w
+        self.cpu_w = cpu_w
+        self.mem_w = mem_w
+        self.nic_w = nic_w
+        self.rmse_w = rmse_w
+        self.samples = samples
+
+    @property
+    def num_levels(self) -> int:
+        """Number of fitted levels."""
+        return len(self.idle_w)
+
+    def evaluate(
+        self,
+        level: int | np.ndarray,
+        cpu_util: float | np.ndarray,
+        mem_frac: float | np.ndarray,
+        nic_frac: float | np.ndarray,
+    ) -> float | np.ndarray:
+        """Apply the fitted Formula (1) (same contract as ``PowerModel``)."""
+        lv = np.asarray(level, dtype=np.int64)
+        if lv.size and (lv.min() < 0 or lv.max() >= self.num_levels):
+            raise PowerManagementError("level outside the fitted table")
+        power = (
+            self.idle_w[lv]
+            + np.asarray(cpu_util) * self.cpu_w[lv]
+            + np.asarray(mem_frac) * self.mem_w[lv]
+            + np.asarray(nic_frac) * self.nic_w[lv]
+        )
+        if np.ndim(power) == 0:
+            return float(power)
+        return power
+
+    def max_error_against(self, model: PowerModel) -> float:
+        """Largest absolute coefficient error vs a reference model, watts.
+
+        Used by tests and calibration reports to quantify recovery.
+        """
+        spec = model.spec
+        if spec.num_levels != self.num_levels:
+            raise PowerManagementError("level-count mismatch")
+        return float(
+            max(
+                np.abs(self.idle_w - spec.idle_power_per_level).max(),
+                np.abs(self.cpu_w - spec.cpu_dynamic_per_level).max(),
+                np.abs(self.mem_w - spec.mem_dynamic_per_level).max(),
+                np.abs(self.nic_w - spec.nic_dynamic_per_level).max(),
+            )
+        )
+
+
+def fit_power_tables(
+    samples: Iterable[CalibrationSample], num_levels: int
+) -> FittedPowerTables:
+    """Fit per-level Formula (1) coefficients by ordinary least squares.
+
+    Args:
+        samples: Measurement campaign; every level in ``range(num_levels)``
+            needs at least :data:`MIN_SAMPLES_PER_LEVEL` samples with
+            non-degenerate load variation.
+        num_levels: Number of DVFS levels to fit.
+
+    Raises:
+        ConfigurationError: on missing levels or underdetermined fits.
+    """
+    if num_levels < 1:
+        raise ConfigurationError("num_levels must be >= 1")
+    by_level: dict[int, list[CalibrationSample]] = {l: [] for l in range(num_levels)}
+    for sample in samples:
+        if sample.level >= num_levels:
+            raise ConfigurationError(
+                f"sample at level {sample.level} beyond num_levels={num_levels}"
+            )
+        by_level[sample.level].append(sample)
+
+    idle = np.empty(num_levels)
+    cpu = np.empty(num_levels)
+    mem = np.empty(num_levels)
+    nic = np.empty(num_levels)
+    rmse = np.empty(num_levels)
+    counts = np.empty(num_levels, dtype=np.int64)
+    for level, rows in by_level.items():
+        if len(rows) < MIN_SAMPLES_PER_LEVEL:
+            raise ConfigurationError(
+                f"level {level} has {len(rows)} samples; "
+                f"needs >= {MIN_SAMPLES_PER_LEVEL}"
+            )
+        design = np.array(
+            [[1.0, r.cpu_util, r.mem_frac, r.nic_frac] for r in rows]
+        )
+        target = np.array([r.power_w for r in rows])
+        if np.linalg.matrix_rank(design) < 4:
+            raise ConfigurationError(
+                f"level {level}: degenerate load variation (rank < 4); vary "
+                "cpu/mem/nic independently across the campaign"
+            )
+        beta, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+        residual = target - design @ beta
+        idle[level], cpu[level], mem[level], nic[level] = beta
+        rmse[level] = float(np.sqrt(np.mean(residual**2)))
+        counts[level] = len(rows)
+    return FittedPowerTables(idle, cpu, mem, nic, rmse, counts)
+
+
+def synthesize_samples(
+    model: PowerModel,
+    rng: np.random.Generator,
+    samples_per_level: int = 32,
+    noise_std_w: float = 0.0,
+) -> list[CalibrationSample]:
+    """Generate a synthetic measurement campaign against ``model``.
+
+    Operating points are drawn uniformly over the unit cube of
+    (cpu, mem, nic); optional gaussian meter noise is added to the true
+    power (floored at zero).
+    """
+    if samples_per_level < MIN_SAMPLES_PER_LEVEL:
+        raise ConfigurationError(
+            f"samples_per_level must be >= {MIN_SAMPLES_PER_LEVEL}"
+        )
+    if noise_std_w < 0:
+        raise ConfigurationError("noise_std_w must be non-negative")
+    campaign: list[CalibrationSample] = []
+    for level in range(model.spec.num_levels):
+        loads = rng.random((samples_per_level, 3))
+        for u, m, d in loads:
+            true_power = float(model.evaluate(level, u, m, d))
+            measured = true_power
+            if noise_std_w > 0:
+                measured = max(0.0, true_power + rng.normal(0.0, noise_std_w))
+            campaign.append(
+                CalibrationSample(
+                    level=level,
+                    cpu_util=float(u),
+                    mem_frac=float(m),
+                    nic_frac=float(d),
+                    power_w=measured,
+                )
+            )
+    return campaign

@@ -1,0 +1,93 @@
+"""FIFO job queue.
+
+Plain first-come-first-served ordering, as in the paper's evaluation
+harness.  The queue refuses duplicate job objects and only accepts
+PENDING jobs, which catches scheduler bookkeeping bugs early.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.errors import SchedulingError
+from repro.workload.job import Job, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """A FIFO queue of pending jobs."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Job] = deque()
+        self._ids: set[int] = set()
+        self._total_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Job]:
+        """Iterate queued jobs head-first (inspection only)."""
+        return iter(self._queue)
+
+    @property
+    def total_enqueued(self) -> int:
+        """Jobs ever pushed (queue throughput counter)."""
+        return self._total_enqueued
+
+    def push(self, job: Job) -> None:
+        """Append a PENDING job to the tail.
+
+        Raises:
+            SchedulingError: for non-pending jobs or duplicates.
+        """
+        if job.state is not JobState.PENDING:
+            raise SchedulingError(
+                f"job {job.job_id} is {job.state.value}, cannot enqueue"
+            )
+        if job.job_id in self._ids:
+            raise SchedulingError(f"job {job.job_id} enqueued twice")
+        self._queue.append(job)
+        self._ids.add(job.job_id)
+        self._total_enqueued += 1
+
+    def peek(self) -> Job:
+        """The head job without removing it.
+
+        Raises:
+            SchedulingError: on an empty queue.
+        """
+        if not self._queue:
+            raise SchedulingError("peek into an empty job queue")
+        return self._queue[0]
+
+    def pop(self) -> Job:
+        """Remove and return the head job.
+
+        Raises:
+            SchedulingError: on an empty queue.
+        """
+        if not self._queue:
+            raise SchedulingError("pop from an empty job queue")
+        job = self._queue.popleft()
+        self._ids.discard(job.job_id)
+        return job
+
+    def remove(self, job_id: int) -> Job:
+        """Remove a job from anywhere in the queue (backfill support).
+
+        Raises:
+            SchedulingError: if no queued job has ``job_id``.
+        """
+        if job_id not in self._ids:
+            raise SchedulingError(f"job {job_id} is not queued")
+        for index, job in enumerate(self._queue):
+            if job.job_id == job_id:
+                del self._queue[index]
+                self._ids.discard(job_id)
+                return job
+        raise SchedulingError(f"job {job_id} missing despite index")  # pragma: no cover

@@ -1,0 +1,166 @@
+"""The tick-driven batch scheduler.
+
+:class:`BatchScheduler` owns the job lifecycle: it polls its feeder for
+arrivals, starts queued jobs FCFS as soon as enough whole nodes are idle,
+advances running jobs through the :class:`~repro.workload.executor.JobExecutor`,
+and retires completions (releasing their nodes).  It is driven by a single
+``tick(now, dt)`` call per control interval, normally wired to a
+:class:`~repro.sim.process.PeriodicTask` by the experiment harness.
+
+Ordering within one tick matters and is fixed as:
+
+1. **advance** running jobs by ``dt`` (work happens during the interval
+   that just elapsed);
+2. **retire** jobs that finished during the interval (their nodes become
+   idle at the tick boundary);
+3. **poll** the feeder (the §V.C rule tops the queue up *after* it may
+   have been emptied by starts in the previous tick);
+4. **start** queued jobs FCFS while the head job fits.
+
+Strict FCFS (no backfill) matches the paper's minimal launcher; a head
+job too big for the currently idle nodes blocks the queue until
+completions free enough nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import SchedulingError
+from repro.scheduler.allocator import NodeAllocator
+from repro.scheduler.feeder import Feeder
+from repro.scheduler.queue import JobQueue
+from repro.workload.executor import JobExecutor
+from repro.workload.job import Job, JobState
+
+__all__ = ["BatchScheduler"]
+
+
+class BatchScheduler:
+    """FCFS whole-node scheduler over a simulated cluster.
+
+    Args:
+        cluster: The machine.
+        executor: Advances running jobs and writes their load.
+        feeder: Supplies arrivals (see :mod:`repro.scheduler.feeder`).
+    """
+
+    def __init__(
+        self, cluster: Cluster, executor: JobExecutor, feeder: Feeder
+    ) -> None:
+        self._cluster = cluster
+        self._executor = executor
+        self._feeder = feeder
+        self._allocator = NodeAllocator(cluster)
+        self._queue = JobQueue()
+        self._running: dict[int, Job] = {}
+        self._finished: list[Job] = []
+        self._started_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue(self) -> JobQueue:
+        """The pending-job queue."""
+        return self._queue
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        """Currently running jobs (insertion order)."""
+        return list(self._running.values())
+
+    @property
+    def finished_jobs(self) -> list[Job]:
+        """Jobs completed so far, in completion order."""
+        return list(self._finished)
+
+    @property
+    def started_count(self) -> int:
+        """Number of jobs ever started."""
+        return self._started_count
+
+    def job_nodes(self, job_id: int) -> np.ndarray:
+        """Nodes of a running job.
+
+        Raises:
+            SchedulingError: if the job is not running.
+        """
+        job = self._running.get(job_id)
+        if job is None:
+            raise SchedulingError(f"job {job_id} is not running")
+        return job.nodes
+
+    def running_job(self, job_id: int) -> Job:
+        """The running job with ``job_id``.
+
+        Raises:
+            SchedulingError: if the job is not running.
+        """
+        job = self._running.get(job_id)
+        if job is None:
+            raise SchedulingError(f"job {job_id} is not running")
+        return job
+
+    def idle(self) -> bool:
+        """True when nothing is queued or running and the feeder is dry."""
+        return (
+            not self._queue and not self._running and self._feeder.exhausted()
+        )
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def tick(self, now: float, dt: float) -> list[Job]:
+        """Run one scheduling interval ending at ``now``.
+
+        Args:
+            now: Simulated time at the *end* of the interval (the tick
+                instant); work advanced during ``[now - dt, now]``.
+            dt: Interval length, seconds.
+
+        Returns:
+            Jobs that finished during this interval.
+        """
+        finished_now = self._advance_and_retire(now, dt)
+        self._feeder.poll(now, self._queue)
+        self._start_fcfs(now)
+        return finished_now
+
+    def _advance_and_retire(self, now: float, dt: float) -> list[Job]:
+        notices = self._executor.advance(
+            list(self._running.values()), now - dt, dt
+        )
+        finished_now: list[Job] = []
+        for notice in notices:
+            job = notice.job
+            job.finish(notice.finish_time)
+            self._cluster.state.release_job(job.nodes)
+            del self._running[job.job_id]
+            self._finished.append(job)
+            finished_now.append(job)
+        return finished_now
+
+    def _start_fcfs(self, now: float) -> None:
+        while self._queue:
+            head = self._queue.peek()
+            nodes = self._allocator.try_allocate(head.nprocs)
+            if nodes is None:
+                break  # strict FCFS: the head blocks the queue
+            job = self._queue.pop()
+            self._cluster.state.assign_job(nodes, job.job_id)
+            job.start(now, nodes)
+            self._running[job.job_id] = job
+            self._started_count += 1
+            # §V.C: the queue is refilled the moment it empties, so a
+            # start that drained it triggers an immediate top-up (the new
+            # job may itself start this very tick if nodes remain).
+            self._feeder.poll(now, self._queue)
+
+    # ------------------------------------------------------------------
+    # Job-state transitions for power management
+    # ------------------------------------------------------------------
+    def all_jobs(self) -> list[Job]:
+        """Every job known: queued + running + finished."""
+        return list(self._queue) + list(self._running.values()) + self._finished

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, deterministic event-driven core used by every other
+subsystem:
+
+* :mod:`repro.sim.events` — the event record and the priority queue;
+* :mod:`repro.sim.engine` — the simulation clock and run loop;
+* :mod:`repro.sim.process` — periodic tasks and one-shot timers built on
+  top of the engine (the power-management control cycle is a periodic
+  task, as are telemetry sampling and job-phase advancement);
+* :mod:`repro.sim.random` — reproducible random-stream management.
+
+Determinism contract: two engines driven by the same callbacks, the same
+seeds and the same schedule produce bit-identical traces.  Ties in event
+time are broken by insertion order (FIFO), never by callback identity.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import OneShotTimer, PeriodicTask
+from repro.sim.random import RandomSource
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "PeriodicTask",
+    "OneShotTimer",
+    "RandomSource",
+]

@@ -1,0 +1,163 @@
+"""The simulation engine: clock, scheduling API and run loop.
+
+The engine owns one :class:`~repro.sim.events.EventQueue` and a monotone
+clock.  Everything else in the library — job arrivals, phase transitions,
+telemetry sampling, the power-management control cycle — is expressed as
+events against a single engine instance, which is what makes whole runs
+deterministic and replayable.
+
+Typical use::
+
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda: print("five seconds in"))
+    engine.run(until=3600.0)
+
+The run loop advances the clock to each event's timestamp before invoking
+its callback; callbacks may schedule further events (including at the
+current instant, which fire in FIFO order after the current callback
+returns).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Deterministic single-threaded discrete-event engine.
+
+    Attributes:
+        now: Current simulated time, seconds.  Starts at ``start_time``
+            (default 0) and only moves forward.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if start_time < 0.0:
+            raise SimulationError("start_time must be non-negative")
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks invoked since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after currently
+        pending same-time events (FIFO).
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, label)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        return self._queue.push(time, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Event:
+        """Process exactly one event: advance the clock, run the callback.
+
+        Returns the event that fired.
+
+        Raises:
+            SimulationError: if no live events are pending.
+        """
+        event = self._queue.pop()
+        self._now = event.time
+        self._events_processed += 1
+        event.callback()
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the event loop.
+
+        Args:
+            until: Stop once the clock would pass this time.  Events at
+                exactly ``until`` still fire; the clock is then advanced to
+                ``until`` even if the last event fired earlier, so that a
+                bounded run always ends with ``now == until``.
+            max_events: Optional safety bound on the number of callbacks.
+
+        Returns:
+            The number of events processed by this call.
+
+        Raises:
+            SimulationError: on re-entrant invocation (a callback calling
+                ``run``) or when neither bound is given and the queue
+                drains to empty (which is the normal exit) — draining is
+                *not* an error; only re-entry is.
+        """
+        if self._running:
+            raise SimulationError("re-entrant SimulationEngine.run() call")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is before current time {self._now}"
+            )
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def run_until_idle(self, max_events: int | None = None) -> int:
+        """Run until the event queue is empty (or ``max_events`` reached)."""
+        return self.run(until=None, max_events=max_events)
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock.
+
+        Intended for reusing one engine across repeated benchmark
+        iterations; ordinary code should build a fresh engine per run.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self._queue.clear()
+        self._now = float(start_time)
+        self._events_processed = 0

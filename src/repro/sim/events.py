@@ -1,0 +1,153 @@
+"""Event record and priority queue for the simulation kernel.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
+number is assigned at insertion, which gives two guarantees the rest of the
+library relies on:
+
+1. **Deterministic tie-breaking** — events scheduled for the same instant
+   fire in insertion (FIFO) order, independent of callback identity or hash
+   randomisation.
+2. **Stable cancellation** — cancelling an event marks it dead in place
+   (O(1)); dead entries are skipped lazily on pop, the standard heapq
+   cancellation idiom.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.push` (or the engine's
+    ``schedule``/``schedule_at`` wrappers), never directly by user code.
+
+    Attributes:
+        time: Simulated time at which the callback fires, seconds.
+        seq: Insertion sequence number; orders simultaneous events.
+        callback: Zero-argument callable invoked by the engine.
+        label: Optional human-readable tag used in traces and error messages.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._queue: "EventQueue | None" = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue will skip it on pop.
+
+        Cancelling an already-cancelled or already-fired event is a no-op,
+        so holders of an event handle never need to track whether it ran.
+        """
+        if self._queue is not None:
+            self._queue.cancel(self)
+        else:
+            self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.6g}{tag} #{self.seq} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` keyed by ``(time, seq)``.
+
+    The queue never reorders equal-time events and never compacts eagerly:
+    cancelled events stay in the heap until they surface, keeping both
+    ``push`` and ``cancel`` O(log n) / O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Returns the event handle, which the caller may :meth:`Event.cancel`.
+        """
+        if not (time == time):  # NaN guard; NaN breaks heap invariants
+            raise SimulationError("event time must not be NaN")
+        event = Event(time, next(self._counter), callback, label)
+        event._queue = self
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event._cancelled:
+                self._live -= 1
+                event._queue = None  # fired: later cancel() is a no-op flag
+                return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> float:
+        """Time of the earliest live event without removing it.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        while self._heap and self._heap[0]._cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise SimulationError("peek into an empty event queue")
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` if it is still pending (idempotent)."""
+        if not event._cancelled and event._queue is self:
+            event._cancelled = True
+            event._queue = None
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate live events in an unspecified order (inspection only)."""
+        return (e for e in self._heap if not e._cancelled)

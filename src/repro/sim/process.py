@@ -1,0 +1,155 @@
+"""Periodic tasks and one-shot timers layered on the simulation engine.
+
+The power-management architecture in the paper is built from periodic
+activities: telemetry agents sample node state every τ seconds, the global
+manager runs a control cycle every cycle period, and threshold adjustment
+happens every ``t_p`` control cycles.  :class:`PeriodicTask` captures that
+pattern once so every subsystem gets identical semantics:
+
+* the first firing happens at ``start_delay`` after :meth:`PeriodicTask.start`;
+* subsequent firings are spaced exactly ``period`` apart in simulated time
+  (fixed-rate, no drift accumulation — each next event is scheduled from
+  the *nominal* previous time, not from when the callback actually ran,
+  which for a discrete-event simulator are the same thing);
+* :meth:`PeriodicTask.stop` cancels the pending firing and prevents
+  rescheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event
+
+__all__ = ["PeriodicTask", "OneShotTimer"]
+
+
+class PeriodicTask:
+    """Fire ``callback(fire_count)`` every ``period`` simulated seconds.
+
+    Args:
+        engine: The engine that drives the task.
+        period: Spacing between firings, seconds; must be positive.
+        callback: Called with the 0-based firing index.
+        label: Tag used for the underlying events (traces, debugging).
+        start_delay: Delay before the first firing once started; defaults
+            to one full period (i.e. the first sample happens at t=τ, not
+            t=0, matching how a sampling interval is usually defined).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        period: float,
+        callback: Callable[[int], Any],
+        label: str = "periodic",
+        start_delay: float | None = None,
+    ) -> None:
+        if period <= 0.0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._engine = engine
+        self._period = float(period)
+        self._callback = callback
+        self._label = label
+        self._start_delay = period if start_delay is None else float(start_delay)
+        if self._start_delay < 0.0:
+            raise SimulationError("start_delay must be non-negative")
+        self._pending: Event | None = None
+        self._fire_count = 0
+        self._active = False
+
+    @property
+    def period(self) -> float:
+        """Firing period, seconds."""
+        return self._period
+
+    @property
+    def fire_count(self) -> int:
+        """Number of completed firings."""
+        return self._fire_count
+
+    @property
+    def active(self) -> bool:
+        """Whether the task is currently scheduled to keep firing."""
+        return self._active
+
+    def start(self) -> None:
+        """Begin firing.  Idempotent: starting an active task is a no-op."""
+        if self._active:
+            return
+        self._active = True
+        self._pending = self._engine.schedule(
+            self._start_delay, self._fire, label=self._label
+        )
+
+    def stop(self) -> None:
+        """Stop firing.  Idempotent.  A stopped task can be started again."""
+        self._active = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        if not self._active:  # stopped between scheduling and firing
+            return
+        index = self._fire_count
+        self._fire_count += 1
+        # Schedule the next firing *before* running the callback so the
+        # callback can stop() the task and reliably suppress it.
+        self._pending = self._engine.schedule(
+            self._period, self._fire, label=self._label
+        )
+        self._callback(index)
+
+
+class OneShotTimer:
+    """Fire ``callback()`` once, ``delay`` seconds after :meth:`start`.
+
+    A tiny convenience wrapper that also tracks whether it fired, which the
+    capping algorithm's steady-green bookkeeping uses in tests.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        delay: float,
+        callback: Callable[[], Any],
+        label: str = "timer",
+    ) -> None:
+        if delay < 0.0:
+            raise SimulationError("delay must be non-negative")
+        self._engine = engine
+        self._delay = float(delay)
+        self._callback = callback
+        self._label = label
+        self._pending: Event | None = None
+        self._fired = False
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed but has not fired."""
+        return self._pending is not None and not self._pending.cancelled
+
+    def start(self) -> None:
+        """Arm the timer.  Restarting an armed timer resets its deadline."""
+        self.cancel()
+        self._fired = False
+        self._pending = self._engine.schedule(self._delay, self._fire, self._label)
+
+    def cancel(self) -> None:
+        """Disarm without firing (no-op if not armed)."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        self._pending = None
+        self._fired = True
+        self._callback()

@@ -1,0 +1,33 @@
+"""Monitoring substrate: profiling agents, the central collector, and the
+management-cost model behind the paper's Figure 5.
+
+The architecture deploys "a profiling agent to each node in the candidate
+set" (§II.C); the global power manager periodically collects every agent's
+sample and estimates per-node and per-job power.  We expose both views:
+
+* :class:`~repro.telemetry.agent.ProfilingAgent` — the per-node object
+  the paper describes (reads one node's ``/proc``-equivalent state);
+* :class:`~repro.telemetry.collector.TelemetryCollector` — the central
+  collection step, which samples *all* candidate agents in one vectorised
+  snapshot and charges the management-cost model;
+* :class:`~repro.telemetry.cost.ManagementCostModel` — the CPU cost of
+  central monitoring as a function of candidate-set size, the quantity
+  Figure 5 plots to argue that monitoring must be restricted to a subset;
+* :class:`~repro.telemetry.recorder.TimeSeriesRecorder` — lightweight
+  append-only recording of power/metric series for post-processing.
+"""
+
+from repro.telemetry.agent import AgentPool, NodeSample, ProfilingAgent
+from repro.telemetry.collector import TelemetryCollector, TelemetrySnapshot
+from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.recorder import TimeSeriesRecorder
+
+__all__ = [
+    "AgentPool",
+    "ManagementCostModel",
+    "NodeSample",
+    "ProfilingAgent",
+    "TelemetryCollector",
+    "TelemetrySnapshot",
+    "TimeSeriesRecorder",
+]

@@ -1,0 +1,148 @@
+"""Per-node profiling agents.
+
+On the real machine each agent reads ``Uti_cpu``, ``Mem_used``,
+``Mem_total`` from the Linux ``/proc`` interface and ``Data_NIC`` from the
+Tianhe-1A communication chipset's log (§V.A).  Here an agent reads the
+same four operating-point quantities from the simulated cluster state.
+
+Two access paths are provided:
+
+* :class:`ProfilingAgent` — the one-node object of the paper's
+  description, returning a :class:`NodeSample`; convenient in examples
+  and tests;
+* :class:`AgentPool` — samples many agents in one vectorised operation;
+  this is what the central collector uses, since per-cycle Python loops
+  over 128 agents would dominate simulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.errors import TelemetryError
+
+__all__ = ["NodeSample", "ProfilingAgent", "AgentPool"]
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """One agent's reading of its node's operating point.
+
+    Attributes mirror the inputs of Formula (1) plus identity/occupancy.
+    """
+
+    node_id: int
+    time: float
+    level: int
+    cpu_util: float
+    mem_frac: float
+    nic_frac: float
+    job_id: int  #: -1 when the node is idle
+
+
+class ProfilingAgent:
+    """The paper's per-node profiling agent.
+
+    Args:
+        state: The cluster state the agent's node lives in.
+        node_id: The node this agent is deployed on.
+    """
+
+    def __init__(self, state: ClusterState, node_id: int) -> None:
+        if not 0 <= node_id < state.num_nodes:
+            raise TelemetryError(f"no node {node_id} to deploy an agent on")
+        self._state = state
+        self._node_id = int(node_id)
+        self._samples_taken = 0
+        self._last_sample: NodeSample | None = None
+
+    @property
+    def node_id(self) -> int:
+        """The node this agent profiles."""
+        return self._node_id
+
+    @property
+    def samples_taken(self) -> int:
+        """Number of samples this agent has produced."""
+        return self._samples_taken
+
+    @property
+    def last_sample(self) -> NodeSample | None:
+        """Most recent sample (None before the first)."""
+        return self._last_sample
+
+    def sample(self, now: float) -> NodeSample:
+        """Read the node's current operating point."""
+        i = self._node_id
+        s = self._state
+        reading = NodeSample(
+            node_id=i,
+            time=float(now),
+            level=int(s.level[i]),
+            cpu_util=float(s.cpu_util[i]),
+            mem_frac=float(s.mem_frac[i]),
+            nic_frac=float(s.nic_frac[i]),
+            job_id=int(s.job_id[i]),
+        )
+        self._samples_taken += 1
+        self._last_sample = reading
+        return reading
+
+
+class AgentPool:
+    """Vectorised sampling of a set of agents (one per candidate node).
+
+    Args:
+        state: The cluster state.
+        node_ids: The candidate nodes agents are deployed on.
+    """
+
+    def __init__(self, state: ClusterState, node_ids: np.ndarray) -> None:
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= state.num_nodes):
+            raise TelemetryError("agent node id out of range")
+        if len(np.unique(ids)) != len(ids):
+            raise TelemetryError("duplicate agent node ids")
+        self._state = state
+        self._node_ids = ids.copy()
+        self._node_ids.setflags(write=False)
+        self._samples_taken = 0
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        """The monitored nodes (read-only view)."""
+        return self._node_ids
+
+    @property
+    def size(self) -> int:
+        """Number of deployed agents."""
+        return len(self._node_ids)
+
+    @property
+    def samples_taken(self) -> int:
+        """Number of pool-wide sampling sweeps performed."""
+        return self._samples_taken
+
+    def sample_arrays(
+        self, now: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample every agent at once.
+
+        Returns:
+            ``(level, cpu_util, mem_frac, nic_frac, job_id)`` arrays, one
+            entry per monitored node in ``node_ids`` order.  Arrays are
+            copies — the snapshot stays valid after the state mutates.
+        """
+        ids = self._node_ids
+        s = self._state
+        self._samples_taken += 1
+        return (
+            s.level[ids].copy(),
+            s.cpu_util[ids].copy(),
+            s.mem_frac[ids].copy(),
+            s.nic_frac[ids].copy(),
+            s.job_id[ids].copy(),
+        )

@@ -1,0 +1,160 @@
+"""The central telemetry collection step.
+
+Each control cycle, the global power manager "collects information about
+the runtime behaviors and the power consumptions of all nodes in the
+candidate set" (§V.D).  :class:`TelemetryCollector` performs that sweep:
+it samples the agent pool, packages the result as an immutable
+:class:`TelemetrySnapshot`, remembers the previous snapshot (change-based
+policies need ``P^t`` *and* ``P^{t−1}``), and charges the
+:class:`~repro.telemetry.cost.ManagementCostModel` for the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.errors import TelemetryError
+from repro.telemetry.agent import AgentPool
+from repro.telemetry.cost import ManagementCostModel
+
+__all__ = ["TelemetrySnapshot", "TelemetryCollector"]
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One cycle's view of every monitored node.
+
+    Arrays are aligned: entry ``k`` of each array describes node
+    ``node_ids[k]``.  All arrays are copies owned by the snapshot.
+    """
+
+    time: float
+    node_ids: np.ndarray
+    level: np.ndarray
+    cpu_util: np.ndarray
+    mem_frac: np.ndarray
+    nic_frac: np.ndarray
+    job_id: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.node_ids)
+        for name in ("level", "cpu_util", "mem_frac", "nic_frac", "job_id"):
+            if len(getattr(self, name)) != n:
+                raise TelemetryError(f"snapshot array {name} misaligned")
+        for arr in (
+            self.node_ids,
+            self.level,
+            self.cpu_util,
+            self.mem_frac,
+            self.nic_frac,
+            self.job_id,
+        ):
+            arr.setflags(write=False)
+
+    @property
+    def size(self) -> int:
+        """Number of monitored nodes in the snapshot."""
+        return len(self.node_ids)
+
+    def busy_mask(self) -> np.ndarray:
+        """Mask of monitored nodes occupied by a job."""
+        return self.job_id >= 0
+
+    def index_of(self, node_id: int) -> int:
+        """Position of ``node_id`` within the snapshot arrays.
+
+        Raises:
+            TelemetryError: if the node is not monitored.
+        """
+        hits = np.flatnonzero(self.node_ids == int(node_id))
+        if len(hits) == 0:
+            raise TelemetryError(f"node {node_id} is not in the snapshot")
+        return int(hits[0])
+
+
+class TelemetryCollector:
+    """Central collection of candidate-node telemetry.
+
+    Args:
+        state: The cluster state to sample.
+        candidate_ids: The candidate set ``A_candidate`` to monitor.
+        cost_model: Accounting model for central management cost; pass
+            ``None`` to skip accounting.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        candidate_ids: np.ndarray,
+        cost_model: ManagementCostModel | None = None,
+    ) -> None:
+        self._pool = AgentPool(state, candidate_ids)
+        self._cost_model = cost_model
+        self._current: TelemetrySnapshot | None = None
+        self._previous: TelemetrySnapshot | None = None
+        self._accumulated_cost_s = 0.0
+        self._collections = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def candidate_ids(self) -> np.ndarray:
+        """The monitored candidate node set."""
+        return self._pool.node_ids
+
+    @property
+    def size(self) -> int:
+        """Number of monitored nodes."""
+        return self._pool.size
+
+    @property
+    def current(self) -> TelemetrySnapshot | None:
+        """Most recent snapshot (``P^t`` inputs)."""
+        return self._current
+
+    @property
+    def previous(self) -> TelemetrySnapshot | None:
+        """Snapshot before the most recent (``P^{t−1}`` inputs)."""
+        return self._previous
+
+    @property
+    def collections(self) -> int:
+        """Number of sweeps performed."""
+        return self._collections
+
+    @property
+    def accumulated_cost_s(self) -> float:
+        """Total modelled management-node CPU time spent, seconds."""
+        return self._accumulated_cost_s
+
+    def management_cpu_utilization(self) -> float:
+        """Modelled CPU utilisation of the management node (Figure 5 y-axis)."""
+        if self._cost_model is None:
+            return 0.0
+        return float(self._cost_model.cpu_utilization(self.size))
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self, now: float) -> TelemetrySnapshot:
+        """Sweep all agents and return the new current snapshot."""
+        level, cpu, mem, nic, job = self._pool.sample_arrays(now)
+        snapshot = TelemetrySnapshot(
+            time=float(now),
+            node_ids=self._pool.node_ids.copy(),
+            level=level,
+            cpu_util=cpu,
+            mem_frac=mem,
+            nic_frac=nic,
+            job_id=job,
+        )
+        self._previous = self._current
+        self._current = snapshot
+        self._collections += 1
+        if self._cost_model is not None:
+            self._accumulated_cost_s += float(self._cost_model.cycle_cost_s(self.size))
+        return snapshot

@@ -1,0 +1,90 @@
+"""Append-only time-series recording.
+
+Experiments record the system power trajectory (and any other scalar
+series) every control cycle; the metrics in :mod:`repro.metrics.power`
+then integrate over the arrays.  The recorder keeps plain Python lists
+while recording (amortised O(1) append) and converts to numpy on demand,
+caching the conversion until the next append.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+
+__all__ = ["TimeSeriesRecorder"]
+
+
+class TimeSeriesRecorder:
+    """Named scalar time series with O(1) appends and numpy export."""
+
+    def __init__(self) -> None:
+        self._times: dict[str, list[float]] = {}
+        self._values: dict[str, list[float]] = {}
+        self._cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def record(self, series: str, time: float, value: float) -> None:
+        """Append one ``(time, value)`` point to ``series``.
+
+        Times within one series must be non-decreasing.
+        """
+        times = self._times.setdefault(series, [])
+        if times and time < times[-1]:
+            raise MetricError(
+                f"series {series!r}: time {time} before last {times[-1]}"
+            )
+        times.append(float(time))
+        self._values.setdefault(series, []).append(float(value))
+        self._cache.pop(series, None)
+
+    def series_names(self) -> list[str]:
+        """Recorded series names, sorted."""
+        return sorted(self._times)
+
+    def __contains__(self, series: str) -> bool:
+        return series in self._times
+
+    def length(self, series: str) -> int:
+        """Number of points in ``series`` (0 if absent)."""
+        return len(self._times.get(series, ()))
+
+    def arrays(self, series: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` arrays for ``series``.
+
+        Raises:
+            MetricError: if the series does not exist.
+        """
+        if series not in self._times:
+            raise MetricError(f"no recorded series {series!r}")
+        cached = self._cache.get(series)
+        if cached is None:
+            cached = (
+                np.asarray(self._times[series], dtype=np.float64),
+                np.asarray(self._values[series], dtype=np.float64),
+            )
+            self._cache[series] = cached
+        return cached
+
+    def values(self, series: str) -> np.ndarray:
+        """Values array only."""
+        return self.arrays(series)[1]
+
+    def times(self, series: str) -> np.ndarray:
+        """Times array only."""
+        return self.arrays(series)[0]
+
+    def last(self, series: str) -> float:
+        """Most recent value of ``series``.
+
+        Raises:
+            MetricError: if the series is missing or empty.
+        """
+        vals = self._values.get(series)
+        if not vals:
+            raise MetricError(f"series {series!r} is empty")
+        return vals[-1]
+
+    def maximum(self, series: str) -> float:
+        """Maximum value of ``series`` (e.g. observed ``P_max``)."""
+        return float(self.values(series).max())

@@ -1,0 +1,59 @@
+"""Common type aliases and small value types shared across subsystems.
+
+The simulator measures everything in SI units:
+
+* time in **seconds** (simulated time, ``float``),
+* power in **watts**,
+* energy in **joules**,
+* frequency in **hertz**,
+* memory in **bytes**,
+* NIC traffic in **bytes per second**.
+
+Identifiers are plain ``int`` newtypes (``NodeId``, ``JobId``) so that the
+structure-of-arrays cluster state can index numpy arrays directly with them.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+__all__ = [
+    "NodeId",
+    "JobId",
+    "Seconds",
+    "Watts",
+    "Joules",
+    "Hertz",
+    "Bytes",
+    "BytesPerSecond",
+    "Level",
+]
+
+#: Index of a compute node within the cluster, ``0 <= NodeId < num_nodes``.
+NodeId = NewType("NodeId", int)
+
+#: Monotonically increasing identifier assigned by the job generator/queue.
+JobId = NewType("JobId", int)
+
+#: Simulated time or duration, seconds.
+Seconds = float
+
+#: Power, watts.
+Watts = float
+
+#: Energy, joules.
+Joules = float
+
+#: Clock frequency, hertz.
+Hertz = float
+
+#: Memory size, bytes.
+Bytes = int
+
+#: NIC throughput, bytes per second.
+BytesPerSecond = float
+
+#: DVFS level index.  ``0`` is the *lowest* power state (lowest frequency)
+#: and ``num_levels - 1`` the highest, matching the paper's convention that
+#: degrading a node means *decreasing* its level ``l`` by one.
+Level = int

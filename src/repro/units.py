@@ -1,0 +1,128 @@
+"""Unit helpers: readable constructors and formatters for SI quantities.
+
+The library stores raw floats (see :mod:`repro.types`); these helpers make
+configuration code self-documenting (``ghz(2.93)`` instead of ``2.93e9``)
+and keep report formatting consistent across tables, figures and logs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "ghz",
+    "mhz",
+    "gib",
+    "mib",
+    "kw",
+    "mw",
+    "minutes",
+    "hours",
+    "fmt_power",
+    "fmt_energy",
+    "fmt_freq",
+    "fmt_bytes",
+    "fmt_duration",
+    "fmt_percent",
+]
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+_BINARY_KILO = 1024
+
+
+def ghz(value: float) -> float:
+    """Frequency in gigahertz → hertz."""
+    return value * GIGA
+
+
+def mhz(value: float) -> float:
+    """Frequency in megahertz → hertz."""
+    return value * MEGA
+
+
+def gib(value: float) -> int:
+    """Memory size in gibibytes → bytes (rounded to an integer byte count)."""
+    return int(value * _BINARY_KILO**3)
+
+
+def mib(value: float) -> int:
+    """Memory size in mebibytes → bytes (rounded to an integer byte count)."""
+    return int(value * _BINARY_KILO**2)
+
+
+def kw(value: float) -> float:
+    """Power in kilowatts → watts."""
+    return value * KILO
+
+
+def mw(value: float) -> float:
+    """Power in megawatts → watts."""
+    return value * MEGA
+
+
+def minutes(value: float) -> float:
+    """Duration in minutes → seconds."""
+    return value * 60.0
+
+
+def hours(value: float) -> float:
+    """Duration in hours → seconds."""
+    return value * 3600.0
+
+
+def fmt_power(watts: float) -> str:
+    """Render a power value with an adaptive unit (W / kW / MW)."""
+    if abs(watts) >= MEGA:
+        return f"{watts / MEGA:.3f} MW"
+    if abs(watts) >= KILO:
+        return f"{watts / KILO:.2f} kW"
+    return f"{watts:.1f} W"
+
+
+def fmt_energy(joules: float) -> str:
+    """Render an energy value with an adaptive unit (J / kJ / MJ / kWh)."""
+    if abs(joules) >= 3.6 * MEGA:  # >= 1 kWh reads better in kWh
+        return f"{joules / (3.6 * MEGA):.2f} kWh"
+    if abs(joules) >= MEGA:
+        return f"{joules / MEGA:.2f} MJ"
+    if abs(joules) >= KILO:
+        return f"{joules / KILO:.2f} kJ"
+    return f"{joules:.1f} J"
+
+
+def fmt_freq(hertz: float) -> str:
+    """Render a frequency with an adaptive unit (Hz / MHz / GHz)."""
+    if abs(hertz) >= GIGA:
+        return f"{hertz / GIGA:.2f} GHz"
+    if abs(hertz) >= MEGA:
+        return f"{hertz / MEGA:.0f} MHz"
+    return f"{hertz:.0f} Hz"
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Render a byte count with an adaptive binary unit (B / KiB / … / TiB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < _BINARY_KILO:
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= _BINARY_KILO
+    return f"{value:.2f} TiB"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration as ``H:MM:SS`` (or ``M:SS`` below an hour)."""
+    total = int(round(seconds))
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{h}:{m:02d}:{s:02d}"
+    return f"{m}:{s:02d}"
+
+
+def fmt_percent(fraction: float, digits: int = 1) -> str:
+    """Render a fraction in ``[0, 1]``-ish range as a percentage string."""
+    return f"{fraction * 100.0:.{digits}f}%"

@@ -1,0 +1,191 @@
+"""The NPB application profile library (EP, CG, LU, BT, SP — class D).
+
+Each :class:`ApplicationProfile` is a synthetic stand-in for one NAS
+Parallel Benchmark, carrying what the power-capping control path observes:
+its phase cycle (power signature), memory footprint, strong-scaling law
+and DVFS sensitivity.  The characterisations follow the well-documented
+behaviour of the suite:
+
+* **EP** (Embarrassingly Parallel) — pure independent compute, almost no
+  communication or memory traffic; the most DVFS-sensitive (β≈0.95) and
+  the most power-hungry per node.
+* **CG** (Conjugate Gradient) — irregular sparse matrix-vector products;
+  memory-latency-bound with frequent small messages; the *least* DVFS-
+  sensitive (β≈0.4).
+* **LU** (LU decomposition, SSOR) — pipelined wavefront with fine-grained
+  point-to-point communication; moderately compute-bound.
+* **BT** (Block Tridiagonal) — dense block solves with periodic face
+  exchanges; compute-heavy with a large footprint.
+* **SP** (Scalar Pentadiagonal) — like BT but with thinner compute per
+  communication, a bit more bandwidth-bound.
+
+Nominal class-D runtimes are order-of-magnitude figures for 2010-era
+12-core Westmere nodes, chosen so a 128-node cluster fed by the §V.C
+random stream completes hundreds of jobs in a simulated 12-hour window.
+Absolute seconds do not matter for the reproduction (metrics are ratios);
+the *relative* mix of long/short and sensitive/insensitive jobs does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workload.phases import Phase, PhaseSchedule
+
+__all__ = ["ApplicationProfile", "NPB_APPLICATIONS", "get_application"]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Synthetic profile of one parallel application.
+
+    Args:
+        name: Benchmark name ("EP", "CG", …).
+        schedule: Cyclic phase schedule (the power signature).
+        mem_fraction: Steady-state working-set size as a fraction of node
+            memory, [0, 1].
+        mem_ramp_s: Seconds over which the footprint ramps from the idle
+            floor to ``mem_fraction`` after job start (initialisation /
+            allocation period — this ramp is what change-based policies
+            key on at job starts).
+        ref_nprocs: Process count of the reference runtime.
+        ref_runtime_s: Nominal runtime at ``ref_nprocs`` with every node
+            at the top DVFS level, seconds.
+        scaling_exponent: Strong-scaling exponent α: runtime(n) =
+            ref_runtime · (ref_nprocs / n)^α.  α=1 is perfect scaling.
+        gflops_per_node: Sustained GFLOP/s per node at the top level
+            (used only by the efficiency-metric library).
+    """
+
+    name: str
+    schedule: PhaseSchedule
+    mem_fraction: float
+    mem_ramp_s: float
+    ref_nprocs: int
+    ref_runtime_s: float
+    scaling_exponent: float
+    gflops_per_node: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mem_fraction <= 1.0:
+            raise WorkloadError(f"{self.name}: mem_fraction outside [0, 1]")
+        if self.mem_ramp_s < 0:
+            raise WorkloadError(f"{self.name}: mem_ramp_s must be non-negative")
+        if self.ref_nprocs < 1:
+            raise WorkloadError(f"{self.name}: ref_nprocs must be >= 1")
+        if self.ref_runtime_s <= 0:
+            raise WorkloadError(f"{self.name}: ref_runtime_s must be positive")
+        if not 0.0 < self.scaling_exponent <= 1.2:
+            raise WorkloadError(f"{self.name}: implausible scaling exponent")
+        if self.gflops_per_node < 0:
+            raise WorkloadError(f"{self.name}: gflops_per_node must be >= 0")
+
+    def nominal_runtime(self, nprocs: int) -> float:
+        """Runtime at full frequency for ``nprocs`` processes, seconds."""
+        if nprocs < 1:
+            raise WorkloadError("nprocs must be >= 1")
+        return self.ref_runtime_s * (self.ref_nprocs / nprocs) ** self.scaling_exponent
+
+    def mean_compute_boundness(self) -> float:
+        """Work-weighted β of the whole application."""
+        return self.schedule.mean_compute_boundness()
+
+
+def _profile(
+    name: str,
+    phases: list[Phase],
+    mem_fraction: float,
+    ref_runtime_s: float,
+    scaling_exponent: float,
+    gflops_per_node: float,
+    mem_ramp_s: float = 60.0,
+) -> ApplicationProfile:
+    return ApplicationProfile(
+        name=name,
+        schedule=PhaseSchedule(phases),
+        mem_fraction=mem_fraction,
+        mem_ramp_s=mem_ramp_s,
+        ref_nprocs=64,
+        ref_runtime_s=ref_runtime_s,
+        scaling_exponent=scaling_exponent,
+        gflops_per_node=gflops_per_node,
+    )
+
+
+#: The paper's five evaluation applications, keyed by name.
+NPB_APPLICATIONS: dict[str, ApplicationProfile] = {
+    "EP": _profile(
+        "EP",
+        [
+            Phase("compute", 0.97, cpu_util=0.92, nic_frac=0.00, compute_boundness=0.97),
+            Phase("reduce", 0.03, cpu_util=0.25, nic_frac=0.10, compute_boundness=0.30),
+        ],
+        mem_fraction=0.06,
+        ref_runtime_s=900.0,
+        scaling_exponent=1.00,
+        gflops_per_node=95.0,
+        mem_ramp_s=20.0,
+    ),
+    "CG": _profile(
+        "CG",
+        [
+            Phase("spmv", 0.55, cpu_util=0.62, nic_frac=0.12, compute_boundness=0.38),
+            Phase("dot", 0.15, cpu_util=0.45, nic_frac=0.30, compute_boundness=0.30),
+            Phase("axpy", 0.30, cpu_util=0.68, nic_frac=0.05, compute_boundness=0.50),
+        ],
+        mem_fraction=0.38,
+        ref_runtime_s=1300.0,
+        scaling_exponent=0.82,
+        gflops_per_node=28.0,
+    ),
+    "LU": _profile(
+        "LU",
+        [
+            Phase("ssor", 0.60, cpu_util=0.82, nic_frac=0.08, compute_boundness=0.74),
+            Phase("rhs", 0.25, cpu_util=0.74, nic_frac=0.04, compute_boundness=0.66),
+            Phase("exchange", 0.15, cpu_util=0.34, nic_frac=0.35, compute_boundness=0.25),
+        ],
+        mem_fraction=0.45,
+        ref_runtime_s=2300.0,
+        scaling_exponent=0.90,
+        gflops_per_node=60.0,
+    ),
+    "BT": _profile(
+        "BT",
+        [
+            Phase("x_solve", 0.28, cpu_util=0.80, nic_frac=0.05, compute_boundness=0.70),
+            Phase("y_solve", 0.28, cpu_util=0.80, nic_frac=0.05, compute_boundness=0.70),
+            Phase("z_solve", 0.28, cpu_util=0.80, nic_frac=0.05, compute_boundness=0.70),
+            Phase("face_exchange", 0.16, cpu_util=0.38, nic_frac=0.40, compute_boundness=0.28),
+        ],
+        mem_fraction=0.55,
+        ref_runtime_s=2900.0,
+        scaling_exponent=0.88,
+        gflops_per_node=65.0,
+    ),
+    "SP": _profile(
+        "SP",
+        [
+            Phase("solve", 0.70, cpu_util=0.78, nic_frac=0.08, compute_boundness=0.60),
+            Phase("exchange", 0.30, cpu_util=0.42, nic_frac=0.45, compute_boundness=0.30),
+        ],
+        mem_fraction=0.50,
+        ref_runtime_s=2600.0,
+        scaling_exponent=0.85,
+        gflops_per_node=45.0,
+    ),
+}
+
+
+def get_application(name: str) -> ApplicationProfile:
+    """Look up an application profile by (case-insensitive) name.
+
+    Raises:
+        WorkloadError: for names outside the library.
+    """
+    profile = NPB_APPLICATIONS.get(name.upper())
+    if profile is None:
+        known = ", ".join(sorted(NPB_APPLICATIONS))
+        raise WorkloadError(f"unknown application {name!r}; known: {known}")
+    return profile

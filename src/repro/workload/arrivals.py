@@ -1,0 +1,81 @@
+"""Poisson (open-system) job arrivals.
+
+The paper's feeder keeps the queue topped up (a *closed* driving rule
+that saturates the machine).  Real facilities see an *open* stream:
+jobs arrive on their own clock regardless of machine state, so load
+oscillates — quiet nights, Monday-morning bursts.  The
+:class:`PoissonFeeder` models that with exponential inter-arrival times,
+which provides the workload substrate for two studies the closed feeder
+cannot express:
+
+* utilisation-dependent capping behaviour (the architecture should stay
+  silent on a half-empty machine — only the excursions matter);
+* queueing-delay impact of capping (throttled jobs hold nodes longer,
+  pushing waiting times up at high arrival rates).
+
+Arrival times are pre-drawn lazily from the feeder's own stream, so the
+sequence is deterministic per seed and — like the generator — identical
+across policy runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scheduler.queue import JobQueue
+from repro.workload.generator import RandomJobGenerator
+
+__all__ = ["PoissonFeeder"]
+
+
+class PoissonFeeder:
+    """Open-system feeder: jobs arrive at exponential intervals.
+
+    Args:
+        generator: Draws each arriving job's (application, NPROCS).
+        rng: Random stream for the inter-arrival draws (use a *different*
+            named stream than the generator's so arrival timing and job
+            identity stay independently reproducible).
+        rate_per_s: Mean arrivals per simulated second (λ).
+        start_time: Time of the first exponential draw's origin.
+    """
+
+    def __init__(
+        self,
+        generator: RandomJobGenerator,
+        rng: np.random.Generator,
+        rate_per_s: float,
+        start_time: float = 0.0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self._generator = generator
+        self._rng = rng
+        self._rate = float(rate_per_s)
+        self._next_arrival = float(start_time) + float(
+            rng.exponential(1.0 / rate_per_s)
+        )
+        self._arrivals = 0
+
+    @property
+    def arrivals(self) -> int:
+        """Jobs released so far."""
+        return self._arrivals
+
+    @property
+    def next_arrival_time(self) -> float:
+        """When the next job will arrive (simulated seconds)."""
+        return self._next_arrival
+
+    def poll(self, now: float, queue: JobQueue) -> None:
+        """Release every arrival due at or before ``now``."""
+        while self._next_arrival <= now:
+            job = self._generator.next_job(submit_time=self._next_arrival)
+            queue.push(job)
+            self._arrivals += 1
+            self._next_arrival += float(self._rng.exponential(1.0 / self._rate))
+
+    def exhausted(self) -> bool:
+        """An open stream never runs dry."""
+        return False

@@ -1,0 +1,187 @@
+"""Advances running jobs each control tick and drives the cluster state.
+
+The executor is the bridge between the workload models and the machine
+model.  Once per tick (``dt`` seconds, normally the telemetry/control
+interval τ) it, for every running job:
+
+1. looks up the job's current :class:`~repro.workload.phases.Phase` from
+   its progress (work-domain phases);
+2. computes the job's progress rate from the DVFS levels of its nodes —
+   the bulk-synchronous bottleneck model of
+   :func:`repro.workload.scaling.job_progress_rate`;
+3. advances ``progress_s`` by ``rate · dt`` and detects completion, with
+   sub-tick interpolation of the finish instant so an uncapped job's
+   measured runtime equals its nominal runtime *exactly* (the CPLJ metric
+   depends on that exactness);
+4. writes the phase's CPU/NIC signature (with small multiplicative
+   jitter, shared across the job's nodes plus per-node noise) and the
+   ramping memory footprint into the structure-of-arrays cluster state.
+
+Power consumption itself is *not* computed here — the power model reads
+the state this executor wrote, keeping workload and power strictly
+layered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.errors import WorkloadError
+from repro.workload.job import Job, JobState
+from repro.workload.scaling import job_progress_rate
+
+__all__ = ["JobExecutor", "FinishedJob"]
+
+
+@dataclass(frozen=True)
+class FinishedJob:
+    """A completion notice: which job, and the exact finish instant."""
+
+    job: Job
+    finish_time: float
+
+
+class JobExecutor:
+    """Per-tick advancement of running jobs.
+
+    Args:
+        state: The cluster state to read levels from and write load into.
+        rng: Random generator for load jitter (a named stream).
+        util_jitter_std: Std-dev of the multiplicative per-tick jitter
+            applied to the phase's CPU/NIC signature (shared by all nodes
+            of a job — phases are synchronous).  Set 0 for deterministic
+            load.
+        node_noise_std: Std-dev of additional per-node multiplicative
+            noise (load imbalance).
+        modulation_std: Stationary std-dev of the cluster-wide load
+            modulation — a slowly-varying AR(1) multiplicative factor
+            shared by *all* jobs, modelling correlated demand swings
+            (input-dependent intensity, phase alignment across jobs).
+            This is what produces the occasional power excursions that
+            power capping exists to contain; 0 disables it.
+        modulation_tau_s: Correlation time of the modulation process,
+            seconds — excursions last on this order.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        rng: np.random.Generator,
+        util_jitter_std: float = 0.04,
+        node_noise_std: float = 0.02,
+        modulation_std: float = 0.08,
+        modulation_tau_s: float = 60.0,
+    ) -> None:
+        if util_jitter_std < 0 or node_noise_std < 0:
+            raise WorkloadError("jitter std-devs must be non-negative")
+        if modulation_std < 0:
+            raise WorkloadError("modulation_std must be non-negative")
+        if modulation_tau_s <= 0:
+            raise WorkloadError("modulation_tau_s must be positive")
+        self._state = state
+        self._rng = rng
+        self._util_jitter = float(util_jitter_std)
+        self._node_noise = float(node_noise_std)
+        self._modulation_std = float(modulation_std)
+        self._modulation_tau = float(modulation_tau_s)
+        self._modulation = 0.0  # AR(1) state, zero-mean
+
+    @property
+    def modulation_factor(self) -> float:
+        """Current cluster-wide load multiplier (≈ 1.0 on average)."""
+        return min(1.45, max(0.55, 1.0 + self._modulation))
+
+    def advance(self, jobs: list[Job], now: float, dt: float) -> list[FinishedJob]:
+        """Advance every RUNNING job in ``jobs`` by one tick.
+
+        Args:
+            jobs: Jobs to advance (non-running entries are skipped).
+            now: Simulated time at the *start* of the tick.
+            dt: Tick length, seconds.
+
+        Returns:
+            Completion notices for jobs whose work finished during this
+            tick, with interpolated finish instants in ``(now, now+dt]``.
+            The executor does **not** transition job state or release
+            nodes — the scheduler owns those side effects.
+        """
+        if dt <= 0:
+            raise WorkloadError("tick length must be positive")
+        self._step_modulation(dt)
+        finished: list[FinishedJob] = []
+        for job in jobs:
+            if job.state is not JobState.RUNNING:
+                continue
+            notice = self._advance_one(job, now, dt)
+            if notice is not None:
+                finished.append(notice)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance_one(self, job: Job, now: float, dt: float) -> FinishedJob | None:
+        phase = job.app.schedule.phase_at(job.cycle_position)
+        levels = self._state.level[job.nodes]
+        # Per-node speed respects each node's own DVFS ladder (types may
+        # differ on heterogeneous clusters).  The bottleneck rate below
+        # is the scalar fast path of
+        # :func:`repro.workload.scaling.job_progress_rate` — this runs
+        # once per job per tick and dominates the simulator's profile.
+        speeds = self._state.speed_of(job.nodes)
+        s_min = float(speeds.min())
+        beta = phase.compute_boundness
+        rate = 1.0 / ((1.0 - beta) + beta / s_min)
+
+        if levels.min() < self._state.spec.top_level:
+            job.degraded_exposure_s += dt
+
+        remaining = job.remaining_work_s
+        step_work = rate * dt
+        if step_work >= remaining and remaining >= 0.0:
+            # Completion inside this tick: interpolate the crossing.
+            time_to_finish = remaining / rate if rate > 0 else dt
+            job.progress_s = job.nominal_runtime_s
+            self._write_load(job, phase, now)
+            return FinishedJob(job=job, finish_time=now + time_to_finish)
+
+        job.progress_s += step_work
+        self._write_load(job, phase, now)
+        return None
+
+    def _step_modulation(self, dt: float) -> None:
+        """Advance the cluster-wide AR(1) load modulation by ``dt``."""
+        if self._modulation_std == 0.0:
+            return
+        rho = float(np.exp(-dt / self._modulation_tau))
+        innovation = self._rng.normal(0.0, self._modulation_std)
+        self._modulation = rho * self._modulation + (1.0 - rho * rho) ** 0.5 * innovation
+
+    def _write_load(self, job: Job, phase, now: float) -> None:
+        nodes = job.nodes
+        k = len(nodes)
+        jitter = self.modulation_factor
+        if self._util_jitter > 0:
+            jitter *= max(0.0, 1.0 + self._rng.normal(0.0, self._util_jitter))
+        if self._node_noise > 0:
+            node_factor = np.maximum(
+                0.0, 1.0 + self._rng.normal(0.0, self._node_noise, size=k)
+            )
+        else:
+            node_factor = np.ones(k)
+
+        assert job.start_time is not None
+        ramp = 1.0
+        if job.app.mem_ramp_s > 0:
+            ramp = min(1.0, (now - job.start_time) / job.app.mem_ramp_s)
+        mem = job.app.mem_fraction * ramp
+
+        self._state.set_load(
+            nodes,
+            cpu_util=phase.cpu_util * jitter * node_factor,
+            mem_frac=mem,
+            nic_frac=phase.nic_frac * jitter * node_factor,
+        )

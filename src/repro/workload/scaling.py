@@ -1,0 +1,84 @@
+"""DVFS slowdown and job progress-rate models.
+
+**Per-node rate.**  A phase that is β compute-bound on a node running at
+relative speed ``s = f/f_max`` progresses at rate::
+
+    r(s, β) = 1 / ((1 − β)/1 + β/s)        (harmonic composition)
+
+i.e. the phase's critical path is a β-weighted mix of frequency-scaled and
+frequency-invariant work.  At s=1 the rate is 1; at β=1 the rate equals s;
+at β=0 the rate is 1 regardless of frequency.  This is the standard
+"roofline" runtime-stretch model used throughout the DVFS literature and
+is why capping costs little on memory/communication-bound codes.
+
+**Per-job rate.**  §IV.A: *"For a well-balanced application, performance
+degradation of one node may make this node the bottleneck of the whole
+system's performance on this application."*  We model every NPB job as
+bulk-synchronous, so the job's progress rate is the **minimum** of its
+nodes' rates.  Two consequences the paper builds policies on fall out
+directly:
+
+1. degrading one node of a job costs the same performance as degrading
+   all of them (hence state-based policies target whole jobs — more watts
+   saved for the same performance price);
+2. upgrading only some nodes of a degraded job buys no speedup until the
+   slowest node rises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["node_progress_rate", "job_progress_rate", "slowdown_factor"]
+
+
+def node_progress_rate(
+    speed: float | np.ndarray, compute_boundness: float
+) -> float | np.ndarray:
+    """Progress rate of one node at relative ``speed``, for a phase of the
+    given β.  Returns a value in ``(0, 1]``; 1 means full speed.
+
+    Args:
+        speed: ``f/f_max`` ∈ (0, 1]; scalar or array (vectorised).
+        compute_boundness: β ∈ [0, 1].
+    """
+    beta = float(compute_boundness)
+    if not 0.0 <= beta <= 1.0:
+        raise WorkloadError("compute_boundness must lie in [0, 1]")
+    s = np.asarray(speed, dtype=np.float64)
+    if np.any(s <= 0.0) or np.any(s > 1.0):
+        raise WorkloadError("speed must lie in (0, 1]")
+    rate = 1.0 / ((1.0 - beta) + beta / s)
+    if np.ndim(rate) == 0:
+        return float(rate)
+    return rate
+
+
+def slowdown_factor(
+    speed: float | np.ndarray, compute_boundness: float
+) -> float | np.ndarray:
+    """Runtime stretch ``1 / rate`` — ≥ 1, the factor a phase dilates by."""
+    rate = node_progress_rate(speed, compute_boundness)
+    if np.ndim(rate) == 0:
+        return 1.0 / float(rate)
+    return 1.0 / np.asarray(rate)
+
+
+def job_progress_rate(speeds: np.ndarray, compute_boundness: float) -> float:
+    """Progress rate of a bulk-synchronous job across its nodes.
+
+    The job moves at the rate of its slowest node (see module docstring).
+
+    Args:
+        speeds: Relative speeds of every node of the job, shape (k,).
+        compute_boundness: β of the phase the job is currently in.
+
+    Raises:
+        WorkloadError: on an empty node set.
+    """
+    s = np.asarray(speeds, dtype=np.float64)
+    if s.size == 0:
+        raise WorkloadError("job_progress_rate over an empty node set")
+    return float(node_progress_rate(float(s.min()), compute_boundness))

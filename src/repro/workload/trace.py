@@ -1,0 +1,122 @@
+"""Record and replay of job arrival traces.
+
+Comparing capping policies fairly requires each run to see the *same* job
+stream (the paper runs each policy for 12 hours against statistically
+identical load; with a simulator we can do better and replay the identical
+stream).  A :class:`JobTrace` is an ordered list of
+:class:`TraceRecord` rows and serialises to a line-oriented CSV so traces
+can be saved with experiment results and re-run later.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+from repro.workload.applications import get_application
+from repro.workload.job import Job
+
+__all__ = ["TraceRecord", "JobTrace"]
+
+_HEADER = "submit_time,app,nprocs"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One job arrival: when, which application, how many processes."""
+
+    submit_time: float
+    app_name: str
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise WorkloadError("trace record with negative submit_time")
+        if self.nprocs < 1:
+            raise WorkloadError("trace record with nprocs < 1")
+
+
+class JobTrace:
+    """An immutable, time-ordered sequence of job arrivals."""
+
+    def __init__(self, records: Iterable[TraceRecord]) -> None:
+        recs = list(records)
+        for a, b in zip(recs, recs[1:]):
+            if b.submit_time < a.submit_time:
+                raise WorkloadError("trace records must be time-ordered")
+        self._records: tuple[TraceRecord, ...] = tuple(recs)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @classmethod
+    def from_jobs(cls, jobs: Iterable[Job]) -> "JobTrace":
+        """Build a trace from already-generated jobs (submit order)."""
+        recs = [
+            TraceRecord(j.submit_time, j.app.name, j.nprocs)
+            for j in sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        ]
+        return cls(recs)
+
+    def to_jobs(self, runtime_scale: float = 1.0) -> list[Job]:
+        """Materialise :class:`Job` objects from the trace.
+
+        Ids are assigned by position.  ``runtime_scale`` compresses
+        nominal runtimes exactly as the generator's knob does.
+        """
+        from repro.workload.generator import RandomJobGenerator
+
+        jobs = []
+        for i, rec in enumerate(self._records):
+            app = RandomJobGenerator._scaled(
+                get_application(rec.app_name), runtime_scale
+            )
+            jobs.append(
+                Job(job_id=i, app=app, nprocs=rec.nprocs, submit_time=rec.submit_time)
+            )
+        return jobs
+
+    # ------------------------------------------------------------------
+    # CSV round-trip
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialise to CSV text (header + one row per arrival)."""
+        buf = io.StringIO()
+        buf.write(_HEADER + "\n")
+        for r in self._records:
+            buf.write(f"{r.submit_time!r},{r.app_name},{r.nprocs}\n")
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "JobTrace":
+        """Parse the CSV format produced by :meth:`to_csv`."""
+        lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+        if not lines or lines[0].strip() != _HEADER:
+            raise WorkloadError("trace CSV missing header")
+        records = []
+        for ln in lines[1:]:
+            parts = ln.split(",")
+            if len(parts) != 3:
+                raise WorkloadError(f"malformed trace row: {ln!r}")
+            records.append(
+                TraceRecord(float(parts[0]), parts[1].strip(), int(parts[2]))
+            )
+        return cls(records)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``path`` as CSV."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JobTrace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

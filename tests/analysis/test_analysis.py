@@ -1,0 +1,140 @@
+"""Unit tests for tables, ASCII charts and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    ascii_chart,
+    ascii_histogram,
+    bootstrap_ci,
+    summarize,
+)
+from repro.errors import MetricError
+
+
+# ----------------------------------------------------------------------
+# Table
+# ----------------------------------------------------------------------
+def test_table_renders_aligned():
+    table = Table(["name", "value"])
+    table.add_row("alpha", 1)
+    table.add_row("b", 23456)
+    text = table.render()
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, 2 rows
+    assert lines[0].startswith("name")
+    assert "23456" in lines[3]
+    # All lines align to the same width structure.
+    assert lines[1].startswith("-")
+
+
+def test_table_row_width_validation():
+    table = Table(["a", "b"])
+    with pytest.raises(MetricError):
+        table.add_row(1)
+
+
+def test_table_empty_headers_rejected():
+    with pytest.raises(MetricError):
+        Table([])
+
+
+def test_table_align_validation():
+    with pytest.raises(MetricError):
+        Table(["a"], align=["^"])
+    with pytest.raises(MetricError):
+        Table(["a", "b"], align=["<"])
+
+
+def test_table_str_matches_render():
+    table = Table(["x"])
+    table.add_row(5)
+    assert str(table) == table.render()
+
+
+# ----------------------------------------------------------------------
+# ASCII charts
+# ----------------------------------------------------------------------
+def test_ascii_chart_contains_series_markers():
+    x = np.arange(10, dtype=float)
+    text = ascii_chart(x, {"up": x, "down": x[::-1]}, title="test chart")
+    assert "test chart" in text
+    assert "* up" in text
+    assert "o down" in text
+
+
+def test_ascii_chart_flat_series_ok():
+    x = np.arange(3, dtype=float)
+    text = ascii_chart(x, {"flat": np.ones(3)})
+    assert "flat" in text
+
+
+def test_ascii_chart_validation():
+    with pytest.raises(MetricError):
+        ascii_chart(np.array([]), {"a": np.array([])})
+    with pytest.raises(MetricError):
+        ascii_chart(np.arange(3.0), {})
+    with pytest.raises(MetricError):
+        ascii_chart(np.arange(3.0), {"a": np.arange(4.0)})
+
+
+def test_ascii_histogram():
+    values = np.concatenate([np.zeros(10), np.ones(30)])
+    text = ascii_histogram(values, bins=2, title="hist")
+    assert "hist" in text
+    assert "30" in text and "10" in text
+
+
+def test_ascii_histogram_validation():
+    with pytest.raises(MetricError):
+        ascii_histogram(np.array([]))
+    with pytest.raises(MetricError):
+        ascii_histogram(np.ones(3), bins=0)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def test_summarize():
+    s = summarize(np.arange(1, 101, dtype=float))
+    assert s.count == 100
+    assert s.mean == pytest.approx(50.5)
+    assert s.minimum == 1.0 and s.maximum == 100.0
+    assert s.median == pytest.approx(50.5)
+    assert "n=100" in str(s)
+
+
+def test_summarize_single_value():
+    s = summarize(np.array([3.0]))
+    assert s.std == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(MetricError):
+        summarize(np.array([]))
+
+
+def test_bootstrap_ci_contains_mean():
+    rng = np.random.default_rng(0)
+    sample = rng.normal(10.0, 1.0, size=200)
+    point, lo, hi = bootstrap_ci(sample, rng=np.random.default_rng(1))
+    assert lo < point < hi
+    assert lo < 10.0 < hi
+    assert hi - lo < 0.6  # reasonably tight at n=200
+
+
+def test_bootstrap_ci_deterministic_with_rng():
+    sample = np.arange(50, dtype=float)
+    a = bootstrap_ci(sample, rng=np.random.default_rng(7))
+    b = bootstrap_ci(sample, rng=np.random.default_rng(7))
+    assert a == b
+
+
+def test_bootstrap_ci_validation():
+    with pytest.raises(MetricError):
+        bootstrap_ci(np.array([]))
+    with pytest.raises(MetricError):
+        bootstrap_ci(np.ones(3), confidence=1.5)
+    with pytest.raises(MetricError):
+        bootstrap_ci(np.ones(3), resamples=0)

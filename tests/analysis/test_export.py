@@ -1,0 +1,93 @@
+"""Tests for CSV/JSON experiment-artifact export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    export_result,
+    jobs_csv,
+    load_power_trace,
+    metrics_json,
+    power_trace_csv,
+)
+from repro.errors import MetricError
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        seed=4, runtime_scale=0.02, training_duration_s=150.0, run_duration_s=200.0
+    )
+    return run_experiment(config, "mpc")
+
+
+def test_power_trace_roundtrip(tmp_path):
+    times = np.array([0.0, 1.0, 2.5])
+    power = np.array([100.0, 150.5, 120.25])
+    path = tmp_path / "trace.csv"
+    path.write_text(power_trace_csv(times, power))
+    t2, p2 = load_power_trace(path)
+    np.testing.assert_array_equal(times, t2)
+    np.testing.assert_array_equal(power, p2)
+
+
+def test_power_trace_validation():
+    with pytest.raises(MetricError):
+        power_trace_csv(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_load_power_trace_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("nope\n1,2\n")
+    with pytest.raises(MetricError):
+        load_power_trace(path)
+
+
+def test_jobs_csv_structure(result):
+    text = jobs_csv(result.finished_jobs)
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("job_id,app,nprocs")
+    assert len(lines) == len(result.finished_jobs) + 1
+    first = lines[1].split(",")
+    assert first[1] in ("EP", "CG", "LU", "BT", "SP")
+    assert float(first[8]) > 0  # actual runtime
+
+
+def test_jobs_csv_skips_unfinished(result):
+    from repro.workload import Job, get_application
+
+    pending = Job(job_id=9999, app=get_application("EP"), nprocs=8, submit_time=0.0)
+    text = jobs_csv(list(result.finished_jobs) + [pending])
+    assert not any(ln.startswith("9999,") for ln in text.splitlines())
+
+
+def test_metrics_json_contents(result):
+    payload = json.loads(metrics_json(result))
+    assert payload["label"] == "mpc"
+    assert payload["num_nodes"] == 128
+    assert payload["finished_jobs"] == result.metrics.finished_jobs
+    assert payload["p_max_w"] == pytest.approx(result.metrics.p_max_w)
+    assert "state_cycles" in payload
+
+
+def test_export_result_writes_three_files(result, tmp_path):
+    paths = export_result(result, tmp_path)
+    assert [p.name for p in paths] == [
+        "mpc.trace.csv",
+        "mpc.jobs.csv",
+        "mpc.metrics.json",
+    ]
+    for p in paths:
+        assert p.exists() and p.stat().st_size > 0
+    t, power = load_power_trace(paths[0])
+    np.testing.assert_array_equal(t, result.times)
+    np.testing.assert_array_equal(power, result.power_w)
+
+
+def test_export_result_custom_stem(result, tmp_path):
+    paths = export_result(result, tmp_path / "sub", stem="runA")
+    assert paths[0].parent.name == "sub"
+    assert paths[0].name == "runA.trace.csv"

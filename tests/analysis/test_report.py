@@ -1,0 +1,74 @@
+"""Tests for the Markdown report renderer."""
+
+import pytest
+
+from repro.analysis import render_run_report
+from repro.errors import MetricError
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def report_runs():
+    config = ExperimentConfig(
+        seed=8,
+        runtime_scale=0.02,
+        training_duration_s=150.0,
+        run_duration_s=200.0,
+        track_thermal=True,
+    )
+    baseline = run_experiment(config, None)
+    capped = run_experiment(config, "mpc")
+    return baseline, capped
+
+
+def test_report_contains_all_sections(report_runs):
+    baseline, capped = report_runs
+    text = render_run_report([baseline, capped], title="My report")
+    assert text.startswith("# My report")
+    for heading in (
+        "## Configuration",
+        "## Metrics",
+        "## Normalised against `uncapped`",
+        "## Power trajectory",
+        "## Per-application Performance(cap)",
+        "## Thermal / reliability",
+    ):
+        assert heading in text, heading
+
+
+def test_report_mentions_runs_and_thresholds(report_runs):
+    baseline, capped = report_runs
+    text = render_run_report([baseline, capped])
+    assert "uncapped" in text and "mpc" in text
+    assert "P_L" in text and "P_H" in text
+    assert "128 Tianhe-1A nodes" in text
+
+
+def test_report_without_baseline_skips_comparison(report_runs):
+    _, capped = report_runs
+    text = render_run_report([capped])
+    assert "## Normalised" not in text
+    assert "## Metrics" in text
+
+
+def test_report_without_thermal_skips_section():
+    config = ExperimentConfig(
+        seed=8, runtime_scale=0.02, training_duration_s=150.0, run_duration_s=200.0
+    )
+    result = run_experiment(config, None)
+    text = render_run_report([result])
+    assert "## Thermal" not in text
+
+
+def test_report_empty_rejected():
+    with pytest.raises(MetricError):
+        render_run_report([])
+
+
+def test_report_is_valid_markdown_structure(report_runs):
+    baseline, capped = report_runs
+    text = render_run_report([baseline, capped])
+    # Code fences balance.
+    assert text.count("```") % 2 == 0
+    # Exactly one H1.
+    assert sum(1 for ln in text.splitlines() if ln.startswith("# ")) == 1

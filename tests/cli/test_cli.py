@@ -1,0 +1,133 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _tiny(*extra):
+    """Common overrides that make CLI runs finish in ~1 second."""
+    return list(extra) + [
+        "--runtime-scale", "0.02",
+        "--training", "120",
+        "--duration", "180",
+        "--seed", "5",
+    ]
+
+
+def test_parser_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_policies_command(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    assert "mpc" in out and "hri" in out
+
+
+def test_policies_json(capsys):
+    assert main(["policies", "--json"]) == 0
+    names = json.loads(capsys.readouterr().out)
+    assert "mpc-c" in names
+
+
+def test_run_uncapped(capsys):
+    assert main(["run", "--policy", "none"] + _tiny()) == 0
+    out = capsys.readouterr().out
+    assert "uncapped" in out
+    assert "Performance(cap)" in out
+
+
+def test_run_mpc_table(capsys):
+    assert main(["run", "--policy", "mpc"] + _tiny()) == 0
+    out = capsys.readouterr().out
+    assert "green/yellow/red" in out
+    assert "DVFS commands" in out
+
+
+def test_run_json(capsys):
+    assert main(["run", "--policy", "mpc", "--json"] + _tiny()) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["label"] == "mpc"
+    assert payload["finished_jobs"] > 0
+    assert set(payload["state_cycles"]) == {"green", "yellow", "red"}
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "mpc", "lpc"] + _tiny()) == 0
+    out = capsys.readouterr().out
+    assert "mpc" in out and "lpc" in out and "uncapped" in out
+
+
+def test_compare_json(capsys):
+    assert main(["compare", "mpc", "--json"] + _tiny()) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["policy"] == "mpc"
+    assert 0 < rows[0]["performance"] <= 1.0
+
+
+def test_fig5_command(capsys):
+    assert main(["fig5", "--sizes", "0", "16", "64", "--no-measure"]) == 0
+    out = capsys.readouterr().out
+    assert "|A_candidate|" in out
+
+
+def test_fig5_json(capsys):
+    assert main(["fig5", "--sizes", "0", "8", "--no-measure", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sizes"] == [0, 8]
+    assert payload["measured_cycle_s"] is None
+
+
+def test_fig6_command(capsys):
+    args = ["fig6", "--sizes", "0", "16", "--policies", "mpc"] + _tiny()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "dPxT (norm)" in out
+
+
+def test_fig6_json(capsys):
+    args = ["fig6", "--sizes", "0", "16", "--policies", "mpc", "--json"] + _tiny()
+    assert main(args) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {r["size"] for r in rows} == {0, 16}
+
+
+def test_unknown_policy_is_clean_error(capsys):
+    code = main(["run", "--policy", "bogus"] + _tiny())
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_nodes_override(capsys):
+    args = ["run", "--policy", "none", "--nodes", "32", "--json"] + _tiny()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # 32 nodes draw roughly a quarter of the 128-node cluster's power.
+    assert payload["p_max_w"] < 15_000
+
+
+def test_report_command_writes_file(tmp_path, capsys):
+    out = tmp_path / "rep.md"
+    args = ["report", "mpc", "-o", str(out)] + _tiny()
+    assert main(args) == 0
+    text = out.read_text()
+    assert text.startswith("# Power capping report")
+    assert "## Metrics" in text and "mpc" in text
+
+
+def test_report_command_stdout(capsys):
+    args = ["report", "mpc", "-o", "-"] + _tiny()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "## Normalised against `uncapped`" in out
+
+
+def test_report_command_thermal_section(tmp_path):
+    out = tmp_path / "thermal.md"
+    args = ["report", "mpc", "--thermal", "-o", str(out)] + _tiny()
+    assert main(args) == 0
+    assert "## Thermal / reliability" in out.read_text()

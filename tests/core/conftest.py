@@ -1,0 +1,53 @@
+"""Fixtures for core (capping architecture) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NodeSets, PowerThresholds
+from repro.core.policies import PolicyContext
+from repro.power import NodePowerEstimator, PowerModel
+from repro.telemetry import TelemetryCollector
+
+
+class ContextBuilder:
+    """Builds PolicyContext objects from the live state of a cluster.
+
+    ``snap()`` collects a snapshot (tracking previous automatically, as
+    the manager does) and wraps it with chosen power/threshold values.
+    """
+
+    def __init__(self, cluster, candidate_ids=None):
+        self.cluster = cluster
+        ids = (
+            np.arange(cluster.num_nodes)
+            if candidate_ids is None
+            else np.asarray(candidate_ids)
+        )
+        self.sets = NodeSets(cluster, ids)
+        self.collector = TelemetryCollector(cluster.state, self.sets.candidates)
+        self.estimator = NodePowerEstimator(PowerModel(cluster.spec))
+        self._t = 0.0
+
+    def snap(
+        self,
+        system_power: float = 5000.0,
+        p_low: float = 4000.0,
+        p_high: float = 4800.0,
+    ) -> PolicyContext:
+        self._t += 1.0
+        snapshot = self.collector.collect(self._t)
+        return PolicyContext(
+            snapshot=snapshot,
+            previous=self.collector.previous,
+            estimator=self.estimator,
+            system_power=system_power,
+            thresholds=PowerThresholds(p_low=p_low, p_high=p_high),
+        )
+
+
+@pytest.fixture
+def ctx_builder(busy_cluster):
+    """Context builder over the standard 3-job busy cluster."""
+    return ContextBuilder(busy_cluster)

@@ -1,0 +1,115 @@
+"""Unit tests for threshold learning and adjustment (§III.A)."""
+
+import pytest
+
+from repro.core import PowerThresholds, ThresholdController
+from repro.errors import ConfigurationError, PowerManagementError
+
+
+def test_paper_margin_formulas():
+    c = ThresholdController(initial_peak_w=10000.0)
+    assert c.p_high == pytest.approx(0.93 * 10000.0)
+    assert c.p_low == pytest.approx(0.84 * 10000.0)
+
+
+def test_thresholds_dataclass_validation():
+    with pytest.raises(ConfigurationError):
+        PowerThresholds(p_low=0.0, p_high=1.0)
+    with pytest.raises(ConfigurationError):
+        PowerThresholds(p_low=2.0, p_high=1.0)
+    t = PowerThresholds(p_low=1.0, p_high=1.0)  # equality allowed
+    assert t.p_low == t.p_high
+
+
+def test_running_peak_ratchets_immediately():
+    c = ThresholdController(initial_peak_w=1000.0, adjust_every_cycles=10)
+    c.observe(1500.0)
+    assert c.running_peak == 1500.0
+    assert c.peak == 1000.0  # thresholds not yet re-derived
+
+
+def test_adjustment_every_tp_cycles():
+    c = ThresholdController(initial_peak_w=1000.0, adjust_every_cycles=5)
+    changed = [c.observe(1200.0) for _ in range(5)]
+    assert changed == [False, False, False, False, True]
+    assert c.peak == 1200.0
+    assert c.p_high == pytest.approx(0.93 * 1200.0)
+    assert c.adjustments == 1
+
+
+def test_no_adjustment_without_new_peak():
+    c = ThresholdController(initial_peak_w=1000.0, adjust_every_cycles=2)
+    assert not c.observe(500.0)
+    assert not c.observe(400.0)  # t_p cycle, but peak unchanged
+    assert c.adjustments == 0
+
+
+def test_peak_never_decreases():
+    c = ThresholdController(initial_peak_w=1000.0, adjust_every_cycles=1)
+    c.observe(1500.0)
+    c.observe(200.0)
+    assert c.peak == 1500.0
+
+
+def test_complete_training_adopts_peak():
+    c = ThresholdController(initial_peak_w=1000.0)
+    assert c.complete_training(1800.0)
+    assert c.peak == 1800.0
+    assert c.p_low == pytest.approx(0.84 * 1800.0)
+
+
+def test_complete_training_below_current_keeps_running_peak():
+    c = ThresholdController(initial_peak_w=1000.0)
+    c.observe(2000.0)
+    c.complete_training(1500.0)
+    assert c.peak == 2000.0
+
+
+def test_from_training_constructor():
+    c = ThresholdController.from_training(2000.0)
+    assert c.peak == 2000.0
+    assert c.p_high == pytest.approx(1860.0)
+
+
+def test_fixed_thresholds_never_change():
+    c = ThresholdController.fixed(p_low=800.0, p_high=900.0)
+    assert c.p_low == 800.0 and c.p_high == 900.0
+    for _ in range(10):
+        c.observe(5000.0)
+    assert c.p_low == 800.0 and c.p_high == 900.0
+    assert not c.complete_training(9999.0)
+
+
+def test_fixed_validation():
+    with pytest.raises(ConfigurationError):
+        ThresholdController.fixed(p_low=900.0, p_high=800.0)
+
+
+def test_custom_margins():
+    c = ThresholdController(initial_peak_w=1000.0, margin_high=0.05, margin_low=0.2)
+    assert c.p_high == pytest.approx(950.0)
+    assert c.p_low == pytest.approx(800.0)
+
+
+def test_margin_validation():
+    with pytest.raises(ConfigurationError):
+        ThresholdController(1000.0, margin_high=0.2, margin_low=0.1)
+    with pytest.raises(ConfigurationError):
+        ThresholdController(1000.0, margin_high=-0.1, margin_low=0.16)
+    with pytest.raises(ConfigurationError):
+        ThresholdController(1000.0, margin_high=0.07, margin_low=1.0)
+
+
+def test_observe_validation():
+    c = ThresholdController(initial_peak_w=1000.0)
+    with pytest.raises(PowerManagementError):
+        c.observe(-1.0)
+    with pytest.raises(PowerManagementError):
+        c.complete_training(0.0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        ThresholdController(initial_peak_w=0.0)
+    with pytest.raises(ConfigurationError):
+        ThresholdController(1000.0, adjust_every_cycles=0)

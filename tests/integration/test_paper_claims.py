@@ -1,0 +1,95 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+These run the real experiment protocol at a compressed scale and check
+the *shape* of the paper's §V.D findings — who wins, in which direction,
+within generous bands.  The benchmark suite (benchmarks/) reproduces the
+quantitative figures at the calibrated scale; these tests guard the
+qualitative behaviour in the ordinary test run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment, run_fig5
+from repro.metrics import compare_runs
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One shared baseline + MPC + HRI trio (module-scoped: ~6 s)."""
+    config = ExperimentConfig(
+        seed=2012,
+        runtime_scale=0.05,
+        training_duration_s=900.0,
+        run_duration_s=1200.0,
+        adjust_every_cycles=300,
+    )
+    baseline = run_experiment(config, None)
+    mpc = run_experiment(config, "mpc")
+    hri = run_experiment(config, "hri")
+    return baseline, mpc, hri
+
+
+def test_capping_reduces_peak_power(runs):
+    baseline, mpc, hri = runs
+    for capped in (mpc, hri):
+        c = compare_runs(capped.metrics, baseline.metrics)
+        assert c.p_max_ratio < 1.0
+
+
+def test_capping_reduces_overspend_substantially(runs):
+    """§V.D: ΔP×T drops by tens of percent under either policy."""
+    baseline, mpc, hri = runs
+    assert baseline.metrics.overspend > 0  # uncapped system overspends
+    for capped in (mpc, hri):
+        c = compare_runs(capped.metrics, baseline.metrics)
+        assert c.overspend_reduction > 0.3
+
+
+def test_mpc_beats_hri_on_overspend(runs):
+    """§V.D: MPC reduced ΔP×T more than HRI (73% vs 66%)."""
+    baseline, mpc, hri = runs
+    mpc_red = compare_runs(mpc.metrics, baseline.metrics).overspend_reduction
+    hri_red = compare_runs(hri.metrics, baseline.metrics).overspend_reduction
+    assert mpc_red > hri_red
+
+
+def test_mpc_has_more_lossless_jobs(runs):
+    """§V.D: CPLJ(MPC) > CPLJ(HRI)."""
+    _, mpc, hri = runs
+    assert mpc.metrics.cplj_fraction > hri.metrics.cplj_fraction
+
+
+def test_performance_loss_is_small(runs):
+    """§V.D: performance loss is small (paper ~2%; compressed runs are
+    harsher on jobs, so allow up to ~8%)."""
+    _, mpc, hri = runs
+    for capped in (mpc, hri):
+        assert capped.metrics.performance > 0.92
+
+
+def test_capped_system_power_stays_below_p_high(runs):
+    """§V.D: "system power is always below P_H … never entered the red
+    critical state" — allow at most a stray cycle at this compressed
+    scale (excursions are relatively faster than at paper scale)."""
+    _, mpc, hri = runs
+    for capped in (mpc, hri):
+        red_cycles = capped.state_cycles.get("red", 0)
+        assert red_cycles <= 2
+
+
+def test_uncapped_baseline_is_lossless(runs):
+    baseline, _, _ = runs
+    assert baseline.metrics.performance == pytest.approx(1.0)
+    assert baseline.metrics.cplj == baseline.metrics.finished_jobs
+
+
+def test_fig5_management_cost_grows_nonlinearly():
+    result = run_fig5(sizes=(8, 16, 32, 64, 128), measure=False)
+    cpu = result.modelled_cpu
+    # The *marginal* cost of each additional monitored node increases —
+    # the superlinearity Figure 5 demonstrates.  (Raw per-node cost first
+    # falls while the fixed overhead amortises, so test the marginals.)
+    marginal = np.diff(cpu) / np.diff(result.sizes)
+    assert np.all(np.diff(marginal) > 0)
+    assert cpu[-1] / result.sizes[-1] > cpu[0] / result.sizes[0]

@@ -1,0 +1,130 @@
+"""Unit tests for the survey metrics and the run-summary bundle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import (
+    RunMetrics,
+    compare_runs,
+    energy_delay_product,
+    flops_per_watt,
+    power_usage_effectiveness,
+    total_cost_of_ownership,
+)
+from repro.workload import Job, get_application
+
+
+# ----------------------------------------------------------------------
+# Survey metrics
+# ----------------------------------------------------------------------
+def test_edp():
+    assert energy_delay_product(100.0, 2.0) == pytest.approx(200.0)
+    assert energy_delay_product(100.0, 2.0, n=2) == pytest.approx(400.0)
+    assert energy_delay_product(100.0, 2.0, n=0) == pytest.approx(100.0)
+
+
+def test_edp_validation():
+    with pytest.raises(MetricError):
+        energy_delay_product(-1.0, 1.0)
+    with pytest.raises(MetricError):
+        energy_delay_product(1.0, 0.0)
+    with pytest.raises(MetricError):
+        energy_delay_product(1.0, 1.0, n=-1)
+
+
+def test_flops_per_watt():
+    assert flops_per_watt(1e12, 500.0) == pytest.approx(2e9)
+    with pytest.raises(MetricError):
+        flops_per_watt(1e12, 0.0)
+    with pytest.raises(MetricError):
+        flops_per_watt(-1.0, 10.0)
+
+
+def test_pue_llnl_example():
+    """0.7 W cooling per 1.0 W compute (§I.A) ⇒ PUE 1.7."""
+    assert power_usage_effectiveness(1.7, 1.0) == pytest.approx(1.7)
+
+
+def test_pue_validation():
+    with pytest.raises(MetricError):
+        power_usage_effectiveness(1.0, 0.0)
+    with pytest.raises(MetricError):
+        power_usage_effectiveness(0.5, 1.0)
+
+
+def test_tco():
+    assert total_cost_of_ownership(1000.0, 10.0, 0.2, 50.0) == pytest.approx(1052.0)
+    with pytest.raises(MetricError):
+        total_cost_of_ownership(-1.0, 0.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# RunMetrics / compare_runs
+# ----------------------------------------------------------------------
+def _run(label, stretch, peak, overspend_level, threshold=100.0, n_jobs=4):
+    jobs = []
+    for i in range(n_jobs):
+        job = Job(job_id=i, app=get_application("EP"), nprocs=64, submit_time=0.0)
+        job.start(0.0, np.array([0]))
+        job.finish(job.nominal_runtime_s * stretch)
+        jobs.append(job)
+    t = np.linspace(0.0, 100.0, 101)
+    power = np.full(101, overspend_level)
+    power[50] = peak
+    return RunMetrics.evaluate(label, t, power, jobs, threshold)
+
+
+def test_run_metrics_evaluate():
+    m = _run("x", stretch=1.0, peak=120.0, overspend_level=90.0)
+    assert m.performance == pytest.approx(1.0)
+    assert m.cplj == 4
+    assert m.finished_jobs == 4
+    assert m.cplj_fraction == 1.0
+    assert m.p_max_w == 120.0
+    assert m.overspend > 0  # the spike exceeds 100
+    assert m.energy_j > 0
+
+
+def test_compare_runs_ratios():
+    base = _run("base", 1.0, 150.0, 95.0)
+    capped = _run("cap", 1.05, 120.0, 90.0)
+    comparison = compare_runs(capped, base)
+    assert comparison.p_max_ratio == pytest.approx(120.0 / 150.0)
+    assert 0 < comparison.overspend_ratio < 1
+    assert comparison.overspend_reduction == pytest.approx(
+        1 - comparison.overspend_ratio
+    )
+    assert comparison.performance == pytest.approx(capped.performance)
+
+
+def test_compare_runs_threshold_mismatch_rejected():
+    base = _run("base", 1.0, 150.0, 95.0, threshold=100.0)
+    capped = _run("cap", 1.0, 120.0, 90.0, threshold=200.0)
+    with pytest.raises(MetricError):
+        compare_runs(capped, base)
+
+
+def test_compare_runs_zero_baseline_overspend():
+    base = _run("base", 1.0, 99.0, 50.0)
+    capped = _run("cap", 1.0, 99.0, 50.0)
+    assert base.overspend == 0.0
+    comparison = compare_runs(capped, base)
+    assert comparison.overspend_ratio == 1.0
+    assert comparison.overspend_reduction == 0.0
+
+
+def test_cplj_fraction_no_jobs_raises():
+    m = RunMetrics(
+        label="x",
+        performance=1.0,
+        cplj=0,
+        finished_jobs=0,
+        p_max_w=1.0,
+        avg_power_w=1.0,
+        energy_j=1.0,
+        overspend=0.0,
+        threshold_w=1.0,
+    )
+    with pytest.raises(MetricError):
+        _ = m.cplj_fraction

@@ -1,0 +1,104 @@
+"""Unit tests for power-model calibration (least-squares coefficient fit)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PowerManagementError
+from repro.power import (
+    CalibrationSample,
+    fit_power_tables,
+    synthesize_samples,
+)
+from repro.power.calibration import MIN_SAMPLES_PER_LEVEL
+
+
+def test_sample_validation():
+    with pytest.raises(ConfigurationError):
+        CalibrationSample(-1, 0.5, 0.5, 0.5, 100.0)
+    with pytest.raises(ConfigurationError):
+        CalibrationSample(0, 1.5, 0.5, 0.5, 100.0)
+    with pytest.raises(ConfigurationError):
+        CalibrationSample(0, 0.5, 0.5, 0.5, -1.0)
+
+
+def test_noiseless_fit_recovers_exact_coefficients(power_model):
+    rng = np.random.default_rng(0)
+    campaign = synthesize_samples(power_model, rng, samples_per_level=16)
+    fitted = fit_power_tables(campaign, power_model.spec.num_levels)
+    assert fitted.max_error_against(power_model) < 1e-6
+    assert np.all(fitted.rmse_w < 1e-8)
+    assert np.all(fitted.samples == 16)
+
+
+def test_noisy_fit_recovers_approximately(power_model):
+    rng = np.random.default_rng(1)
+    campaign = synthesize_samples(
+        power_model, rng, samples_per_level=400, noise_std_w=3.0
+    )
+    fitted = fit_power_tables(campaign, power_model.spec.num_levels)
+    # 3 W meter noise over 400 samples/level: coefficients within ~2 W.
+    assert fitted.max_error_against(power_model) < 2.0
+    assert np.all(fitted.rmse_w < 4.0)
+
+
+def test_fitted_tables_evaluate_like_model(power_model):
+    rng = np.random.default_rng(2)
+    campaign = synthesize_samples(power_model, rng, samples_per_level=16)
+    fitted = fit_power_tables(campaign, power_model.spec.num_levels)
+    for level in (0, 5, 9):
+        truth = power_model.evaluate(level, 0.7, 0.4, 0.2)
+        assert fitted.evaluate(level, 0.7, 0.4, 0.2) == pytest.approx(truth, abs=1e-6)
+    vec = fitted.evaluate(
+        np.array([0, 9]), np.array([0.5, 0.5]), np.array([0.3, 0.3]), np.array([0.1, 0.1])
+    )
+    assert vec.shape == (2,)
+
+
+def test_fitted_evaluate_rejects_bad_level(power_model):
+    rng = np.random.default_rng(3)
+    campaign = synthesize_samples(power_model, rng, samples_per_level=16)
+    fitted = fit_power_tables(campaign, power_model.spec.num_levels)
+    with pytest.raises(PowerManagementError):
+        fitted.evaluate(99, 0.5, 0.5, 0.5)
+
+
+def test_fit_requires_enough_samples(power_model):
+    rng = np.random.default_rng(4)
+    campaign = synthesize_samples(power_model, rng, samples_per_level=16)
+    short = [s for s in campaign if not (s.level == 3 and campaign.index(s) % 2)]
+    # Remove most level-3 samples to go below the minimum.
+    short = [s for s in campaign if s.level != 3][: 9 * 16]
+    short += [s for s in campaign if s.level == 3][: MIN_SAMPLES_PER_LEVEL - 1]
+    with pytest.raises(ConfigurationError):
+        fit_power_tables(short, power_model.spec.num_levels)
+
+
+def test_fit_rejects_degenerate_campaign():
+    # All loads identical ⇒ design matrix rank < 4.
+    samples = [
+        CalibrationSample(0, 0.5, 0.5, 0.5, 200.0) for _ in range(20)
+    ]
+    with pytest.raises(ConfigurationError):
+        fit_power_tables(samples, 1)
+
+
+def test_fit_rejects_out_of_range_level():
+    samples = [CalibrationSample(5, 0.5, 0.5, 0.5, 200.0)]
+    with pytest.raises(ConfigurationError):
+        fit_power_tables(samples, 2)
+
+
+def test_synthesize_validation(power_model):
+    rng = np.random.default_rng(5)
+    with pytest.raises(ConfigurationError):
+        synthesize_samples(power_model, rng, samples_per_level=2)
+    with pytest.raises(ConfigurationError):
+        synthesize_samples(power_model, rng, noise_std_w=-1.0)
+
+
+def test_max_error_level_mismatch(power_model):
+    rng = np.random.default_rng(6)
+    campaign = [s for s in synthesize_samples(power_model, rng, 16) if s.level < 5]
+    fitted = fit_power_tables(campaign, 5)
+    with pytest.raises(PowerManagementError):
+        fitted.max_error_against(power_model)

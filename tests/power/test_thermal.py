@@ -1,0 +1,114 @@
+"""Unit tests for the thermal model and reliability accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import ReliabilityTracker, ThermalModel, failure_rate_multiplier
+
+
+def test_starts_at_ambient():
+    model = ThermalModel(4, ambient_c=25.0)
+    np.testing.assert_allclose(model.temperature_c, 25.0)
+
+
+def test_steady_state_linear_in_power():
+    model = ThermalModel(2, ambient_c=22.0, thermal_resistance_c_per_w=0.1)
+    ss = model.steady_state(np.array([100.0, 300.0]))
+    np.testing.assert_allclose(ss, [32.0, 52.0])
+
+
+def test_relaxation_towards_steady_state():
+    model = ThermalModel(1, time_constant_s=100.0)
+    power = np.array([300.0])
+    t0 = model.temperature_c[0]
+    model.step(power, dt=100.0)  # one time constant
+    t_ss = model.steady_state(power)[0]
+    # After one tau the gap closes by 1 - 1/e ≈ 63%.
+    expected = t_ss + (t0 - t_ss) * np.exp(-1.0)
+    assert model.temperature_c[0] == pytest.approx(expected)
+
+
+def test_step_converges_to_steady_state():
+    model = ThermalModel(1, time_constant_s=50.0)
+    power = np.array([250.0])
+    for _ in range(100):
+        model.step(power, dt=10.0)
+    assert model.temperature_c[0] == pytest.approx(model.steady_state(power)[0], abs=0.01)
+
+
+def test_exact_update_independent_of_substepping():
+    """The exponential update is exact: one 100 s step equals ten 10 s
+    steps (a property the trapezoid-style update would not have)."""
+    a = ThermalModel(1, time_constant_s=77.0)
+    b = ThermalModel(1, time_constant_s=77.0)
+    power = np.array([310.0])
+    a.step(power, 100.0)
+    for _ in range(10):
+        b.step(power, 10.0)
+    assert a.temperature_c[0] == pytest.approx(b.temperature_c[0], rel=1e-12)
+
+
+def test_settle_and_reset():
+    model = ThermalModel(3)
+    model.settle(np.array([200.0, 300.0, 160.0]))
+    assert model.temperature_c[1] > model.temperature_c[2]
+    model.reset()
+    np.testing.assert_allclose(model.temperature_c, model.ambient_c)
+
+
+def test_realistic_blade_temperatures():
+    model = ThermalModel(1)
+    idle = model.steady_state(np.array([160.0]))[0]
+    busy = model.steady_state(np.array([340.0]))[0]
+    assert 40.0 < idle < 55.0
+    assert 65.0 < busy < 85.0
+
+
+def test_thermal_validation():
+    with pytest.raises(ConfigurationError):
+        ThermalModel(0)
+    with pytest.raises(ConfigurationError):
+        ThermalModel(1, thermal_resistance_c_per_w=0.0)
+    with pytest.raises(ConfigurationError):
+        ThermalModel(1, time_constant_s=0.0)
+    model = ThermalModel(2)
+    with pytest.raises(ConfigurationError):
+        model.step(np.array([100.0]), 1.0)  # shape mismatch
+    with pytest.raises(ConfigurationError):
+        model.step(np.array([100.0, 100.0]), 0.0)
+
+
+def test_failure_rate_doubling_law():
+    assert failure_rate_multiplier(50.0) == pytest.approx(1.0)
+    assert failure_rate_multiplier(60.0) == pytest.approx(2.0)
+    assert failure_rate_multiplier(70.0) == pytest.approx(4.0)
+    assert failure_rate_multiplier(40.0) == pytest.approx(0.5)
+    arr = failure_rate_multiplier(np.array([50.0, 60.0]))
+    np.testing.assert_allclose(arr, [1.0, 2.0])
+
+
+def test_reliability_tracker_accumulates():
+    tracker = ReliabilityTracker(base_rate_per_node_hour=1.0, reference_c=50.0)
+    temps = np.full(10, 50.0)
+    tracker.accumulate(temps, dt=3600.0)  # 10 node-hours at reference
+    assert tracker.expected_failures == pytest.approx(10.0)
+    assert tracker.mean_rate_multiplier() == pytest.approx(1.0)
+
+
+def test_reliability_hotter_means_more_failures():
+    cool = ReliabilityTracker(base_rate_per_node_hour=1.0)
+    hot = ReliabilityTracker(base_rate_per_node_hour=1.0)
+    cool.accumulate(np.full(4, 50.0), 3600.0)
+    hot.accumulate(np.full(4, 60.0), 3600.0)
+    assert hot.expected_failures == pytest.approx(2 * cool.expected_failures)
+    assert hot.peak_temperature_c == 60.0
+
+
+def test_reliability_validation():
+    with pytest.raises(ConfigurationError):
+        ReliabilityTracker(base_rate_per_node_hour=0.0)
+    tracker = ReliabilityTracker()
+    with pytest.raises(ConfigurationError):
+        tracker.accumulate(np.array([50.0]), 0.0)
+    assert tracker.mean_rate_multiplier() == 0.0

@@ -1,0 +1,110 @@
+"""Property-based tests of Algorithm 1's cross-cycle invariants.
+
+Drive the capping algorithm through arbitrary sequences of power states
+(with the actuator applying each decision) and check the invariants that
+must hold at every step:
+
+* ``A_degraded ⊆ A_candidate``;
+* every commanded level stays within the platform's range;
+* yellow decisions only lower levels, green upgrades only raise them,
+  red floors every candidate;
+* once the state stays green, every degraded node eventually returns to
+  the top level and ``A_degraded`` drains to empty.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core import (
+    DvfsActuator,
+    NodeSets,
+    PowerCappingAlgorithm,
+    PowerState,
+    PowerThresholds,
+)
+from repro.core.capping import CappingAction
+from repro.core.policies import PolicyContext, make_policy
+from repro.power import NodePowerEstimator, PowerModel
+from repro.telemetry import TelemetryCollector
+
+STATES = [PowerState.GREEN, PowerState.YELLOW, PowerState.RED]
+
+
+def _setup(seed: int):
+    rng = np.random.default_rng(seed)
+    cluster = Cluster.tianhe_1a(num_nodes=12)
+    state = cluster.state
+    # A few random jobs.
+    cursor = 0
+    for jid in range(3):
+        width = int(rng.integers(1, 4))
+        ids = np.arange(cursor, min(cursor + width, 12))
+        if len(ids) == 0:
+            break
+        state.assign_job(ids, jid)
+        state.set_load(ids, float(rng.random()), float(rng.random()), float(rng.random()))
+        cursor += width + int(rng.integers(0, 2))
+    sets = NodeSets(cluster)
+    algo = PowerCappingAlgorithm(sets, cluster.spec.top_level, steady_green_cycles=3)
+    collector = TelemetryCollector(state, sets.candidates)
+    estimator = NodePowerEstimator(PowerModel(cluster.spec))
+    actuator = DvfsActuator(state)
+    policy = make_policy("mpc")
+    return cluster, sets, algo, collector, estimator, actuator, policy
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=60),
+)
+@settings(max_examples=40, deadline=None)
+def test_invariants_under_arbitrary_state_sequences(seed, sequence):
+    cluster, sets, algo, collector, estimator, actuator, policy = _setup(seed)
+    state = cluster.state
+    top = cluster.spec.top_level
+    thresholds = PowerThresholds(p_low=1.0, p_high=2.0)
+    for i, code in enumerate(sequence):
+        snapshot = collector.collect(float(i))
+        ctx = PolicyContext(snapshot, collector.previous, estimator, 1.5, thresholds)
+        before = state.level.copy()
+        decision = algo.decide(STATES[code], ctx, policy)
+        actuator.apply(decision)
+
+        # Degraded set stays within candidates.
+        assert np.all(np.isin(algo.degraded_nodes, sets.candidates))
+        # Levels always in range.
+        assert state.level.min() >= 0 and state.level.max() <= top
+        # Directionality per action.
+        if decision.action is CappingAction.DEGRADE:
+            ids = decision.node_ids
+            assert np.all(state.level[ids] == before[ids] - 1)
+        elif decision.action is CappingAction.UPGRADE:
+            ids = decision.node_ids
+            assert np.all(state.level[ids] >= before[ids])
+        elif decision.action is CappingAction.EMERGENCY:
+            assert np.all(state.level[sets.candidates] == 0)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_sustained_green_drains_degraded_set(seed):
+    cluster, sets, algo, collector, estimator, actuator, policy = _setup(seed)
+    state = cluster.state
+    top = cluster.spec.top_level
+    thresholds = PowerThresholds(p_low=1.0, p_high=2.0)
+
+    # Push hard: one red cycle floors everything.
+    snapshot = collector.collect(0.0)
+    ctx = PolicyContext(snapshot, collector.previous, estimator, 3.0, thresholds)
+    actuator.apply(algo.decide(PowerState.RED, ctx, policy))
+    assert len(algo.degraded_nodes) == len(sets.candidates)
+
+    # Sustained green: within T_g + top_level cycles everything recovers.
+    for i in range(1, 3 + top + 2):
+        snapshot = collector.collect(float(i))
+        ctx = PolicyContext(snapshot, collector.previous, estimator, 0.5, thresholds)
+        actuator.apply(algo.decide(PowerState.GREEN, ctx, policy))
+    assert len(algo.degraded_nodes) == 0
+    assert np.all(state.level == top)

@@ -1,0 +1,114 @@
+"""Property-based tests of the policy contract (§III.B).
+
+Every policy, on every randomly generated cluster situation, must return
+a target set that is (a) a subset of the monitored candidate nodes,
+(b) free of idle nodes, (c) free of nodes at the lowest level and
+(d) consisting of whole degradable job node-sets (policies target jobs).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core import NodeSets, PowerThresholds
+from repro.core.policies import PolicyContext, available_policies, make_policy
+from repro.power import NodePowerEstimator, PowerModel
+from repro.telemetry import TelemetryCollector
+
+SPEC_CLUSTER_SIZE = 24
+
+
+def _random_situation(rng: np.random.Generator):
+    """A random cluster occupancy + load + level state and its context."""
+    cluster = Cluster.tianhe_1a(num_nodes=SPEC_CLUSTER_SIZE)
+    state = cluster.state
+    # Random jobs over random disjoint node blocks.
+    node_perm = rng.permutation(SPEC_CLUSTER_SIZE)
+    cursor = 0
+    job_id = 0
+    while cursor < SPEC_CLUSTER_SIZE and job_id < 6:
+        size = int(rng.integers(1, 6))
+        block = node_perm[cursor : cursor + size]
+        if len(block) == 0:
+            break
+        if rng.random() < 0.8:  # some blocks stay idle
+            state.assign_job(np.sort(block), job_id)
+            state.set_load(
+                np.sort(block),
+                cpu_util=float(rng.random()),
+                mem_frac=float(rng.random()),
+                nic_frac=float(rng.random()),
+            )
+            job_id += 1
+        cursor += size
+    # Random levels everywhere (including floors).
+    state.level[:] = rng.integers(0, cluster.spec.num_levels, SPEC_CLUSTER_SIZE)
+
+    sets = NodeSets(cluster)
+    collector = TelemetryCollector(state, sets.candidates)
+    estimator = NodePowerEstimator(PowerModel(cluster.spec))
+    previous = collector.collect(0.0)
+    # Perturb loads for a second snapshot so change-based policies see rates.
+    busy = np.flatnonzero(state.job_id >= 0)
+    if len(busy):
+        state.cpu_util[busy] = np.clip(
+            state.cpu_util[busy] + rng.normal(0, 0.2, len(busy)), 0, 1
+        )
+    snapshot = collector.collect(1.0)
+    power = float(PowerModel(cluster.spec).system_power(state))
+    ctx = PolicyContext(
+        snapshot=snapshot,
+        previous=previous,
+        estimator=estimator,
+        system_power=power,
+        thresholds=PowerThresholds(p_low=power * 0.95, p_high=power * 1.05),
+    )
+    return cluster, ctx
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_policy_contract_on_random_situations(seed):
+    rng = np.random.default_rng(seed)
+    cluster, ctx = _random_situation(rng)
+    snapshot = ctx.snapshot
+    for name in available_policies():
+        kwargs = {}
+        if name == "random":
+            kwargs["rng"] = np.random.default_rng(seed + 1)
+        elif name == "sla":
+            kwargs["priority_of"] = lambda jid: jid % 3
+        policy = make_policy(name, **kwargs)
+        selection = np.asarray(policy.select(ctx), dtype=np.int64)
+
+        # (a) subset of monitored nodes
+        assert np.all(np.isin(selection, snapshot.node_ids)), name
+        if len(selection) == 0:
+            continue
+        idx = np.searchsorted(snapshot.node_ids, selection)
+        # (b) no idle nodes
+        assert np.all(snapshot.job_id[idx] >= 0), name
+        # (c) no floor nodes
+        assert np.all(snapshot.level[idx] > 0), name
+        # (d) whole degradable job sets: for each selected job, every
+        # degradable node of that job is selected.
+        for jid in np.unique(snapshot.job_id[idx]):
+            job_nodes = ctx.degradable_nodes_of_job(int(jid))
+            assert np.all(np.isin(job_nodes, selection)), name
+        # No duplicates, sorted output.
+        assert np.all(np.diff(selection) > 0), name
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=20, deadline=None)
+def test_deterministic_policies_repeatable(seed):
+    rng = np.random.default_rng(seed)
+    _, ctx = _random_situation(rng)
+    for name in available_policies():
+        if name == "random":
+            continue
+        kwargs = {"priority_of": lambda jid: jid % 3} if name == "sla" else {}
+        a = make_policy(name, **kwargs).select(ctx)
+        b = make_policy(name, **kwargs).select(ctx)
+        np.testing.assert_array_equal(a, b, err_msg=name)

@@ -1,0 +1,73 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimulationEngine
+from repro.sim.events import EventQueue
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(times, min_size=1, max_size=200))
+def test_events_fire_in_time_order(schedule):
+    q = EventQueue()
+    fired: list[tuple[float, int]] = []
+    for i, t in enumerate(schedule):
+        q.push(t, lambda t=t, i=i: fired.append((t, i)), label=str(i))
+    while q:
+        q.pop().callback()
+    assert [f[0] for f in fired] == sorted(f[0] for f in fired)
+    # Equal-time events keep insertion order (stable).
+    for a, b in zip(fired, fired[1:]):
+        if a[0] == b[0]:
+            assert a[1] < b[1]
+
+
+@given(st.lists(times, min_size=1, max_size=100), st.data())
+def test_cancellation_removes_exactly_those_events(schedule, data):
+    q = EventQueue()
+    handles = [q.push(t, lambda: None) for t in schedule]
+    to_cancel = data.draw(
+        st.sets(st.integers(0, len(handles) - 1), max_size=len(handles))
+    )
+    for i in to_cancel:
+        handles[i].cancel()
+    assert len(q) == len(schedule) - len(to_cancel)
+    survivors = 0
+    while q:
+        q.pop()
+        survivors += 1
+    assert survivors == len(schedule) - len(to_cancel)
+
+
+@given(st.lists(times, min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_engine_clock_monotone(schedule):
+    engine = SimulationEngine()
+    observed = []
+    for t in schedule:
+        engine.schedule(t, lambda: observed.append(engine.now))
+    engine.run_until_idle()
+    assert observed == sorted(observed)
+    assert engine.now == max(schedule)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_periodic_task_fire_count(period, horizon):
+    from repro.sim import PeriodicTask
+
+    engine = SimulationEngine()
+    count = []
+    task = PeriodicTask(engine, period, count.append)
+    task.start()
+    engine.run(until=horizon)
+    # Each firing schedules the next relative to the previous one, so
+    # float accumulation can move a boundary firing by one ulp — allow
+    # off-by-one around the exact count.
+    expected = horizon / period
+    assert abs(len(count) - expected) <= 1.0

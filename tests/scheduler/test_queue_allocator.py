@@ -1,0 +1,125 @@
+"""Unit tests for the job queue and the first-fit allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, SchedulingError
+from repro.scheduler import JobQueue, NodeAllocator
+from repro.workload import Job, get_application
+
+
+def _job(job_id=0, nprocs=8, submit=0.0):
+    return Job(job_id=job_id, app=get_application("EP"), nprocs=nprocs, submit_time=submit)
+
+
+# ----------------------------------------------------------------------
+# JobQueue
+# ----------------------------------------------------------------------
+def test_fifo_order():
+    q = JobQueue()
+    for i in range(3):
+        q.push(_job(i))
+    assert [q.pop().job_id for _ in range(3)] == [0, 1, 2]
+
+
+def test_peek_does_not_remove():
+    q = JobQueue()
+    q.push(_job(7))
+    assert q.peek().job_id == 7
+    assert len(q) == 1
+
+
+def test_empty_queue_operations_raise():
+    q = JobQueue()
+    with pytest.raises(SchedulingError):
+        q.pop()
+    with pytest.raises(SchedulingError):
+        q.peek()
+
+
+def test_duplicate_rejected():
+    q = JobQueue()
+    job = _job(1)
+    q.push(job)
+    with pytest.raises(SchedulingError):
+        q.push(job)
+
+
+def test_id_reusable_after_pop():
+    q = JobQueue()
+    job = _job(1)
+    q.push(job)
+    q.pop()
+    q.push(job)  # fine: no longer queued
+    assert len(q) == 1
+
+
+def test_non_pending_rejected():
+    q = JobQueue()
+    job = _job(1)
+    job.start(0.0, np.array([0]))
+    with pytest.raises(SchedulingError):
+        q.push(job)
+
+
+def test_total_enqueued_counter():
+    q = JobQueue()
+    q.push(_job(0))
+    q.push(_job(1))
+    q.pop()
+    assert q.total_enqueued == 2
+
+
+def test_iteration_head_first():
+    q = JobQueue()
+    q.push(_job(0))
+    q.push(_job(1))
+    assert [j.job_id for j in q] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# NodeAllocator
+# ----------------------------------------------------------------------
+def test_allocates_lowest_numbered_idle_nodes(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    nodes = alloc.try_allocate(24)  # 2 nodes of 12 cores
+    assert list(nodes) == [0, 1]
+
+
+def test_allocation_skips_busy_nodes(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    small_cluster.state.assign_job(np.array([0, 2]), 9)
+    nodes = alloc.try_allocate(24)
+    assert list(nodes) == [1, 3]
+
+
+def test_returns_none_when_insufficient(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    small_cluster.state.assign_job(np.arange(15), 1)
+    assert alloc.try_allocate(24) is None  # needs 2, only 1 idle
+
+
+def test_impossible_request_raises(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    with pytest.raises(AllocationError):
+        alloc.try_allocate(16 * 12 + 1)
+
+
+def test_can_ever_fit(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    assert alloc.can_ever_fit(16 * 12)
+    assert not alloc.can_ever_fit(16 * 12 + 1)
+
+
+def test_free_nodes(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    assert alloc.free_nodes() == 16
+    small_cluster.state.assign_job(np.array([0]), 1)
+    assert alloc.free_nodes() == 15
+
+
+def test_nodes_needed_ceiling(small_cluster):
+    alloc = NodeAllocator(small_cluster)
+    assert alloc.nodes_needed(1) == 1
+    assert alloc.nodes_needed(12) == 1
+    assert alloc.nodes_needed(13) == 2

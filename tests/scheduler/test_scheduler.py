@@ -1,0 +1,151 @@
+"""Unit tests for the tick-driven batch scheduler and feeders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduler import (
+    BatchScheduler,
+    KeepQueueFilledFeeder,
+    ListFeeder,
+    TraceFeeder,
+)
+from repro.sim import RandomSource
+from repro.workload import (
+    Job,
+    JobExecutor,
+    JobState,
+    JobTrace,
+    RandomJobGenerator,
+    TraceRecord,
+    get_application,
+)
+
+
+def _executor(cluster):
+    return JobExecutor(
+        cluster.state,
+        RandomSource(seed=3).stream("exec"),
+        util_jitter_std=0.0,
+        node_noise_std=0.0,
+        modulation_std=0.0,
+    )
+
+
+def _job(job_id, nprocs=12, submit=0.0, app="EP"):
+    return Job(
+        job_id=job_id, app=get_application(app), nprocs=nprocs, submit_time=submit
+    )
+
+
+def _scheduler_with_jobs(cluster, jobs):
+    return BatchScheduler(cluster, _executor(cluster), ListFeeder(jobs))
+
+
+def test_job_starts_when_nodes_available(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0, nprocs=24)])
+    sched.tick(1.0, 1.0)
+    assert sched.started_count == 1
+    job = sched.running_job(0)
+    assert job.state is JobState.RUNNING
+    assert list(job.nodes) == [0, 1]
+    assert np.all(small_cluster.state.job_id[[0, 1]] == 0)
+
+
+def test_fcfs_head_blocks_queue(small_cluster):
+    # Job 0 takes 15 nodes; job 1 needs 2 (doesn't fit); job 2 needs 1
+    # but FCFS must NOT let it jump the queue.
+    jobs = [_job(0, nprocs=15 * 12), _job(1, nprocs=24), _job(2, nprocs=12)]
+    sched = _scheduler_with_jobs(small_cluster, jobs)
+    sched.tick(1.0, 1.0)
+    assert sched.started_count == 1
+    assert len(sched.queue) == 2
+    assert sched.queue.peek().job_id == 1
+
+
+def test_completion_releases_nodes_and_starts_next(small_cluster):
+    short = _job(0, nprocs=16 * 12)  # whole machine
+    short.progress_s = short.nominal_runtime_s - 0.5  # nearly done at start
+    jobs = [short, _job(1, nprocs=12)]
+    sched = _scheduler_with_jobs(small_cluster, jobs)
+    sched.tick(1.0, 1.0)  # job 0 starts
+    assert sched.started_count == 1
+    sched.tick(2.0, 1.0)  # job 0 finishes, job 1 starts
+    assert [j.job_id for j in sched.finished_jobs] == [0]
+    assert sched.running_job(1).state is JobState.RUNNING
+    assert small_cluster.state.idle_mask().sum() == 15
+
+
+def test_finish_time_interpolated(small_cluster):
+    job = _job(0, nprocs=12)
+    job.progress_s = job.nominal_runtime_s - 0.25
+    sched = _scheduler_with_jobs(small_cluster, [job])
+    sched.tick(1.0, 1.0)
+    finished = sched.tick(2.0, 1.0)
+    assert len(finished) == 1
+    assert finished[0].finish_time == pytest.approx(1.25)
+    assert finished[0].actual_runtime_s == pytest.approx(0.25)
+
+
+def test_keep_queue_filled_feeder_generates_on_empty(small_cluster):
+    gen = RandomJobGenerator(
+        RandomSource(seed=9).stream("gen"),
+        runtime_scale=0.01,
+        nprocs_choices=(8, 16, 32),  # jobs must fit the 16-node cluster
+    )
+    sched = BatchScheduler(small_cluster, _executor(small_cluster), KeepQueueFilledFeeder(gen))
+    for t in range(1, 50):
+        sched.tick(float(t), 1.0)
+    # The feeder keeps work coming: something started, machine is in use.
+    assert sched.started_count >= 1
+    assert not sched.idle()
+
+
+def test_trace_feeder_releases_at_submit_times(small_cluster):
+    trace = JobTrace(
+        [TraceRecord(0.0, "EP", 12), TraceRecord(5.0, "EP", 12)]
+    )
+    feeder = TraceFeeder(trace, runtime_scale=0.001)
+    sched = BatchScheduler(small_cluster, _executor(small_cluster), feeder)
+    sched.tick(1.0, 1.0)
+    assert sched.started_count == 1
+    assert feeder.remaining == 1
+    sched.tick(5.0, 4.0)
+    assert sched.started_count == 2
+    assert feeder.exhausted()
+
+
+def test_list_feeder_exhausts(small_cluster):
+    job = _job(0, nprocs=12)
+    job.progress_s = job.nominal_runtime_s - 0.1
+    sched = _scheduler_with_jobs(small_cluster, [job])
+    sched.tick(1.0, 1.0)
+    sched.tick(2.0, 1.0)
+    assert sched.idle()
+
+
+def test_running_job_lookup_errors(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [])
+    with pytest.raises(SchedulingError):
+        sched.running_job(42)
+    with pytest.raises(SchedulingError):
+        sched.job_nodes(42)
+
+
+def test_all_jobs_view(small_cluster):
+    jobs = [_job(0, nprocs=12), _job(1, nprocs=16 * 12)]
+    sched = _scheduler_with_jobs(small_cluster, jobs)
+    sched.tick(1.0, 1.0)
+    everything = sched.all_jobs()
+    assert {j.job_id for j in everything} == {0, 1}
+
+
+def test_multiple_jobs_coexist(small_cluster):
+    jobs = [_job(i, nprocs=36) for i in range(4)]  # 3 nodes each
+    sched = _scheduler_with_jobs(small_cluster, jobs)
+    sched.tick(1.0, 1.0)
+    assert sched.started_count == 4
+    assert small_cluster.state.busy_mask().sum() == 12
+    # Jobs own disjoint node sets.
+    owned = np.concatenate([sched.job_nodes(i) for i in range(4)])
+    assert len(np.unique(owned)) == 12

@@ -1,0 +1,143 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimulationEngine
+
+
+def test_clock_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_custom_start_time():
+    assert SimulationEngine(start_time=10.0).now == 10.0
+
+
+def test_negative_start_time_rejected():
+    with pytest.raises(SimulationError):
+        SimulationEngine(start_time=-1.0)
+
+
+def test_schedule_and_run(engine):
+    fired = []
+    engine.schedule(5.0, lambda: fired.append(engine.now))
+    engine.run_until_idle()
+    assert fired == [5.0]
+    assert engine.now == 5.0
+
+
+def test_schedule_negative_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(engine):
+    engine.schedule(1.0, lambda: None)
+    engine.run_until_idle()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_zero_delay_fires_after_current(engine):
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(0.0, lambda: order.append("nested"))
+        order.append("after-schedule")
+
+    engine.schedule(1.0, first)
+    engine.schedule(1.0, lambda: order.append("second"))
+    engine.run_until_idle()
+    assert order == ["first", "after-schedule", "second", "nested"]
+
+
+def test_run_until_bound_advances_clock_to_bound(engine):
+    engine.schedule(2.0, lambda: None)
+    processed = engine.run(until=10.0)
+    assert processed == 1
+    assert engine.now == 10.0
+
+
+def test_run_until_excludes_later_events(engine):
+    fired = []
+    engine.schedule(2.0, lambda: fired.append(2))
+    engine.schedule(20.0, lambda: fired.append(20))
+    engine.run(until=10.0)
+    assert fired == [2]
+    assert engine.pending_events == 1
+
+
+def test_event_at_exact_until_fires(engine):
+    fired = []
+    engine.schedule(10.0, lambda: fired.append(10))
+    engine.run(until=10.0)
+    assert fired == [10]
+
+
+def test_run_until_before_now_rejected(engine):
+    engine.schedule(5.0, lambda: None)
+    engine.run_until_idle()
+    with pytest.raises(SimulationError):
+        engine.run(until=1.0)
+
+
+def test_max_events(engine):
+    for i in range(10):
+        engine.schedule(float(i + 1), lambda: None)
+    processed = engine.run(max_events=3)
+    assert processed == 3
+    assert engine.pending_events == 7
+
+
+def test_step_raises_on_empty(engine):
+    with pytest.raises(SimulationError):
+        engine.step()
+
+
+def test_reentrant_run_rejected(engine):
+    def recurse():
+        engine.run_until_idle()
+
+    engine.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        engine.run_until_idle()
+
+
+def test_events_processed_counter(engine):
+    for i in range(4):
+        engine.schedule(float(i), lambda: None)
+    engine.run_until_idle()
+    assert engine.events_processed == 4
+
+
+def test_callbacks_can_chain(engine):
+    fired = []
+
+    def step(n: int):
+        fired.append(n)
+        if n < 5:
+            engine.schedule(1.0, lambda: step(n + 1))
+
+    engine.schedule(1.0, lambda: step(1))
+    engine.run_until_idle()
+    assert fired == [1, 2, 3, 4, 5]
+    assert engine.now == 5.0
+
+
+def test_reset(engine):
+    engine.schedule(1.0, lambda: None)
+    engine.run_until_idle()
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.pending_events == 0
+    assert engine.events_processed == 0
+
+
+def test_cancelled_event_does_not_fire(engine):
+    fired = []
+    handle = engine.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    engine.run_until_idle()
+    assert fired == []

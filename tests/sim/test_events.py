@@ -1,0 +1,126 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+
+
+def test_push_returns_handle_and_counts():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None, label="x")
+    assert len(q) == 1
+    assert e.time == 1.0
+    assert e.label == "x"
+    assert not e.cancelled
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append(3))
+    q.push(1.0, lambda: fired.append(1))
+    q.push(2.0, lambda: fired.append(2))
+    while q:
+        q.pop().callback()
+    assert fired == [1, 2, 3]
+
+
+def test_same_time_events_fire_fifo():
+    q = EventQueue()
+    fired = []
+    for i in range(10):
+        q.push(5.0, lambda i=i: fired.append(i))
+    while q:
+        q.pop().callback()
+    assert fired == list(range(10))
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_peek_time():
+    q = EventQueue()
+    q.push(4.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.peek_time() == 2.0
+    assert len(q) == 2  # peek does not remove
+
+
+def test_peek_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().peek_time()
+
+
+def test_cancel_via_queue():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.cancel(e)
+    assert e.cancelled
+    assert len(q) == 0
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_cancel_via_event_handle_updates_queue_len():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    e.cancel()
+    assert len(q) == 0
+
+
+def test_cancel_idempotent():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    e.cancel()
+    e.cancel()
+    q.cancel(e)
+    assert len(q) == 0
+
+
+def test_cancelled_events_skipped_on_pop():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: "a")
+    e2 = q.push(2.0, lambda: "b")
+    q.cancel(e1)
+    assert q.pop() is e2
+
+
+def test_cancel_after_pop_is_noop():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    popped = q.pop()
+    assert popped is e
+    e.cancel()  # should not corrupt the (now empty) queue
+    assert len(q) == 0
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_clear():
+    q = EventQueue()
+    for i in range(5):
+        q.push(float(i), lambda: None)
+    q.clear()
+    assert len(q) == 0
+
+
+def test_iter_pending_excludes_cancelled():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(e1)
+    assert sum(1 for _ in q.iter_pending()) == 1

@@ -1,0 +1,126 @@
+"""Unit tests for periodic tasks and one-shot timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import OneShotTimer, PeriodicTask
+
+
+def test_periodic_fires_at_period_multiples(engine):
+    times = []
+    task = PeriodicTask(engine, 2.0, lambda i: times.append(engine.now))
+    task.start()
+    engine.run(until=10.0)
+    assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+    assert task.fire_count == 5
+
+
+def test_periodic_custom_start_delay(engine):
+    times = []
+    task = PeriodicTask(engine, 2.0, lambda i: times.append(engine.now), start_delay=0.0)
+    task.start()
+    engine.run(until=4.0)
+    assert times == [0.0, 2.0, 4.0]
+
+
+def test_periodic_passes_fire_index(engine):
+    indices = []
+    task = PeriodicTask(engine, 1.0, indices.append)
+    task.start()
+    engine.run(until=3.0)
+    assert indices == [0, 1, 2]
+
+
+def test_periodic_stop(engine):
+    times = []
+    task = PeriodicTask(engine, 1.0, lambda i: times.append(engine.now))
+    task.start()
+    engine.run(until=2.0)
+    task.stop()
+    engine.run(until=5.0)
+    assert times == [1.0, 2.0]
+    assert not task.active
+
+
+def test_periodic_stop_from_callback(engine):
+    times = []
+    task = PeriodicTask(engine, 1.0, lambda i: (times.append(i), task.stop()))
+    task.start()
+    engine.run(until=10.0)
+    assert times == [0]
+
+
+def test_periodic_restart_after_stop(engine):
+    count = []
+    task = PeriodicTask(engine, 1.0, count.append)
+    task.start()
+    engine.run(until=1.0)
+    task.stop()
+    task.start()
+    engine.run(until=3.0)
+    assert len(count) == 3  # 1 before stop + 2 after restart
+
+
+def test_periodic_start_idempotent(engine):
+    fired = []
+    task = PeriodicTask(engine, 1.0, fired.append)
+    task.start()
+    task.start()
+    engine.run(until=2.0)
+    assert fired == [0, 1]  # not doubled
+
+
+def test_periodic_invalid_period(engine):
+    with pytest.raises(SimulationError):
+        PeriodicTask(engine, 0.0, lambda i: None)
+    with pytest.raises(SimulationError):
+        PeriodicTask(engine, -1.0, lambda i: None)
+
+
+def test_periodic_negative_start_delay(engine):
+    with pytest.raises(SimulationError):
+        PeriodicTask(engine, 1.0, lambda i: None, start_delay=-1.0)
+
+
+def test_oneshot_fires_once(engine):
+    fired = []
+    timer = OneShotTimer(engine, 3.0, lambda: fired.append(engine.now))
+    timer.start()
+    engine.run(until=10.0)
+    assert fired == [3.0]
+    assert timer.fired
+    assert not timer.pending
+
+
+def test_oneshot_cancel(engine):
+    fired = []
+    timer = OneShotTimer(engine, 3.0, lambda: fired.append(1))
+    timer.start()
+    timer.cancel()
+    engine.run(until=10.0)
+    assert fired == []
+    assert not timer.fired
+
+
+def test_oneshot_restart_resets_deadline(engine):
+    fired = []
+    timer = OneShotTimer(engine, 3.0, lambda: fired.append(engine.now))
+    timer.start()
+    engine.run(until=2.0)
+    timer.start()  # re-arm at t=2: fires at t=5
+    engine.run(until=10.0)
+    assert fired == [5.0]
+
+
+def test_oneshot_negative_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        OneShotTimer(engine, -1.0, lambda: None)
+
+
+def test_oneshot_pending_state(engine):
+    timer = OneShotTimer(engine, 1.0, lambda: None)
+    assert not timer.pending
+    timer.start()
+    assert timer.pending
+    engine.run(until=1.0)
+    assert not timer.pending

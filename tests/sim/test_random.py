@@ -1,0 +1,63 @@
+"""Unit tests for reproducible random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomSource
+
+
+def test_same_seed_same_draws():
+    a = RandomSource(seed=7).stream("x").random(100)
+    b = RandomSource(seed=7).stream("x").random(100)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomSource(seed=7).stream("x").random(100)
+    b = RandomSource(seed=8).stream("x").random(100)
+    assert not np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    src = RandomSource(seed=7)
+    a = src.stream("a").random(100)
+    b = src.stream("b").random(100)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    src = RandomSource(seed=7)
+    assert src.stream("x") is src.stream("x")
+
+
+def test_composition_insensitivity():
+    """Adding a new consumer must not perturb existing streams."""
+    src1 = RandomSource(seed=7)
+    a1 = src1.stream("a").random(10)
+
+    src2 = RandomSource(seed=7)
+    src2.stream("zzz").random(5)  # extra consumer created first
+    a2 = src2.stream("a").random(10)
+    np.testing.assert_array_equal(a1, a2)
+
+
+def test_fork_independent_and_deterministic():
+    child1 = RandomSource(seed=7).fork("rep0")
+    child2 = RandomSource(seed=7).fork("rep0")
+    assert child1.seed == child2.seed
+    other = RandomSource(seed=7).fork("rep1")
+    assert other.seed != child1.seed
+
+
+def test_seed_property():
+    assert RandomSource(seed=42).seed == 42
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        RandomSource(seed="nope")  # type: ignore[arg-type]
+
+
+def test_numpy_integer_seed_accepted():
+    src = RandomSource(seed=np.int64(5))
+    assert src.seed == 5

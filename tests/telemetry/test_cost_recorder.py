@@ -1,0 +1,121 @@
+"""Unit tests for the management-cost model and the series recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MetricError
+from repro.telemetry import ManagementCostModel, TimeSeriesRecorder
+
+
+# ----------------------------------------------------------------------
+# ManagementCostModel
+# ----------------------------------------------------------------------
+def test_cost_zero_nodes_is_fixed_only():
+    model = ManagementCostModel(fixed_ms=5.0, per_node_ms=1.0, pairwise_us=10.0)
+    assert model.cycle_cost_s(0) == pytest.approx(0.005)
+
+
+def test_cost_composition():
+    model = ManagementCostModel(fixed_ms=5.0, per_node_ms=1.0, pairwise_us=10.0)
+    # 5 ms + 100 ms + 10us·100² = 5ms + 100ms + 100ms
+    assert model.cycle_cost_s(100) == pytest.approx(0.005 + 0.1 + 0.1)
+
+
+def test_cost_superlinear():
+    """Figure 5's observation: per-node cost grows with the set size."""
+    model = ManagementCostModel()
+    per_node_small = model.cycle_cost_s(8) / 8
+    per_node_large = model.cycle_cost_s(128) / 128
+    assert per_node_large > per_node_small
+
+
+def test_cpu_utilization_clamped():
+    model = ManagementCostModel(cycle_period_s=0.01)
+    assert model.cpu_utilization(1000) == 1.0
+
+
+def test_cpu_utilization_vectorised():
+    model = ManagementCostModel()
+    sizes = np.array([0, 8, 128])
+    out = np.asarray(model.cpu_utilization(sizes))
+    assert out.shape == (3,)
+    assert np.all(np.diff(out) > 0)
+
+
+def test_saturation_size():
+    model = ManagementCostModel(
+        fixed_ms=0.0, per_node_ms=0.0, pairwise_us=100.0, cycle_period_s=1.0
+    )
+    # 100us·n² >= 1s ⇒ n >= 100
+    assert model.saturation_size() == 100
+
+
+def test_saturation_size_linear_only():
+    model = ManagementCostModel(
+        fixed_ms=0.0, per_node_ms=10.0, pairwise_us=0.0, cycle_period_s=1.0
+    )
+    assert model.saturation_size() == 100
+
+
+def test_cost_validation():
+    with pytest.raises(ConfigurationError):
+        ManagementCostModel(fixed_ms=-1.0)
+    with pytest.raises(ConfigurationError):
+        ManagementCostModel(cycle_period_s=0.0)
+    with pytest.raises(ConfigurationError):
+        ManagementCostModel().cycle_cost_s(-1)
+
+
+# ----------------------------------------------------------------------
+# TimeSeriesRecorder
+# ----------------------------------------------------------------------
+def test_record_and_read_back():
+    rec = TimeSeriesRecorder()
+    rec.record("p", 0.0, 10.0)
+    rec.record("p", 1.0, 20.0)
+    times, values = rec.arrays("p")
+    np.testing.assert_array_equal(times, [0.0, 1.0])
+    np.testing.assert_array_equal(values, [10.0, 20.0])
+
+
+def test_multiple_series():
+    rec = TimeSeriesRecorder()
+    rec.record("a", 0.0, 1.0)
+    rec.record("b", 0.0, 2.0)
+    assert rec.series_names() == ["a", "b"]
+    assert "a" in rec and "c" not in rec
+    assert rec.length("a") == 1
+    assert rec.length("missing") == 0
+
+
+def test_times_must_be_monotone():
+    rec = TimeSeriesRecorder()
+    rec.record("p", 5.0, 1.0)
+    with pytest.raises(MetricError):
+        rec.record("p", 4.0, 1.0)
+    rec.record("p", 5.0, 2.0)  # equal times allowed
+
+
+def test_missing_series_raises():
+    rec = TimeSeriesRecorder()
+    with pytest.raises(MetricError):
+        rec.arrays("nope")
+    with pytest.raises(MetricError):
+        rec.last("nope")
+
+
+def test_last_and_maximum():
+    rec = TimeSeriesRecorder()
+    for t, v in [(0.0, 3.0), (1.0, 7.0), (2.0, 5.0)]:
+        rec.record("p", t, v)
+    assert rec.last("p") == 5.0
+    assert rec.maximum("p") == 7.0
+
+
+def test_cache_invalidated_on_append():
+    rec = TimeSeriesRecorder()
+    rec.record("p", 0.0, 1.0)
+    first = rec.values("p")
+    assert len(first) == 1
+    rec.record("p", 1.0, 2.0)
+    assert len(rec.values("p")) == 2

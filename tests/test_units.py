@@ -1,0 +1,52 @@
+"""Unit tests for the unit helpers and formatters."""
+
+import pytest
+
+from repro import units
+
+
+def test_constructors():
+    assert units.ghz(2.93) == pytest.approx(2.93e9)
+    assert units.mhz(133) == pytest.approx(133e6)
+    assert units.gib(4) == 4 * 1024**3
+    assert units.mib(512) == 512 * 1024**2
+    assert units.kw(1.5) == pytest.approx(1500.0)
+    assert units.mw(4.55) == pytest.approx(4.55e6)
+    assert units.minutes(2) == 120.0
+    assert units.hours(1.5) == 5400.0
+
+
+def test_fmt_power_adaptive():
+    assert units.fmt_power(12.0) == "12.0 W"
+    assert units.fmt_power(36_900.0) == "36.90 kW"
+    assert units.fmt_power(12_659_000.0) == "12.659 MW"  # the K computer
+
+
+def test_fmt_energy_adaptive():
+    assert units.fmt_energy(500.0) == "500.0 J"
+    assert units.fmt_energy(5_000.0) == "5.00 kJ"
+    assert units.fmt_energy(2_000_000.0) == "2.00 MJ"
+    assert units.fmt_energy(7.2e6) == "2.00 kWh"
+
+
+def test_fmt_freq_adaptive():
+    assert units.fmt_freq(2.93e9) == "2.93 GHz"
+    assert units.fmt_freq(133e6) == "133 MHz"
+    assert units.fmt_freq(50.0) == "50 Hz"
+
+
+def test_fmt_bytes_adaptive():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(4 * 1024**3) == "4.0 GiB"
+    assert units.fmt_bytes(2 * 1024**4) == "2.00 TiB"
+
+
+def test_fmt_duration():
+    assert units.fmt_duration(65) == "1:05"
+    assert units.fmt_duration(3 * 3600 + 125) == "3:02:05"
+    assert units.fmt_duration(0) == "0:00"
+
+
+def test_fmt_percent():
+    assert units.fmt_percent(0.0213) == "2.1%"
+    assert units.fmt_percent(0.73, digits=0) == "73%"

@@ -1,0 +1,79 @@
+"""Unit tests for the NPB application profile library."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import NPB_APPLICATIONS, get_application
+
+
+def test_all_five_benchmarks_present():
+    assert sorted(NPB_APPLICATIONS) == ["BT", "CG", "EP", "LU", "SP"]
+
+
+def test_lookup_case_insensitive():
+    assert get_application("ep").name == "EP"
+    assert get_application("Cg").name == "CG"
+
+
+def test_unknown_application_raises():
+    with pytest.raises(WorkloadError):
+        get_application("FT")
+
+
+def test_ep_is_most_compute_bound():
+    """EP is embarrassingly parallel — the most DVFS-sensitive profile."""
+    betas = {
+        name: app.mean_compute_boundness() for name, app in NPB_APPLICATIONS.items()
+    }
+    assert max(betas, key=betas.get) == "EP"
+    assert betas["EP"] > 0.9
+
+
+def test_cg_is_least_compute_bound():
+    betas = {
+        name: app.mean_compute_boundness() for name, app in NPB_APPLICATIONS.items()
+    }
+    assert min(betas, key=betas.get) == "CG"
+    assert betas["CG"] < 0.5
+
+
+def test_ep_has_highest_mean_utilisation():
+    utils = {
+        name: app.schedule.mean_cpu_util() for name, app in NPB_APPLICATIONS.items()
+    }
+    assert max(utils, key=utils.get) == "EP"
+
+
+def test_memory_footprints_ordered_sensibly():
+    """EP is tiny; BT carries the largest working set."""
+    assert NPB_APPLICATIONS["EP"].mem_fraction < 0.1
+    assert NPB_APPLICATIONS["BT"].mem_fraction > NPB_APPLICATIONS["EP"].mem_fraction
+
+
+def test_nominal_runtime_strong_scaling():
+    app = get_application("LU")
+    t64 = app.nominal_runtime(64)
+    t128 = app.nominal_runtime(128)
+    assert t128 < t64
+    # α < 1 ⇒ doubling processes less than halves the runtime.
+    assert t128 > t64 / 2
+
+
+def test_ep_scales_perfectly():
+    app = get_application("EP")
+    assert app.nominal_runtime(128) == pytest.approx(app.nominal_runtime(64) / 2)
+
+
+def test_nominal_runtime_at_reference():
+    for app in NPB_APPLICATIONS.values():
+        assert app.nominal_runtime(app.ref_nprocs) == pytest.approx(app.ref_runtime_s)
+
+
+def test_nominal_runtime_rejects_bad_nprocs():
+    with pytest.raises(WorkloadError):
+        get_application("EP").nominal_runtime(0)
+
+
+def test_profiles_have_positive_gflops():
+    for app in NPB_APPLICATIONS.values():
+        assert app.gflops_per_node > 0

@@ -1,0 +1,92 @@
+"""Tests for the Poisson (open-system) arrival feeder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduler import JobQueue
+from repro.sim import RandomSource
+from repro.workload import PoissonFeeder, RandomJobGenerator
+
+
+def _feeder(rate=0.5, seed=9, **kwargs):
+    src = RandomSource(seed=seed)
+    generator = RandomJobGenerator(src.stream("gen"), runtime_scale=0.01)
+    return PoissonFeeder(
+        generator, src.stream("arrivals"), rate_per_s=rate, **kwargs
+    )
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        _feeder(rate=0.0)
+
+
+def test_arrivals_released_by_time():
+    feeder = _feeder(rate=1.0)
+    queue = JobQueue()
+    feeder.poll(0.0, queue)
+    early = len(queue)
+    feeder.poll(100.0, queue)
+    assert len(queue) > early
+    assert feeder.arrivals == len(queue)
+
+
+def test_mean_rate_matches_lambda():
+    feeder = _feeder(rate=2.0)
+    queue = JobQueue()
+    horizon = 2000.0
+    feeder.poll(horizon, queue)
+    observed_rate = feeder.arrivals / horizon
+    assert observed_rate == pytest.approx(2.0, rel=0.1)
+
+
+def test_submit_times_are_arrival_times():
+    feeder = _feeder(rate=1.0)
+    queue = JobQueue()
+    feeder.poll(50.0, queue)
+    times = [j.submit_time for j in queue]
+    assert times == sorted(times)
+    assert all(0.0 < t <= 50.0 for t in times)
+
+
+def test_deterministic_per_seed():
+    q1, q2 = JobQueue(), JobQueue()
+    _feeder(seed=4).poll(200.0, q1)
+    _feeder(seed=4).poll(200.0, q2)
+    assert [(j.app.name, j.nprocs, j.submit_time) for j in q1] == [
+        (j.app.name, j.nprocs, j.submit_time) for j in q2
+    ]
+
+
+def test_never_exhausted():
+    assert not _feeder().exhausted()
+
+
+def test_no_arrivals_before_first_draw():
+    feeder = _feeder(rate=0.001, seed=1)  # first arrival ~1000 s out
+    queue = JobQueue()
+    feeder.poll(0.001, queue)
+    assert len(queue) == 0
+    assert feeder.next_arrival_time > 0.001
+
+
+def test_works_with_batch_scheduler(small_cluster):
+    from repro.scheduler import BatchScheduler
+    from repro.workload import JobExecutor
+
+    src = RandomSource(seed=2)
+    generator = RandomJobGenerator(
+        src.stream("gen"), runtime_scale=0.005, nprocs_choices=(8, 16, 32)
+    )
+    feeder = PoissonFeeder(generator, src.stream("arr"), rate_per_s=0.2)
+    executor = JobExecutor(small_cluster.state, src.stream("exec"))
+    scheduler = BatchScheduler(small_cluster, executor, feeder)
+    saw_idle = False
+    for t in range(1, 301):
+        scheduler.tick(float(t), 1.0)
+        if small_cluster.state.idle_mask().sum() > 0:
+            saw_idle = True
+    assert scheduler.started_count > 0
+    # Open system: the machine is NOT saturated the whole time.
+    assert saw_idle

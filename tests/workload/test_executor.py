@@ -1,0 +1,153 @@
+"""Unit tests for the job executor (per-tick advancement)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import RandomSource
+from repro.workload import Job, JobExecutor, JobState, get_application
+
+
+def _executor(cluster, deterministic=True, **kwargs):
+    rng = RandomSource(seed=3).stream("exec")
+    if deterministic:
+        kwargs.setdefault("util_jitter_std", 0.0)
+        kwargs.setdefault("node_noise_std", 0.0)
+        kwargs.setdefault("modulation_std", 0.0)
+    return JobExecutor(cluster.state, rng, **kwargs)
+
+
+def _start_job(cluster, nodes, app="EP", nprocs=64, job_id=0, t=0.0):
+    job = Job(job_id=job_id, app=get_application(app), nprocs=nprocs, submit_time=0.0)
+    cluster.state.assign_job(nodes, job_id)
+    job.start(t, nodes)
+    return job
+
+
+def test_progress_at_full_speed(small_cluster):
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4))
+    ex.advance([job], now=0.0, dt=1.0)
+    assert job.progress_s == pytest.approx(1.0)
+    assert job.degraded_exposure_s == 0.0
+
+
+def test_load_written_to_state(small_cluster):
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4), app="EP")
+    ex.advance([job], now=0.0, dt=1.0)
+    phase = job.app.schedule.phase_at(job.cycle_position)
+    np.testing.assert_allclose(small_cluster.state.cpu_util[:4], phase.cpu_util)
+    np.testing.assert_allclose(small_cluster.state.nic_frac[:4], phase.nic_frac)
+
+
+def test_degraded_node_slows_whole_job(small_cluster):
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4), app="EP")
+    small_cluster.state.set_level(0, 0)  # one slow node
+    ex.advance([job], now=0.0, dt=1.0)
+    speed0 = small_cluster.spec.dvfs.speed(0)
+    phase = job.app.schedule.phase_at(0.0)
+    beta = phase.compute_boundness
+    expected = 1.0 / ((1 - beta) + beta / speed0)
+    assert job.progress_s == pytest.approx(expected)
+    assert job.degraded_exposure_s == pytest.approx(1.0)
+
+
+def test_degrading_all_nodes_same_as_one(small_cluster):
+    ex = _executor(small_cluster)
+    job_a = _start_job(small_cluster, np.arange(0, 4), job_id=0)
+    job_b = _start_job(small_cluster, np.arange(4, 8), job_id=1)
+    small_cluster.state.set_level(0, 3)
+    small_cluster.state.set_levels(np.arange(4, 8), 3)
+    ex.advance([job_a, job_b], now=0.0, dt=1.0)
+    assert job_a.progress_s == pytest.approx(job_b.progress_s)
+
+
+def test_completion_interpolated_exactly(small_cluster):
+    """An uncapped job's measured runtime equals its nominal runtime."""
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4))
+    nominal = job.nominal_runtime_s
+    job.progress_s = nominal - 0.25  # quarter of a second of work left
+    notices = ex.advance([job], now=100.0, dt=1.0)
+    assert len(notices) == 1
+    assert notices[0].finish_time == pytest.approx(100.25)
+    assert job.remaining_work_s == 0.0
+
+
+def test_completion_not_issued_twice(small_cluster):
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4))
+    job.progress_s = job.nominal_runtime_s - 0.5
+    notices = ex.advance([job], now=0.0, dt=1.0)
+    assert len(notices) == 1
+    job.finish(notices[0].finish_time)
+    # Finished jobs are skipped on later ticks.
+    assert ex.advance([job], now=1.0, dt=1.0) == []
+
+
+def test_non_running_jobs_skipped(small_cluster):
+    ex = _executor(small_cluster)
+    pending = Job(job_id=5, app=get_application("EP"), nprocs=8, submit_time=0.0)
+    assert ex.advance([pending], now=0.0, dt=1.0) == []
+    assert pending.progress_s == 0.0
+
+
+def test_memory_ramp(small_cluster):
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4), app="CG")
+    ramp = job.app.mem_ramp_s
+    ex.advance([job], now=0.0, dt=1.0)
+    early = small_cluster.state.mem_frac[0]
+    ex.advance([job], now=ramp * 2, dt=1.0)
+    late = small_cluster.state.mem_frac[0]
+    assert early < late
+    assert late == pytest.approx(job.app.mem_fraction)
+
+
+def test_invalid_dt_rejected(small_cluster):
+    ex = _executor(small_cluster)
+    with pytest.raises(WorkloadError):
+        ex.advance([], now=0.0, dt=0.0)
+
+
+def test_invalid_jitter_rejected(small_cluster):
+    rng = RandomSource(seed=1).stream("x")
+    with pytest.raises(WorkloadError):
+        JobExecutor(small_cluster.state, rng, util_jitter_std=-0.1)
+    with pytest.raises(WorkloadError):
+        JobExecutor(small_cluster.state, rng, modulation_std=-0.1)
+    with pytest.raises(WorkloadError):
+        JobExecutor(small_cluster.state, rng, modulation_tau_s=0.0)
+
+
+def test_modulation_factor_fluctuates_and_is_bounded(small_cluster):
+    ex = _executor(small_cluster, deterministic=False, modulation_std=0.2)
+    job = _start_job(small_cluster, np.arange(4))
+    factors = []
+    for t in range(200):
+        ex.advance([job], now=float(t), dt=1.0)
+        factors.append(ex.modulation_factor)
+    arr = np.asarray(factors)
+    assert arr.std() > 0.01
+    assert np.all(arr >= 0.55) and np.all(arr <= 1.45)
+
+
+def test_zero_modulation_keeps_factor_one(small_cluster):
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4))
+    ex.advance([job], now=0.0, dt=1.0)
+    assert ex.modulation_factor == pytest.approx(1.0)
+
+
+def test_phase_progression_changes_load(small_cluster):
+    """As progress crosses phase boundaries the written load changes."""
+    ex = _executor(small_cluster)
+    job = _start_job(small_cluster, np.arange(4), app="SP", nprocs=64)
+    seen_utils = set()
+    total_cycles = int(job.nominal_runtime_s)
+    for t in range(min(total_cycles - 1, 400)):
+        ex.advance([job], now=float(t), dt=1.0)
+        seen_utils.add(round(float(small_cluster.state.cpu_util[0]), 3))
+    assert len(seen_utils) >= 2  # solve and exchange phases both seen

@@ -1,0 +1,124 @@
+"""Unit tests for the random job generator and trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.sim import RandomSource
+from repro.workload import JobTrace, RandomJobGenerator, TraceRecord
+from repro.workload.generator import PAPER_NPROCS_CHOICES
+
+
+def _generator(seed=1, **kwargs):
+    return RandomJobGenerator(RandomSource(seed=seed).stream("gen"), **kwargs)
+
+
+def test_paper_nprocs_choices():
+    assert PAPER_NPROCS_CHOICES == (8, 16, 32, 64, 128, 256)
+
+
+def test_jobs_have_increasing_ids():
+    gen = _generator()
+    jobs = [gen.next_job(float(i)) for i in range(10)]
+    assert [j.job_id for j in jobs] == list(range(10))
+    assert gen.generated == 10
+
+
+def test_jobs_draw_from_paper_sets():
+    gen = _generator()
+    jobs = [gen.next_job(0.0) for _ in range(300)]
+    apps = {j.app.name for j in jobs}
+    nprocs = {j.nprocs for j in jobs}
+    assert apps == {"EP", "CG", "LU", "BT", "SP"}
+    assert nprocs == set(PAPER_NPROCS_CHOICES)
+
+
+def test_mix_is_roughly_uniform():
+    gen = _generator()
+    jobs = [gen.next_job(0.0) for _ in range(2000)]
+    for name in ("EP", "CG", "LU", "BT", "SP"):
+        frac = sum(1 for j in jobs if j.app.name == name) / len(jobs)
+        assert 0.14 < frac < 0.26
+
+
+def test_same_seed_same_sequence():
+    a = [(j.app.name, j.nprocs) for j in (_generator(5).next_job(0.0) for _ in range(50))]
+    b = [(j.app.name, j.nprocs) for j in (_generator(5).next_job(0.0) for _ in range(50))]
+    assert a == b
+
+
+def test_runtime_scale_compresses():
+    full = _generator(1, runtime_scale=1.0).next_job(0.0)
+    small_gen = _generator(1, runtime_scale=0.1)
+    small = small_gen.next_job(0.0)
+    assert small.app.name == full.app.name  # same draw
+    assert small.nominal_runtime_s == pytest.approx(0.1 * full.nominal_runtime_s)
+
+
+def test_invalid_configuration():
+    rng = RandomSource(seed=0).stream("x")
+    with pytest.raises(ConfigurationError):
+        RandomJobGenerator(rng, runtime_scale=0.0)
+    with pytest.raises(ConfigurationError):
+        RandomJobGenerator(rng, nprocs_choices=())
+    with pytest.raises(ConfigurationError):
+        RandomJobGenerator(rng, nprocs_choices=(0,))
+    with pytest.raises(ConfigurationError):
+        RandomJobGenerator(rng, applications=[])
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def test_trace_roundtrip_csv():
+    gen = _generator()
+    jobs = [gen.next_job(float(i)) for i in range(20)]
+    trace = JobTrace.from_jobs(jobs)
+    restored = JobTrace.from_csv(trace.to_csv())
+    assert len(restored) == 20
+    for a, b in zip(trace, restored):
+        assert a == b
+
+
+def test_trace_to_jobs_assigns_ids():
+    trace = JobTrace(
+        [TraceRecord(0.0, "EP", 8), TraceRecord(5.0, "CG", 64)]
+    )
+    jobs = trace.to_jobs()
+    assert [j.job_id for j in jobs] == [0, 1]
+    assert jobs[0].app.name == "EP"
+    assert jobs[1].submit_time == 5.0
+
+
+def test_trace_to_jobs_runtime_scale():
+    trace = JobTrace([TraceRecord(0.0, "EP", 64)])
+    job = trace.to_jobs(runtime_scale=0.5)[0]
+    full = trace.to_jobs()[0]
+    assert job.nominal_runtime_s == pytest.approx(0.5 * full.nominal_runtime_s)
+
+
+def test_trace_requires_time_order():
+    with pytest.raises(WorkloadError):
+        JobTrace([TraceRecord(5.0, "EP", 8), TraceRecord(1.0, "EP", 8)])
+
+
+def test_trace_save_load(tmp_path):
+    trace = JobTrace([TraceRecord(0.0, "LU", 32)])
+    path = tmp_path / "trace.csv"
+    trace.save(path)
+    loaded = JobTrace.load(path)
+    assert loaded[0] == trace[0]
+
+
+def test_trace_rejects_malformed_csv():
+    with pytest.raises(WorkloadError):
+        JobTrace.from_csv("not,a,header\n1,2,3")
+    with pytest.raises(WorkloadError):
+        JobTrace.from_csv("submit_time,app,nprocs\n1.0,EP")
+
+
+def test_trace_record_validation():
+    with pytest.raises(WorkloadError):
+        TraceRecord(-1.0, "EP", 8)
+    with pytest.raises(WorkloadError):
+        TraceRecord(0.0, "EP", 0)

@@ -1,0 +1,112 @@
+"""Unit tests for the job lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import Job, JobState, get_application
+
+
+def _job(job_id=0, app="EP", nprocs=64, submit=0.0):
+    return Job(job_id=job_id, app=get_application(app), nprocs=nprocs, submit_time=submit)
+
+
+def test_initial_state():
+    job = _job()
+    assert job.state is JobState.PENDING
+    assert job.progress_s == 0.0
+    assert job.degraded_exposure_s == 0.0
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        _job(nprocs=0)
+    with pytest.raises(WorkloadError):
+        _job(submit=-1.0)
+
+
+def test_nominal_runtime_delegates_to_app():
+    job = _job(nprocs=128)
+    assert job.nominal_runtime_s == pytest.approx(
+        get_application("EP").nominal_runtime(128)
+    )
+
+
+def test_lifecycle_happy_path():
+    job = _job(submit=10.0)
+    job.start(15.0, np.array([0, 1, 2]))
+    assert job.state is JobState.RUNNING
+    assert job.waiting_time_s == pytest.approx(5.0)
+    job.finish(100.0)
+    assert job.state is JobState.FINISHED
+    assert job.actual_runtime_s == pytest.approx(85.0)
+
+
+def test_start_twice_rejected():
+    job = _job()
+    job.start(0.0, np.array([0]))
+    with pytest.raises(WorkloadError):
+        job.start(1.0, np.array([0]))
+
+
+def test_start_on_zero_nodes_rejected():
+    with pytest.raises(WorkloadError):
+        _job().start(0.0, np.array([], dtype=np.int64))
+
+
+def test_start_before_submit_rejected():
+    with pytest.raises(WorkloadError):
+        _job(submit=10.0).start(5.0, np.array([0]))
+
+
+def test_finish_without_running_rejected():
+    with pytest.raises(WorkloadError):
+        _job().finish(1.0)
+
+
+def test_finish_before_start_rejected():
+    job = _job()
+    job.start(10.0, np.array([0]))
+    with pytest.raises(WorkloadError):
+        job.finish(5.0)
+
+
+def test_actual_runtime_requires_finished():
+    job = _job()
+    with pytest.raises(WorkloadError):
+        _ = job.actual_runtime_s
+
+
+def test_waiting_time_requires_started():
+    with pytest.raises(WorkloadError):
+        _ = _job().waiting_time_s
+
+
+def test_remaining_work():
+    job = _job()
+    assert job.remaining_work_s == pytest.approx(job.nominal_runtime_s)
+    job.progress_s = job.nominal_runtime_s
+    assert job.remaining_work_s == 0.0
+
+
+def test_cycle_position_wraps():
+    job = _job()
+    cycle = job.cycle_length_s
+    job.progress_s = 0.25 * cycle
+    assert job.cycle_position == pytest.approx(0.25)
+    job.progress_s = 2.75 * cycle
+    assert job.cycle_position == pytest.approx(0.75)
+
+
+def test_cycle_length_bounded():
+    job = _job(nprocs=8)  # long job
+    assert job.cycle_length_s <= 120.0
+    assert job.cycle_length_s > 0
+
+
+def test_nodes_array_is_copied():
+    job = _job()
+    nodes = np.array([1, 2, 3])
+    job.start(0.0, nodes)
+    nodes[0] = 99
+    assert job.nodes[0] == 1

@@ -1,0 +1,72 @@
+"""Unit tests for phases and cyclic schedules."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import Phase, PhaseSchedule
+
+
+def _phase(name, share, util=0.5, nic=0.1, beta=0.5):
+    return Phase(name, share, cpu_util=util, nic_frac=nic, compute_boundness=beta)
+
+
+def test_phase_validation():
+    with pytest.raises(WorkloadError):
+        _phase("bad", 0.0)
+    with pytest.raises(WorkloadError):
+        _phase("bad", 1.0, util=1.5)
+    with pytest.raises(WorkloadError):
+        _phase("bad", 1.0, nic=-0.1)
+    with pytest.raises(WorkloadError):
+        _phase("bad", 1.0, beta=2.0)
+
+
+def test_schedule_requires_phases():
+    with pytest.raises(WorkloadError):
+        PhaseSchedule([])
+
+
+def test_single_phase_covers_everything():
+    sched = PhaseSchedule([_phase("only", 1.0)])
+    for pos in (0.0, 0.3, 0.999):
+        assert sched.phase_at(pos).name == "only"
+
+
+def test_phase_at_boundaries():
+    sched = PhaseSchedule([_phase("a", 0.5), _phase("b", 0.5)])
+    assert sched.phase_at(0.0).name == "a"
+    assert sched.phase_at(0.49).name == "a"
+    assert sched.phase_at(0.5).name == "b"
+    assert sched.phase_at(0.99).name == "b"
+
+
+def test_shares_are_normalised():
+    # Shares 3 and 1 behave like 0.75 / 0.25.
+    sched = PhaseSchedule([_phase("a", 3.0), _phase("b", 1.0)])
+    assert sched.phase_at(0.74).name == "a"
+    assert sched.phase_at(0.76).name == "b"
+
+
+def test_phase_at_wraps_cyclically():
+    sched = PhaseSchedule([_phase("a", 0.5), _phase("b", 0.5)])
+    assert sched.phase_at(1.25).name == "a"
+    assert sched.phase_at(2.75).name == "b"
+
+
+def test_means_are_share_weighted():
+    sched = PhaseSchedule(
+        [
+            Phase("a", 0.75, cpu_util=0.8, nic_frac=0.0, compute_boundness=1.0),
+            Phase("b", 0.25, cpu_util=0.4, nic_frac=0.4, compute_boundness=0.0),
+        ]
+    )
+    assert sched.mean_cpu_util() == pytest.approx(0.75 * 0.8 + 0.25 * 0.4)
+    assert sched.mean_compute_boundness() == pytest.approx(0.75)
+    assert sched.mean_nic_frac() == pytest.approx(0.1)
+
+
+def test_len_and_phases_accessor():
+    phases = [_phase("a", 1.0), _phase("b", 2.0)]
+    sched = PhaseSchedule(phases)
+    assert len(sched) == 2
+    assert sched.phases[0].name == "a"

@@ -1,0 +1,79 @@
+"""Unit tests for the DVFS slowdown and job progress-rate models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.scaling import (
+    job_progress_rate,
+    node_progress_rate,
+    slowdown_factor,
+)
+
+
+def test_full_speed_is_rate_one():
+    assert node_progress_rate(1.0, 0.5) == pytest.approx(1.0)
+    assert node_progress_rate(1.0, 0.0) == pytest.approx(1.0)
+    assert node_progress_rate(1.0, 1.0) == pytest.approx(1.0)
+
+
+def test_fully_compute_bound_scales_with_frequency():
+    assert node_progress_rate(0.5, 1.0) == pytest.approx(0.5)
+    assert node_progress_rate(0.25, 1.0) == pytest.approx(0.25)
+
+
+def test_frequency_insensitive_phase_unaffected():
+    assert node_progress_rate(0.5, 0.0) == pytest.approx(1.0)
+
+
+def test_partial_boundness_harmonic_mix():
+    # β=0.5, s=0.5: rate = 1/(0.5 + 0.5/0.5) = 1/1.5
+    assert node_progress_rate(0.5, 0.5) == pytest.approx(1.0 / 1.5)
+
+
+def test_rate_monotone_in_speed():
+    speeds = np.linspace(0.2, 1.0, 9)
+    rates = np.asarray(node_progress_rate(speeds, 0.7))
+    assert np.all(np.diff(rates) > 0)
+
+
+def test_rate_monotone_in_boundness_below_full_speed():
+    """At reduced speed, more compute-bound phases slow down more."""
+    rates = [node_progress_rate(0.5, b) for b in (0.0, 0.3, 0.6, 1.0)]
+    assert all(b < a for a, b in zip(rates, rates[1:]))
+
+
+def test_slowdown_is_reciprocal():
+    assert slowdown_factor(0.5, 1.0) == pytest.approx(2.0)
+    s = slowdown_factor(np.array([0.5, 1.0]), 0.7)
+    assert s[1] == pytest.approx(1.0)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(WorkloadError):
+        node_progress_rate(0.0, 0.5)
+    with pytest.raises(WorkloadError):
+        node_progress_rate(1.5, 0.5)
+    with pytest.raises(WorkloadError):
+        node_progress_rate(0.5, -0.1)
+    with pytest.raises(WorkloadError):
+        node_progress_rate(0.5, 1.1)
+
+
+def test_job_rate_is_bottleneck():
+    """§IV.A: one slow node gates the whole bulk-synchronous job."""
+    speeds = np.array([1.0, 1.0, 0.6, 1.0])
+    assert job_progress_rate(speeds, 1.0) == pytest.approx(0.6)
+
+
+def test_job_rate_degrading_more_nodes_costs_nothing_extra():
+    """Degrading every node of a job equals degrading one node — the
+    rationale for whole-job target sets."""
+    one_slow = job_progress_rate(np.array([0.6, 1.0, 1.0]), 0.8)
+    all_slow = job_progress_rate(np.array([0.6, 0.6, 0.6]), 0.8)
+    assert one_slow == pytest.approx(all_slow)
+
+
+def test_job_rate_empty_rejected():
+    with pytest.raises(WorkloadError):
+        job_progress_rate(np.array([]), 0.5)
