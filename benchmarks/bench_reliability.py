@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis import Table
 from repro.experiments import run_experiment
+from repro.metrics import cap_violation_seconds
 
 from benchmarks.conftest import print_banner
 
@@ -32,16 +33,20 @@ def test_reliability_impact(benchmark, bench_config):
         _run_pair, args=(bench_config,), rounds=1, iterations=1
     )
     print_banner("Reliability: thermal impact of capping (Feng's 2x/10C law)")
-    table = Table(["run", "peak node temp (C)", "expected failures (window)"])
+    table = Table(
+        ["run", "peak node temp (C)", "expected failures (window)", "cap violation (s)"]
+    )
     table.add_row(
         "uncapped",
         f"{baseline.peak_temperature_c:.1f}",
         f"{baseline.expected_failures:.2e}",
+        f"{cap_violation_seconds(baseline.times, baseline.power_w, baseline.p_high_w):.0f}",
     )
     table.add_row(
         "mpc-capped",
         f"{capped.peak_temperature_c:.1f}",
         f"{capped.expected_failures:.2e}",
+        f"{cap_violation_seconds(capped.times, capped.power_w, capped.p_high_w):.0f}",
     )
     print(table.render())
     saved = 1.0 - capped.expected_failures / baseline.expected_failures

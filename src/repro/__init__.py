@@ -29,6 +29,7 @@ Subpackages
 ``repro.scheduler``    FCFS queue, first-fit allocator, feeders
 ``repro.telemetry``    profiling agents, collector, cost model, recorder
 ``repro.core``         THE PAPER: sets, thresholds, Algorithm 1, policies
+``repro.faults``       seeded fault injection + degraded-mode config
 ``repro.metrics``      Performance(cap), CPLJ, P_max, ΔP×T, survey metrics
 ``repro.analysis``     tables, ASCII charts, statistics
 ``repro.experiments``  per-figure harnesses (Fig. 5/6/7, ablations)
@@ -45,6 +46,7 @@ from repro.core import (
     make_policy,
 )
 from repro.experiments import ExperimentConfig, ExperimentResult, run_experiment
+from repro.faults import DegradedModeConfig, FaultInjector, FaultScenario, FaultStats
 from repro.metrics import RunMetrics, compare_runs
 from repro.power import PowerModel, PowerProvision, SystemPowerMeter
 from repro.sim import RandomSource, SimulationEngine
@@ -53,8 +55,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Cluster",
+    "DegradedModeConfig",
     "ExperimentConfig",
     "ExperimentResult",
+    "FaultInjector",
+    "FaultScenario",
+    "FaultStats",
     "NodeSets",
     "NodeSpec",
     "PowerManager",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import replace
+from dataclasses import asdict, replace
 from typing import Any, Callable, Sequence
 
 from repro.analysis import Table, format_fig6_table, format_fig7_table
@@ -27,6 +27,7 @@ from repro.experiments import (
     run_fig7,
 )
 from repro.experiments.ablations import policy_zoo
+from repro.faults import FaultScenario
 from repro.metrics import compare_runs
 from repro.units import fmt_power
 
@@ -54,7 +55,29 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["run_duration_s"] = args.duration
     if args.steady_green is not None:
         overrides["steady_green_cycles"] = args.steady_green
+    scenario = _scenario_from_args(args)
+    if scenario.enabled:
+        overrides["faults"] = scenario
     return replace(config, **overrides) if overrides else config
+
+
+_FAULT_PRESETS: dict[str, Callable[..., FaultScenario]] = {
+    "none": FaultScenario.none,
+    "light": FaultScenario.light,
+    "heavy": FaultScenario.heavy,
+}
+
+
+def _scenario_from_args(args: argparse.Namespace) -> FaultScenario:
+    scenario = _FAULT_PRESETS[getattr(args, "faults", "none")]()
+    overrides: dict[str, Any] = {}
+    if getattr(args, "telemetry_dropout", None) is not None:
+        overrides["telemetry_dropout"] = args.telemetry_dropout
+    if getattr(args, "command_loss", None) is not None:
+        overrides["command_loss"] = args.command_loss
+    if getattr(args, "meter_outage", None) is not None:
+        overrides["meter_outage_rate"] = args.meter_outage
+    return replace(scenario, **overrides) if overrides else scenario
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +105,31 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--steady-green", type=int, default=None, help="T_g in control cycles"
     )
+    faults = parser.add_argument_group("fault injection")
+    faults.add_argument(
+        "--faults",
+        choices=sorted(_FAULT_PRESETS),
+        default="none",
+        help="fault scenario preset (default: none)",
+    )
+    faults.add_argument(
+        "--telemetry-dropout",
+        type=float,
+        default=None,
+        help="per-node per-cycle telemetry sample loss probability",
+    )
+    faults.add_argument(
+        "--command-loss",
+        type=float,
+        default=None,
+        help="per-command DVFS loss probability",
+    )
+    faults.add_argument(
+        "--meter-outage",
+        type=float,
+        default=None,
+        help="per-cycle system-meter outage onset probability",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of tables"
     )
@@ -105,6 +153,9 @@ def _metrics_dict(result) -> dict[str, Any]:
         "state_cycles": result.state_cycles,
         "entered_red": result.entered_red,
         "commands_sent": result.commands_sent,
+        "fault_stats": (
+            asdict(result.fault_stats) if result.fault_stats is not None else None
+        ),
     }
 
 
@@ -135,6 +186,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "/".join(str(result.state_cycles[k]) for k in ("green", "yellow", "red")),
         )
         table.add_row("DVFS commands", result.commands_sent)
+    fs = result.fault_stats
+    if fs is not None:
+        table.add_row("telemetry samples dropped", fs.dropped_samples)
+        table.add_row("DVFS commands lost/retried", f"{fs.commands_lost}/{fs.commands_retried}")
+        table.add_row("meter outage cycles", fs.meter_outage_cycles)
+        table.add_row("estimated-power cycles", fs.estimated_power_cycles)
+        table.add_row("forced-red cycles", fs.forced_red_cycles)
     print(table.render())
     return 0
 

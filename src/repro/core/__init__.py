@@ -28,7 +28,7 @@ Modules:
 * :mod:`repro.core.manager` — the assembled control loop.
 """
 
-from repro.core.actuator import DvfsActuator
+from repro.core.actuator import ActuationReport, DvfsActuator
 from repro.core.capping import CappingAction, CappingDecision, PowerCappingAlgorithm
 from repro.core.manager import CycleReport, PowerManager
 from repro.core.policies import (
@@ -42,6 +42,7 @@ from repro.core.states import PowerState, classify_power_state
 from repro.core.thresholds import PowerThresholds, ThresholdController
 
 __all__ = [
+    "ActuationReport",
     "CandidateSelector",
     "CappingAction",
     "CappingDecision",

@@ -8,35 +8,120 @@ cluster state — atomically for the whole target set, matching the paper's
 property that the algorithm "regulates the power states of all nodes in
 the system synchronously" — and keeps actuation statistics the
 experiments report (commands issued, degrade/upgrade totals).
+
+On a real machine a commanded level does not always land: the RPC is
+dropped, the node's management daemon is wedged, or the write arrives
+cycles late.  The actuator therefore **verifies every command by
+readback** (commanded vs. post-write level) and re-issues verified-lost
+commands with exponential backoff in control cycles, bounded by
+``max_retries``; a newer command to the same node supersedes any pending
+re-issue.  It also enforces the degraded-mode safety clamp: a command
+that would *raise* a node's actual level only lands if the caller marked
+that node's telemetry as fresh (``raise_ok``), so stale data can never
+upgrade a node — not even through a yellow-cycle command computed from
+an out-of-date snapshot.  Every :meth:`apply` returns an
+:class:`ActuationReport` separating effective, no-op, suppressed, lost
+and delayed commands.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.core.capping import CappingAction, CappingDecision
-from repro.errors import PowerManagementError
+from repro.errors import ConfigurationError, PowerManagementError
 
-__all__ = ["DvfsActuator"]
+__all__ = ["ActuationReport", "DvfsActuator"]
+
+
+@dataclass(frozen=True)
+class ActuationReport:
+    """What happened to one decision's batch of DVFS commands.
+
+    Attributes:
+        commands: Pairs ``(i, l)`` the decision addressed.
+        effective: Commands that landed and changed the node's level.
+        noop: Commands that landed but found the node already at the
+            commanded level (previously counted silently as "sent").
+        suppressed: Commands clamped to no-ops by the never-upgrade-on-
+            stale-data guard.
+        lost: Commands that failed readback verification this cycle
+            (queued for re-issue unless retries are exhausted).
+        delayed: Commands in flight, landing in a later cycle.
+    """
+
+    commands: int = 0
+    effective: int = 0
+    noop: int = 0
+    suppressed: int = 0
+    lost: int = 0
+    delayed: int = 0
+
+    @property
+    def landed(self) -> int:
+        """Commands that reached the node this cycle (any outcome)."""
+        return self.effective + self.noop + self.suppressed
+
+
+_EMPTY_REPORT = ActuationReport()
+
+
+@dataclass
+class _PendingCommand:
+    """One in-flight or to-be-retried DVFS command."""
+
+    node_id: int
+    level: int
+    raise_ok: bool
+    attempts: int  #: issue attempts made so far (first issue = 1)
+    due_cycle: int
 
 
 class DvfsActuator:
-    """Applies :class:`~repro.core.capping.CappingDecision` to the state."""
+    """Applies :class:`~repro.core.capping.CappingDecision` to the state.
 
-    def __init__(self, state: ClusterState) -> None:
+    Args:
+        state: The cluster state to actuate.
+        fault_injector: Optional fault injector deciding per-command
+            loss/delay; ``None`` (the default) actuates perfectly.
+        max_retries: Bound on re-issues of a verified-lost command; the
+            k-th retry waits ``2^(k−1)`` cycles (exponential backoff).
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        fault_injector=None,
+        max_retries: int = 3,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
         self._state = state
+        self._injector = fault_injector
+        self._max_attempts = 1 + int(max_retries)
+        self._cycle = 0
+        self._pending: list[_PendingCommand] = []
+        self._live_raise_ok: np.ndarray | None = None
         self._commands_sent = 0
         self._levels_lowered = 0
         self._levels_raised = 0
         self._emergencies = 0
+        self._effective = 0
+        self._noops = 0
+        self._suppressed = 0
+        self._lost = 0
+        self._retried = 0
+        self._abandoned = 0
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property
     def commands_sent(self) -> int:
-        """Total per-node DVFS commands issued."""
+        """Total per-node DVFS commands issued (first issues only)."""
         return self._commands_sent
 
     @property
@@ -54,11 +139,136 @@ class DvfsActuator:
         """Number of red-state (emergency) actuations."""
         return self._emergencies
 
+    @property
+    def effective_commands(self) -> int:
+        """Commands that landed and changed a level."""
+        return self._effective
+
+    @property
+    def noop_commands(self) -> int:
+        """Commands that landed on a node already at the commanded level."""
+        return self._noops
+
+    @property
+    def suppressed_commands(self) -> int:
+        """Commands clamped by the never-upgrade-on-stale guard."""
+        return self._suppressed
+
+    @property
+    def lost_commands(self) -> int:
+        """Loss events across first issues and retries."""
+        return self._lost
+
+    @property
+    def retried_commands(self) -> int:
+        """Commands that landed only after at least one re-issue."""
+        return self._retried
+
+    @property
+    def abandoned_commands(self) -> int:
+        """Commands dropped after exhausting their retries."""
+        return self._abandoned
+
+    @property
+    def pending_commands(self) -> int:
+        """Commands currently queued (delayed or awaiting retry)."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # The cycle clock: land delayed/retried commands
+    # ------------------------------------------------------------------
+    def begin_cycle(self, raise_ok: np.ndarray | None = None) -> int:
+        """Advance one control cycle and flush due in-flight commands.
+
+        Called by the manager once per cycle, after the telemetry sweep,
+        so a late-landing raise is clamped against the *current* cycle's
+        staleness (``raise_ok``) as well as the freshness recorded when
+        the command was issued — a node that went stale while its
+        command was in flight can still not be upgraded.
+
+        Args:
+            raise_ok: This cycle's per-node raise permission mask (see
+                :meth:`apply`); ``None`` defers to issue-time freshness
+                alone.
+
+        Returns:
+            Number of commands that landed this flush.
+        """
+        self._cycle += 1
+        self._live_raise_ok = raise_ok
+        if not self._pending:
+            return 0
+        due = [p for p in self._pending if p.due_cycle <= self._cycle]
+        if not due:
+            return 0
+        self._pending = [p for p in self._pending if p.due_cycle > self._cycle]
+        if self._injector is not None:
+            ids = np.asarray([p.node_id for p in due], dtype=np.int64)
+            lost, delayed = self._injector.command_outcomes(ids)
+        else:  # pragma: no cover - pending implies an injector
+            lost = delayed = np.zeros(len(due), dtype=bool)
+        landed = 0
+        for k, cmd in enumerate(due):
+            if lost[k]:
+                self._lost += 1
+                self._requeue_or_abandon(cmd)
+            elif delayed[k]:
+                cmd.due_cycle = self._cycle + self._injector.command_delay_cycles
+                self._pending.append(cmd)
+            else:
+                self._land(cmd)
+                landed += 1
+        return landed
+
+    def _requeue_or_abandon(self, cmd: _PendingCommand) -> None:
+        cmd.attempts += 1
+        if cmd.attempts > self._max_attempts:
+            self._abandoned += 1
+            return
+        # Exponential backoff: the k-th retry waits 2^(k-1) cycles.
+        cmd.due_cycle = self._cycle + 2 ** (cmd.attempts - 2)
+        self._pending.append(cmd)
+
+    def _land(self, cmd: _PendingCommand) -> None:
+        """Write one late command, re-applying the raise clamp."""
+        current = int(self._state.level[cmd.node_id])
+        target = cmd.level
+        allow_raise = cmd.raise_ok and (
+            self._live_raise_ok is None or bool(self._live_raise_ok[cmd.node_id])
+        )
+        if target > current and not allow_raise:
+            self._suppressed += 1
+            return
+        if target == current:
+            self._noops += 1
+        else:
+            self._state.set_level(cmd.node_id, target)
+            self._effective += 1
+            if target < current:
+                self._levels_lowered += current - target
+            else:
+                self._levels_raised += target - current
+        if cmd.attempts > 1:
+            self._retried += 1
+
     # ------------------------------------------------------------------
     # Actuation
     # ------------------------------------------------------------------
-    def apply(self, decision: CappingDecision) -> None:
-        """Issue the decision's DVFS commands.
+    def apply(
+        self, decision: CappingDecision, raise_ok: np.ndarray | None = None
+    ) -> ActuationReport:
+        """Issue the decision's DVFS commands and verify by readback.
+
+        Args:
+            decision: The capping decision to actuate.
+            raise_ok: Optional per-node mask (over *all* node ids);
+                where False, a command may not raise that node's actual
+                level (its telemetry is stale or sensing is degraded).
+                ``None`` permits raises everywhere — the fault-free
+                contract, where snapshot and actual levels coincide.
+
+        Returns:
+            The batch's :class:`ActuationReport`.
 
         Raises:
             PowerManagementError: if a command addresses a privileged
@@ -67,17 +277,84 @@ class DvfsActuator:
                 indicates a wiring bug and must not be silently ignored.
         """
         if decision.action is CappingAction.NONE or decision.num_targets == 0:
-            return
+            return _EMPTY_REPORT
         ids = decision.node_ids
         if not np.all(self._state.controllable[ids]):
             raise PowerManagementError(
                 "capping decision addresses a privileged node"
             )
-        before = self._state.level[ids].copy()
-        self._state.set_levels(ids, decision.new_levels)
-        delta = self._state.level[ids] - before
-        self._commands_sent += len(ids)
+        # A fresh command supersedes anything still in flight for the
+        # same nodes — the controller's latest word wins.
+        if self._pending:
+            addressed = set(int(i) for i in ids)
+            self._pending = [
+                p for p in self._pending if p.node_id not in addressed
+            ]
+
+        n = len(ids)
+        if self._injector is not None:
+            lost, delayed = self._injector.command_outcomes(ids)
+        else:
+            lost = delayed = np.zeros(n, dtype=bool)
+        deliver = ~(lost | delayed)
+
+        current = self._state.level[ids].copy()
+        target = np.asarray(decision.new_levels, dtype=np.int64).copy()
+        allow = (
+            np.ones(n, dtype=bool) if raise_ok is None else raise_ok[ids]
+        )
+        blocked = (target > current) & ~allow
+        target[blocked] = current[blocked]
+
+        d_ids = ids[deliver]
+        before = current[deliver]
+        self._state.set_levels(d_ids, target[deliver])
+        # Readback verification: what actually landed this cycle.
+        delta = self._state.level[d_ids] - before
+        self._commands_sent += n
         self._levels_lowered += int(-delta[delta < 0].sum())
         self._levels_raised += int(delta[delta > 0].sum())
+        effective = int(np.count_nonzero(delta))
+        suppressed = int(blocked[deliver].sum())
+        noop = int(len(d_ids) - effective - suppressed)
+        self._effective += effective
+        self._noops += noop
+        self._suppressed += suppressed
+        self._lost += int(lost.sum())
         if decision.action is CappingAction.EMERGENCY:
             self._emergencies += 1
+
+        # Queue losses for re-issue and delays for late landing.  The
+        # *commanded* level is kept (not the clamped one): the clamp is
+        # re-evaluated against the node's actual level at landing time.
+        levels = decision.new_levels
+        for k in np.flatnonzero(lost):
+            self._requeue_or_abandon(
+                _PendingCommand(
+                    node_id=int(ids[k]),
+                    level=int(levels[k]),
+                    raise_ok=bool(allow[k]),
+                    attempts=1,
+                    due_cycle=self._cycle,
+                )
+            )
+        if delayed.any():
+            due = self._cycle + self._injector.command_delay_cycles
+            for k in np.flatnonzero(delayed):
+                self._pending.append(
+                    _PendingCommand(
+                        node_id=int(ids[k]),
+                        level=int(levels[k]),
+                        raise_ok=bool(allow[k]),
+                        attempts=1,
+                        due_cycle=due,
+                    )
+                )
+        return ActuationReport(
+            commands=n,
+            effective=effective,
+            noop=noop,
+            suppressed=suppressed,
+            lost=int(lost.sum()),
+            delayed=int(delayed.sum()),
+        )

@@ -37,6 +37,8 @@ from repro.core.sets import NodeSets
 from repro.core.states import PowerState
 from repro.core.thresholds import ThresholdController
 from repro.errors import ConfigurationError
+from repro.faults.degraded import DegradedModeConfig
+from repro.faults.injector import FaultInjector
 from repro.power.meter import SystemPowerMeter
 from repro.telemetry.cost import ManagementCostModel
 from repro.telemetry.recorder import TimeSeriesRecorder
@@ -76,6 +78,8 @@ class MimoFeedbackManager(PowerManager):
         recorder: TimeSeriesRecorder | None = None,
         gain: float = 0.6,
         release_margin_fraction: float = 0.03,
+        fault_injector: FaultInjector | None = None,
+        degraded: DegradedModeConfig | None = None,
     ) -> None:
         super().__init__(
             cluster,
@@ -86,6 +90,8 @@ class MimoFeedbackManager(PowerManager):
             steady_green_cycles=steady_green_cycles,
             cost_model=cost_model,
             recorder=recorder,
+            fault_injector=fault_injector,
+            degraded=degraded,
         )
         if not 0.0 < gain <= 1.0:
             raise ConfigurationError("gain must lie in (0, 1]")
@@ -186,6 +192,8 @@ class BudgetPartitionManager(PowerManager):
         cost_model: ManagementCostModel | None = None,
         recorder: TimeSeriesRecorder | None = None,
         proportional: bool = True,
+        fault_injector: FaultInjector | None = None,
+        degraded: DegradedModeConfig | None = None,
     ) -> None:
         super().__init__(
             cluster,
@@ -196,6 +204,8 @@ class BudgetPartitionManager(PowerManager):
             steady_green_cycles=steady_green_cycles,
             cost_model=cost_model,
             recorder=recorder,
+            fault_injector=fault_injector,
+            degraded=degraded,
         )
         self._proportional = bool(proportional)
         self._num_levels = cluster.spec.num_levels

@@ -126,17 +126,31 @@ class PowerCappingAlgorithm:
         state: PowerState,
         ctx: PolicyContext,
         policy: SelectionPolicy,
+        upgradable: np.ndarray | None = None,
     ) -> CappingDecision:
-        """Run one Algorithm 1 cycle and return the commanded pairs."""
+        """Run one Algorithm 1 cycle and return the commanded pairs.
+
+        Args:
+            upgradable: Optional mask over all node ids restricting
+                which degraded nodes may be upgraded this steady-green
+                cycle (the degraded-mode ladder passes the set of nodes
+                with *fresh* telemetry).  Excluded nodes simply stay in
+                ``A_degraded`` for a later, better-informed cycle;
+                ``None`` (the fault-free default) permits all.
+        """
         if state is PowerState.GREEN:
-            return self._green(ctx)
+            return self._green(ctx, upgradable)
         if state is PowerState.YELLOW:
             return self._yellow(ctx, policy)
         return self._red(ctx)
 
-    def _green(self, ctx: PolicyContext) -> CappingDecision:
+    def _green(
+        self, ctx: PolicyContext, upgradable: np.ndarray | None = None
+    ) -> CappingDecision:
         self._time_g += 1
         degraded = self.degraded_nodes
+        if upgradable is not None and len(degraded) > 0:
+            degraded = degraded[upgradable[degraded]]
         if self._time_g < self._t_g or len(degraded) == 0:
             return CappingDecision(
                 PowerState.GREEN, CappingAction.NONE, _EMPTY_I, _EMPTY_I, self._time_g

@@ -8,23 +8,46 @@ actuator.  The experiment harness calls :meth:`PowerManager.control_cycle`
 once per control period (normally equal to the sampling interval τ) and
 gets back a :class:`CycleReport`; the manager also appends the standard
 series (power, state, targets) to its recorder for the metrics layer.
+
+When a :class:`~repro.faults.injector.FaultInjector` is attached, the
+manager runs a **degraded-mode fail-safe ladder** on top of Algorithm 1
+(knobs in :class:`~repro.faults.degraded.DegradedModeConfig`):
+
+* **meter outage** → the cycle runs on the Formula (1) estimated
+  aggregate (§III.B) anchored to the last metered reading; threshold
+  learning freezes and no node may be upgraded while estimating;
+* **stale telemetry** → a node whose sample is older than the stale-age
+  bound is never upgraded (neither by steady-green restore nor by a
+  command that would raise its actual level), it simply waits in
+  ``A_degraded`` for fresh data;
+* **candidate-set blackout** → sustained sub-coverage telemetry forces
+  the cycle to red: with the candidate set dark, the safe assumption is
+  the worst one.
+
+With no injector attached every rung is compiled out of the path and the
+control cycle is bit-for-bit the paper's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
-from repro.core.actuator import DvfsActuator
+from repro.core.actuator import ActuationReport, DvfsActuator
 from repro.core.capping import CappingAction, CappingDecision, PowerCappingAlgorithm
 from repro.core.policies.base import PolicyContext, SelectionPolicy
 from repro.core.sets import NodeSets
 from repro.core.states import PowerState, classify_power_state
 from repro.core.thresholds import ThresholdController
+from repro.errors import DegradedModeError
+from repro.faults.degraded import DegradedModeConfig
+from repro.faults.injector import FaultInjector, FaultStats
 from repro.power.estimator import NodePowerEstimator
 from repro.power.hetero import make_power_model
 from repro.power.meter import SystemPowerMeter
-from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.collector import TelemetryCollector, TelemetrySnapshot
 from repro.telemetry.cost import ManagementCostModel
 from repro.telemetry.recorder import TimeSeriesRecorder
 
@@ -36,6 +59,10 @@ SERIES_STATE = "state_severity"
 SERIES_TARGETS = "targets"
 SERIES_P_LOW = "p_low_w"
 SERIES_P_HIGH = "p_high_w"
+#: Degraded-mode series, recorded only when a fault injector is attached
+#: (so fault-free runs keep the exact seed recorder content).
+SERIES_COVERAGE = "telemetry_coverage"
+SERIES_DEGRADED = "degraded_sensing"
 
 
 @dataclass(frozen=True)
@@ -48,11 +75,25 @@ class CycleReport:
     decision: CappingDecision
     p_low: float
     p_high: float
+    #: Whether the power value came from the meter (False = Formula (1)
+    #: fallback estimate during a meter outage).
+    metered: bool = True
+    #: Fraction of candidate agents that reported fresh data.
+    coverage: float = 1.0
+    #: Whether the blackout rung forced this cycle to red.
+    forced_red: bool = False
+    #: Outcome of this cycle's DVFS command batch.
+    actuation: ActuationReport | None = None
 
     @property
     def acted(self) -> bool:
         """Whether any DVFS command was issued this cycle."""
         return self.decision.action is not CappingAction.NONE
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the cycle ran on degraded sensing."""
+        return self.forced_red or not self.metered
 
 
 class PowerManager:
@@ -67,6 +108,9 @@ class PowerManager:
         steady_green_cycles: ``T_g`` for Algorithm 1 (paper: 10).
         cost_model: Management-cost accounting (Figure 5); optional.
         recorder: Series recorder; a fresh one is created if omitted.
+        fault_injector: Optional fault injector; attaching one arms the
+            degraded-mode fail-safe ladder.
+        degraded: Ladder thresholds (defaults when omitted).
     """
 
     def __init__(
@@ -79,23 +123,36 @@ class PowerManager:
         steady_green_cycles: int = 10,
         cost_model: ManagementCostModel | None = None,
         recorder: TimeSeriesRecorder | None = None,
+        fault_injector: FaultInjector | None = None,
+        degraded: DegradedModeConfig | None = None,
     ) -> None:
         self._cluster = cluster
         self._sets = sets
         self._meter = meter
         self._thresholds = thresholds
         self._policy = policy
+        self._injector = fault_injector
+        self._degraded_cfg = degraded if degraded is not None else DegradedModeConfig()
         self._collector = TelemetryCollector(
-            cluster.state, sets.candidates, cost_model
+            cluster.state, sets.candidates, cost_model, fault_injector
         )
         self._estimator = NodePowerEstimator(make_power_model(cluster))
         self._capping = PowerCappingAlgorithm(
             sets, cluster.spec.top_level, steady_green_cycles
         )
-        self._actuator = DvfsActuator(cluster.state)
+        self._actuator = DvfsActuator(cluster.state, fault_injector)
         self.recorder = recorder if recorder is not None else TimeSeriesRecorder()
         self._cycles = 0
         self._state_counts = {s: 0 for s in PowerState}
+        # Degraded-mode ladder state.
+        self._upgradable: np.ndarray | None = None
+        self._blackout_streak = 0
+        self._forced_red_cycles = 0
+        self._estimated_cycles = 0
+        self._last_metered_power: float | None = None
+        self._last_metered_snapshot: TelemetrySnapshot | None = None
+        self._offset_w = 0.0
+        self._offset_valid = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -135,6 +192,21 @@ class PowerManager:
         """Control cycles run so far."""
         return self._cycles
 
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The attached fault injector (None when fault-free)."""
+        return self._injector
+
+    @property
+    def forced_red_cycles(self) -> int:
+        """Cycles the blackout rung forced to red."""
+        return self._forced_red_cycles
+
+    @property
+    def estimated_power_cycles(self) -> int:
+        """Cycles run on the Formula (1) fallback estimate."""
+        return self._estimated_cycles
+
     def state_count(self, state: PowerState) -> int:
         """Number of cycles classified as ``state``."""
         return self._state_counts[state]
@@ -143,17 +215,82 @@ class PowerManager:
         """Whether any cycle was classified red (§V.D checks this)."""
         return self._state_counts[PowerState.RED] > 0
 
+    def fault_report(self) -> FaultStats | None:
+        """Aggregate fault accounting for the run (None when fault-free)."""
+        inj = self._injector
+        if inj is None:
+            return None
+        act = self._actuator
+        return FaultStats(
+            dropped_samples=self._collector.dropped_samples,
+            meter_outages=inj.meter_outages,
+            meter_outage_cycles=inj.meter_outage_cycles,
+            node_crashes=inj.node_crashes,
+            offline_node_cycles=inj.offline_node_cycles,
+            commands_lost=act.lost_commands,
+            commands_retried=act.retried_commands,
+            commands_abandoned=act.abandoned_commands,
+            forced_red_cycles=self._forced_red_cycles,
+            estimated_power_cycles=self._estimated_cycles,
+        )
+
     # ------------------------------------------------------------------
     # The control cycle
     # ------------------------------------------------------------------
     def control_cycle(self, now: float) -> CycleReport:
         """Sense → classify → decide → actuate, and record the series."""
-        power = self._meter.read()
-        self._thresholds.observe(power)
+        inj = self._injector
+        if inj is not None:
+            inj.begin_cycle(now)
+
+        snapshot = self._collector.collect(now)
+        metered = inj is None or inj.meter_available()
+        if inj is not None:
+            # Nodes eligible for an actual level raise this cycle: fresh
+            # telemetry, and only while running on a real meter reading.
+            allow = np.ones(self._cluster.state.num_nodes, dtype=bool)
+            if metered:
+                stale = snapshot.stale_mask(self._degraded_cfg.max_stale_age_s)
+                allow[snapshot.node_ids[stale]] = False
+            else:
+                allow[:] = False
+            self._upgradable = allow
+        else:
+            self._upgradable = None
+        # Flush in-flight commands after the sweep so late-landing raises
+        # are clamped against this cycle's staleness; their effect shows
+        # in the next sweep.
+        self._actuator.begin_cycle(raise_ok=self._upgradable)
+
+        if metered:
+            power = self._meter.read()
+            if inj is not None:
+                power = inj.perturb_meter(power)
+            self._thresholds.observe(power)
+            self._last_metered_power = power
+            self._last_metered_snapshot = snapshot
+            self._offset_valid = False
+        else:
+            power = self._estimate_system_power(snapshot)
+            self._estimated_cycles += 1
         th = self._thresholds.thresholds
         state = classify_power_state(power, th.p_low, th.p_high)
 
-        snapshot = self._collector.collect(now)
+        forced_red = False
+        if inj is not None:
+            cfg = self._degraded_cfg
+            if snapshot.coverage < cfg.blackout_coverage:
+                self._blackout_streak += 1
+            else:
+                self._blackout_streak = 0
+            if (
+                self._blackout_streak >= cfg.blackout_cycles
+                and state is not PowerState.RED
+            ):
+                state = PowerState.RED
+                forced_red = True
+                self._forced_red_cycles += 1
+
         ctx = PolicyContext(
             snapshot=snapshot,
             previous=self._collector.previous,
@@ -162,7 +299,7 @@ class PowerManager:
             thresholds=th,
         )
         decision = self._decide(state, ctx)
-        self._actuator.apply(decision)
+        actuation = self._actuator.apply(decision, raise_ok=self._upgradable)
 
         self._cycles += 1
         self._state_counts[state] += 1
@@ -172,6 +309,11 @@ class PowerManager:
         rec.record(SERIES_TARGETS, now, decision.num_targets)
         rec.record(SERIES_P_LOW, now, th.p_low)
         rec.record(SERIES_P_HIGH, now, th.p_high)
+        if inj is not None:
+            rec.record(SERIES_COVERAGE, now, snapshot.coverage)
+            rec.record(
+                SERIES_DEGRADED, now, 1.0 if (forced_red or not metered) else 0.0
+            )
         return CycleReport(
             time=now,
             power_w=power,
@@ -179,6 +321,58 @@ class PowerManager:
             decision=decision,
             p_low=th.p_low,
             p_high=th.p_high,
+            metered=metered,
+            coverage=snapshot.coverage,
+            forced_red=forced_red,
+            actuation=actuation,
+        )
+
+    def _estimate_system_power(self, snapshot: TelemetrySnapshot) -> float:
+        """Formula (1) fallback for total power during a meter outage.
+
+        The candidate set's estimated aggregate tracks the part of the
+        system the manager can observe; the remainder (privileged and
+        unmonitored nodes) is carried as a constant offset anchored at
+        the last metered cycle::
+
+            P ≈ Σ_candidates P_formula1(now) + (P_metered − Σ P_formula1)|_last
+
+        The offset is computed once per outage burst and reused until
+        the meter returns.
+
+        Raises:
+            DegradedModeError: if there is neither telemetry nor any
+                previously metered reading to anchor an estimate.
+        """
+        if snapshot.size == 0 and self._last_metered_power is None:
+            raise DegradedModeError(
+                "meter outage with no telemetry and no prior metered "
+                "reading: the fail-safe ladder has no estimation basis"
+            )
+        est = self._candidate_estimate_w(snapshot)
+        if not self._offset_valid:
+            last = self._last_metered_snapshot
+            if self._last_metered_power is not None and last is not None:
+                self._offset_w = self._last_metered_power - self._candidate_estimate_w(
+                    last
+                )
+            else:
+                self._offset_w = 0.0
+            self._offset_valid = True
+        return max(0.0, est + self._offset_w)
+
+    def _candidate_estimate_w(self, snapshot: TelemetrySnapshot) -> float:
+        """Σ over monitored nodes of the Formula (1) estimate, watts."""
+        if snapshot.size == 0:
+            return 0.0
+        return float(
+            self._estimator.estimate_nodes(
+                snapshot.level,
+                snapshot.cpu_util,
+                snapshot.mem_frac,
+                snapshot.nic_frac,
+                node_ids=snapshot.node_ids,
+            ).sum()
         )
 
     def _decide(self, state: PowerState, ctx: PolicyContext) -> CappingDecision:
@@ -187,9 +381,13 @@ class PowerManager:
         The default implementation is the paper's Algorithm 1 driven by
         the configured target-selection policy; baseline controllers
         (:mod:`repro.core.baselines`) override this single method and
-        inherit all sensing, actuation and reporting machinery.
+        inherit all sensing, actuation and reporting machinery —
+        including the degraded-mode ladder, whose raise clamp is applied
+        at the actuator regardless of how the decision was made.
         """
-        return self._capping.decide(state, ctx, self._policy)
+        return self._capping.decide(
+            state, ctx, self._policy, upgradable=self._upgradable
+        )
 
     def reset_episode_state(self) -> None:
         """Clear Algorithm 1 and policy cross-cycle state (new run)."""

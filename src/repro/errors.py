@@ -13,11 +13,13 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "FaultInjectionError",
     "SimulationError",
     "SchedulingError",
     "AllocationError",
     "PowerManagementError",
     "PolicyError",
+    "DegradedModeError",
     "TelemetryError",
     "WorkloadError",
     "MetricError",
@@ -34,6 +36,16 @@ class ConfigurationError(ReproError, ValueError):
     Raised eagerly at construction time (all config dataclasses validate in
     ``__post_init__``) so that a bad parameter fails fast rather than
     corrupting a multi-hour simulation half-way through.
+    """
+
+
+class FaultInjectionError(ConfigurationError):
+    """A fault-injection scenario or fault model failed validation.
+
+    Raised eagerly when a :class:`repro.faults.FaultScenario` (or one of
+    the fault models built from it) is constructed with an out-of-range
+    rate or duration, so a malformed robustness experiment fails fast
+    rather than silently injecting the wrong fault process.
     """
 
 
@@ -74,6 +86,19 @@ class PolicyError(PowerManagementError):
     """A target-set selection policy failed or was configured incorrectly.
 
     Also raised by the policy registry on lookup of an unknown policy name.
+    """
+
+
+class DegradedModeError(PowerManagementError):
+    """The degraded-mode control path was driven without any usable input.
+
+    Raised when every sensing channel is gone at once — the system meter
+    is out *and* no telemetry (not even a last-known-good cache) exists
+    to fall back on — so the fail-safe ladder has no basis for a
+    Formula (1) estimate.  By construction this cannot happen with a
+    non-empty candidate set (the collector primes its cache at deploy
+    time), so it indicates a wiring bug and must not be silently
+    ignored.
     """
 
 

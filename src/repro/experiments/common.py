@@ -36,6 +36,9 @@ from repro.core.sets import CandidateSelector, NodeSets
 from repro.core.states import PowerState
 from repro.core.thresholds import ThresholdController
 from repro.errors import ConfigurationError
+from repro.faults.degraded import DegradedModeConfig
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.scenario import FaultScenario
 from repro.metrics.summary import RunMetrics
 from repro.power.meter import SystemPowerMeter
 from repro.power.hetero import make_power_model
@@ -114,6 +117,12 @@ class ExperimentConfig:
     priority_choices: tuple[int, ...] = (0,)
     #: Management-cost model for Figure 5 accounting.
     cost_model: ManagementCostModel = field(default_factory=ManagementCostModel)
+    #: Monitoring-plane fault scenario; the default injects nothing and
+    #: reproduces the fault-free run bit for bit.
+    faults: FaultScenario = field(default_factory=FaultScenario.none)
+    #: Degraded-mode fail-safe ladder thresholds (used only when
+    #: ``faults`` injects something).
+    degraded: DegradedModeConfig = field(default_factory=DegradedModeConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -209,6 +218,10 @@ class ExperimentResult:
             window (None unless ``track_thermal``).
         expected_failures: Integrated expected node-failure count over
             the main window (None unless ``track_thermal``).
+        fault_stats: Aggregate fault/degraded-mode accounting (None
+            unless the run injected faults).
+        degraded_flags: Per-cycle degraded-sensing flag series aligned
+            with ``times`` (None unless the run injected faults).
     """
 
     label: str
@@ -227,6 +240,8 @@ class ExperimentResult:
     entered_red: bool
     peak_temperature_c: float | None = None
     expected_failures: float | None = None
+    fault_stats: FaultStats | None = None
+    degraded_flags: np.ndarray | None = None
 
 
 class _World:
@@ -344,6 +359,14 @@ def run_experiment(
             adjust_every_cycles=config.adjust_every_cycles,
         )
         factory = PowerManager if manager_factory is None else manager_factory
+        manager_kwargs = {}
+        if config.faults.enabled:
+            manager_kwargs["fault_injector"] = FaultInjector(
+                config.faults,
+                world.rng,
+                num_nodes=config.num_nodes,
+            )
+            manager_kwargs["degraded"] = config.degraded
         manager = factory(
             world.cluster,
             sets,
@@ -352,6 +375,7 @@ def run_experiment(
             policy_obj,
             steady_green_cycles=config.steady_green_cycles,
             cost_model=config.cost_model,
+            **manager_kwargs,
         )
 
     # Main window.
@@ -401,6 +425,10 @@ def run_experiment(
         state_cycles = {
             s.value: manager.state_count(s) for s in PowerState
         }
+        fault_stats = manager.fault_report()
+        degraded_flags = None
+        if manager.fault_injector is not None and "degraded_sensing" in manager.recorder:
+            degraded_flags = manager.recorder.values("degraded_sensing")
         return ExperimentResult(
             label=run_label,
             config=config,
@@ -418,6 +446,8 @@ def run_experiment(
             entered_red=manager.ever_entered_red(),
             peak_temperature_c=peak_temp,
             expected_failures=failures,
+            fault_stats=fault_stats,
+            degraded_flags=degraded_flags,
         )
     return ExperimentResult(
         label=run_label,

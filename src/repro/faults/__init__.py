@@ -1,0 +1,41 @@
+"""Fault injection and degraded-mode control configuration.
+
+The paper's architecture (Figure 1, §III.A) assumes the system meter,
+every profiling agent and every DVFS command work on every control
+cycle; its own motivation (§I.A) is that large systems fail constantly.
+This package closes that gap: deterministic, seeded fault models for the
+*monitoring plane* — telemetry dropout, meter outage and noise, command
+loss and delay, per-node monitoring crashes — plus the configuration of
+the manager's degraded-mode fail-safe ladder.
+
+* :class:`~repro.faults.scenario.FaultScenario` — frozen description of
+  the failure rates of one run (``FaultScenario.none()`` is the paper's
+  fault-free setting and changes nothing, bit for bit);
+* :mod:`repro.faults.models` — the seeded stochastic processes;
+* :class:`~repro.faults.injector.FaultInjector` — the per-run object
+  the manager, collector and actuator query each cycle, plus
+  :class:`~repro.faults.injector.FaultStats` accounting;
+* :class:`~repro.faults.degraded.DegradedModeConfig` — thresholds of
+  the fail-safe ladder (stale-age bound, blackout detection).
+"""
+
+from repro.faults.degraded import DegradedModeConfig
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.models import (
+    ActuationFaultModel,
+    MeterFaultModel,
+    NodeCrashModel,
+    TelemetryFaultModel,
+)
+from repro.faults.scenario import FaultScenario
+
+__all__ = [
+    "ActuationFaultModel",
+    "DegradedModeConfig",
+    "FaultInjector",
+    "FaultScenario",
+    "FaultStats",
+    "MeterFaultModel",
+    "NodeCrashModel",
+    "TelemetryFaultModel",
+]

@@ -1,0 +1,58 @@
+"""Configuration of the manager's degraded-mode fail-safe ladder.
+
+When the monitoring plane misbehaves, the power manager steps down a
+ladder of increasingly conservative behaviours instead of acting on bad
+data (each rung documented in ``docs/robustness.md``):
+
+1. **Meter outage** → run the cycle on the Formula (1) estimated
+   aggregate (§III.B) anchored to the last metered reading, freeze
+   threshold learning, and allow no upgrades while estimating.
+2. **Stale telemetry** → a node whose sample is older than
+   ``max_stale_age_s`` is never upgraded (its true operating point is
+   unknown; raising its frequency could overshoot the cap).
+3. **Candidate-set blackout** → if telemetry coverage stays below
+   ``blackout_coverage`` for ``blackout_cycles`` consecutive cycles, the
+   cycle is treated as **red** regardless of the metered state: with the
+   candidate set dark, the safe assumption is the worst one.
+
+These are control-behaviour knobs, not fault rates — they stay fixed
+while scenarios sweep — and with a healthy monitoring plane none of the
+rungs ever triggers, so the ladder is exactly the paper's Algorithm 1 in
+the fault-free limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DegradedModeConfig"]
+
+
+@dataclass(frozen=True)
+class DegradedModeConfig:
+    """Thresholds of the fail-safe ladder.
+
+    Attributes:
+        max_stale_age_s: Maximum telemetry age (seconds) at which a
+            node's data still counts as fresh enough to justify an
+            upgrade.  The default tolerates a couple of dropped samples
+            at the paper's τ = 1 s before declaring a node stale.
+        blackout_coverage: Coverage fraction below which a cycle counts
+            toward a candidate-set blackout.
+        blackout_cycles: Consecutive low-coverage cycles before the
+            ladder forces red.
+    """
+
+    max_stale_age_s: float = 3.0
+    blackout_coverage: float = 0.5
+    blackout_cycles: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_stale_age_s <= 0.0:
+            raise ConfigurationError("max_stale_age_s must be positive")
+        if not 0.0 <= self.blackout_coverage <= 1.0:
+            raise ConfigurationError("blackout_coverage must lie in [0, 1]")
+        if self.blackout_cycles < 1:
+            raise ConfigurationError("blackout_cycles must be >= 1")

@@ -1,0 +1,210 @@
+"""The per-run fault injector: one object, one cycle-synchronous clock.
+
+:class:`FaultInjector` assembles the four fault models of a
+:class:`~repro.faults.scenario.FaultScenario` over an experiment's
+:class:`~repro.sim.random.RandomSource` and exposes exactly the queries
+the hardened consumers ask each control cycle:
+
+* the **manager** calls :meth:`begin_cycle` first (advancing the meter
+  and crash processes), then :meth:`meter_available` /
+  :meth:`perturb_meter`;
+* the **collector** calls :meth:`telemetry_drop_mask` once per sweep;
+* the **actuator** calls :meth:`command_outcomes` for each batch of
+  outgoing DVFS commands (including re-issues — a retry can be lost
+  again).
+
+Because every model draws from its own named substream
+(``faults.telemetry``, ``faults.meter``, ``faults.actuation``,
+``faults.crash``), the schedule is reproducible from the root seed and
+creating an injector never perturbs workload or policy randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.models import (
+    ActuationFaultModel,
+    MeterFaultModel,
+    NodeCrashModel,
+    TelemetryFaultModel,
+)
+from repro.faults.scenario import FaultScenario
+from repro.sim.random import RandomSource
+
+__all__ = ["FaultInjector", "FaultStats"]
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """What the injector (and its consumers) did to one run.
+
+    Attributes:
+        dropped_samples: Telemetry samples lost (dropout + offline).
+        meter_outages: Distinct meter outage bursts.
+        meter_outage_cycles: Cycles spent with the meter down.
+        node_crashes: Monitoring-plane crash events.
+        offline_node_cycles: Σ over cycles of offline node count.
+        commands_lost: DVFS commands that never landed on first issue.
+        commands_retried: Re-issued commands that eventually landed.
+        commands_abandoned: Commands dropped after exhausting retries.
+        forced_red_cycles: Cycles the fail-safe ladder forced to red
+            because of a candidate-set telemetry blackout.
+        estimated_power_cycles: Cycles the manager ran on the Formula (1)
+            fallback estimate instead of a metered reading.
+    """
+
+    dropped_samples: int
+    meter_outages: int
+    meter_outage_cycles: int
+    node_crashes: int
+    offline_node_cycles: int
+    commands_lost: int
+    commands_retried: int
+    commands_abandoned: int
+    forced_red_cycles: int
+    estimated_power_cycles: int
+
+
+class FaultInjector:
+    """Runtime fault processes for one experiment run.
+
+    Args:
+        scenario: The fault rates to realise.
+        rng: The run's root random source (substreams are spawned from
+            it by name).
+        num_nodes: Cluster size (for the crash model).
+    """
+
+    def __init__(
+        self, scenario: FaultScenario, rng: RandomSource, num_nodes: int
+    ) -> None:
+        self.scenario = scenario
+        self._telemetry = TelemetryFaultModel(
+            rng.stream("faults.telemetry"), scenario.telemetry_dropout
+        )
+        self._meter = MeterFaultModel(
+            rng.stream("faults.meter"),
+            scenario.meter_outage_rate,
+            scenario.meter_recovery_rate,
+            scenario.meter_noise_fraction,
+        )
+        self._actuation = ActuationFaultModel(
+            rng.stream("faults.actuation"),
+            scenario.command_loss,
+            scenario.command_delay,
+            scenario.command_delay_cycles,
+        )
+        self._crash = NodeCrashModel(
+            rng.stream("faults.crash"),
+            num_nodes,
+            scenario.node_crash_rate,
+            scenario.node_recovery_rate,
+        )
+        self._cycle = -1
+        self._meter_up = True
+        self._online = self._crash.online
+
+    # ------------------------------------------------------------------
+    # The cycle clock
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        """Index of the current control cycle (-1 before the first)."""
+        return self._cycle
+
+    def begin_cycle(self, now: float) -> None:
+        """Advance every burst process one control cycle.
+
+        Must be called exactly once per cycle, before any other query.
+        """
+        self._cycle += 1
+        self._meter_up = self._meter.step()
+        self._online = self._crash.step()
+
+    def _require_cycle(self) -> None:
+        if self._cycle < 0:
+            raise FaultInjectionError(
+                "fault injector queried before the first begin_cycle()"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries (one consumer each)
+    # ------------------------------------------------------------------
+    def meter_available(self) -> bool:
+        """Whether the system meter produces a reading this cycle."""
+        self._require_cycle()
+        return self._meter_up
+
+    def perturb_meter(self, reading_w: float) -> float:
+        """Additive sensor noise on an available meter reading."""
+        self._require_cycle()
+        return self._meter.perturb(reading_w)
+
+    def telemetry_drop_mask(self, node_ids: np.ndarray) -> np.ndarray:
+        """Which monitored nodes lose their sample this cycle.
+
+        A node's sample is lost either by i.i.d. dropout or because the
+        node's monitoring plane is down.
+        """
+        self._require_cycle()
+        ids = np.asarray(node_ids, dtype=np.int64)
+        return self._telemetry.dropped_mask(len(ids)) | ~self._online[ids]
+
+    def command_outcomes(
+        self, node_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Classify a batch of outgoing DVFS commands.
+
+        Returns:
+            ``(lost, delayed)`` masks aligned with ``node_ids``.
+            Commands to offline nodes are always lost.
+        """
+        self._require_cycle()
+        ids = np.asarray(node_ids, dtype=np.int64)
+        lost, delayed = self._actuation.classify(len(ids))
+        offline = ~self._online[ids]
+        lost |= offline
+        delayed &= ~offline
+        return lost, delayed
+
+    @property
+    def command_delay_cycles(self) -> int:
+        """Lateness of delayed commands, cycles."""
+        return self._actuation.delay_cycles
+
+    def node_online(self, node_ids: np.ndarray) -> np.ndarray:
+        """Availability mask for the given nodes this cycle."""
+        self._require_cycle()
+        return self._online[np.asarray(node_ids, dtype=np.int64)]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def dropped_samples(self) -> int:
+        """Telemetry samples lost to i.i.d. dropout (excludes offline)."""
+        return self._telemetry.dropped_samples
+
+    @property
+    def meter_outage_cycles(self) -> int:
+        """Cycles spent with the meter down so far."""
+        return self._meter.outage_cycles
+
+    @property
+    def meter_outages(self) -> int:
+        """Distinct meter outage bursts so far."""
+        return self._meter.outages
+
+    @property
+    def node_crashes(self) -> int:
+        """Monitoring-plane crash events so far."""
+        return self._crash.crashes
+
+    @property
+    def offline_node_cycles(self) -> int:
+        """Σ over cycles of the offline node count."""
+        return self._crash.offline_node_cycles

@@ -15,6 +15,10 @@ Paper metrics (§V.C):
 Survey metrics (§I.B, for completeness of the library):
 ``E×Dⁿ``, ``FLOPS/W`` (Green500), ``PUE``, and a TCO estimator.
 
+Robustness metrics (:mod:`repro.metrics.faults`, for fault-injection
+runs): cap-violation seconds, time-to-cap-restoration and the
+degraded-sensing share of the overspend.
+
 :mod:`repro.metrics.summary` bundles everything into per-run
 :class:`~repro.metrics.summary.RunMetrics` and baseline-normalised
 comparisons, which are what the figure harnesses print.
@@ -25,6 +29,12 @@ from repro.metrics.efficiency import (
     flops_per_watt,
     power_usage_effectiveness,
     total_cost_of_ownership,
+)
+from repro.metrics.faults import (
+    cap_violation_seconds,
+    degraded_overspend,
+    time_to_cap_restoration,
+    violation_episodes,
 )
 from repro.metrics.performance import (
     count_performance_lossless_jobs,
@@ -46,8 +56,10 @@ __all__ = [
     "RunMetrics",
     "accumulated_overspend",
     "average_power",
+    "cap_violation_seconds",
     "compare_runs",
     "count_performance_lossless_jobs",
+    "degraded_overspend",
     "energy_delay_product",
     "energy_joules",
     "flops_per_watt",
@@ -57,5 +69,7 @@ __all__ = [
     "performance_metric",
     "power_usage_effectiveness",
     "time_fraction_above",
+    "time_to_cap_restoration",
     "total_cost_of_ownership",
+    "violation_episodes",
 ]

@@ -1,0 +1,130 @@
+"""Robustness metrics: cap violations and recovery under faults.
+
+The paper's metrics (§V.C) grade a controller with perfect sensing.
+Under injected faults two additional questions matter:
+
+* **how long was the cap actually violated?** —
+  :func:`cap_violation_seconds` (wall-clock above ``P_H``) and
+  :func:`violation_episodes` / :func:`time_to_cap_restoration` (how long
+  the controller needed to drive power back under the cap once it was
+  breached, worst case over the run);
+* **how much of the overspend happened while flying blind?** —
+  :func:`degraded_overspend` attributes the ΔP×T-style over-threshold
+  energy to the cycles the manager itself flagged as degraded sensing
+  (meter outage or forced-red blackout), as a fraction of total energy.
+
+All functions use the same recorded series conventions as
+:mod:`repro.metrics.power`: aligned 1-D ``(t, P)`` arrays.  Episode
+accounting is sample-and-hold (an interval belongs to its left sample),
+consistent with :func:`repro.metrics.power.time_fraction_above`; ΔP×T
+itself remains the precise trapezoidal metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.power import _validate, energy_joules
+
+__all__ = [
+    "cap_violation_seconds",
+    "violation_episodes",
+    "time_to_cap_restoration",
+    "degraded_overspend",
+]
+
+
+def cap_violation_seconds(
+    times: np.ndarray, values: np.ndarray, threshold_w: float
+) -> float:
+    """Total wall-clock seconds spent above ``threshold_w``.
+
+    Sample-and-hold: each inter-sample interval counts as violated when
+    its left sample is above the threshold.  A single-sample trace has
+    zero duration and therefore zero violation seconds.
+    """
+    t, v = _validate(times, values)
+    if threshold_w < 0:
+        raise MetricError("threshold must be non-negative")
+    if len(t) < 2:
+        return 0.0
+    dt = np.diff(t)
+    return float(dt[v[:-1] > threshold_w].sum())
+
+
+def violation_episodes(
+    times: np.ndarray, values: np.ndarray, threshold_w: float
+) -> list[tuple[float, float]]:
+    """Contiguous cap-violation episodes as ``(start, end)`` pairs.
+
+    An episode starts at the first sample above the threshold and ends
+    at the first subsequent sample at or below it (sample-and-hold: the
+    violated interval extends to the restoring sample's time).  An
+    episode still open at the end of the trace ends at the last sample.
+    """
+    t, v = _validate(times, values)
+    if threshold_w < 0:
+        raise MetricError("threshold must be non-negative")
+    above = v > threshold_w
+    episodes: list[tuple[float, float]] = []
+    start: float | None = None
+    for k in range(len(t)):
+        if above[k] and start is None:
+            start = float(t[k])
+        elif not above[k] and start is not None:
+            episodes.append((start, float(t[k])))
+            start = None
+    if start is not None:
+        episodes.append((start, float(t[-1])))
+    return episodes
+
+
+def time_to_cap_restoration(
+    times: np.ndarray, values: np.ndarray, threshold_w: float
+) -> float:
+    """Worst-case seconds from cap breach to restoration, 0 if never breached.
+
+    The maximum duration over all :func:`violation_episodes` — how long
+    the controller needed, in the worst case, to drive power back under
+    the cap after losing it.
+    """
+    episodes = violation_episodes(times, values, threshold_w)
+    if not episodes:
+        return 0.0
+    return float(max(end - start for start, end in episodes))
+
+
+def degraded_overspend(
+    times: np.ndarray,
+    values: np.ndarray,
+    threshold_w: float,
+    degraded: np.ndarray,
+) -> float:
+    """ΔP×T-style overspend attributable to degraded-sensing cycles.
+
+    ``degraded`` is the manager's per-cycle degraded-sensing flag series
+    (1.0 when the cycle ran on a meter-outage estimate or was forced red
+    by a telemetry blackout), aligned with ``times``.  Returns::
+
+        ∫_{P>P_th, degraded} (P(t) − P_th) dt  /  ∫ P(t) dt
+
+    with sample-and-hold attribution of each interval to its left
+    sample, so the value is directly comparable to (and bounded by, up
+    to discretisation) the run's total ΔP×T.
+    """
+    t, v = _validate(times, values)
+    d = np.asarray(degraded, dtype=np.float64)
+    if d.shape != t.shape:
+        raise MetricError("degraded series misaligned with power trace")
+    if threshold_w < 0:
+        raise MetricError("threshold must be non-negative")
+    if len(t) < 2:
+        raise MetricError("need at least two samples to integrate")
+    total = energy_joules(t, v)
+    if total <= 0:
+        raise MetricError("total energy must be positive for ΔP×T")
+    dt = np.diff(t)
+    excess = np.maximum(v[:-1] - threshold_w, 0.0)
+    attributed = float((excess * dt)[d[:-1] > 0.0].sum())
+    return attributed / total

@@ -7,6 +7,17 @@ it samples the agent pool, packages the result as an immutable
 :class:`TelemetrySnapshot`, remembers the previous snapshot (change-based
 policies need ``P^t`` *and* ``P^{t−1}``), and charges the
 :class:`~repro.telemetry.cost.ManagementCostModel` for the sweep.
+
+On a real machine agents fail to report: daemons hang, packets drop,
+nodes go dark.  The collector therefore keeps a **last-known-good
+cache** — one row per monitored node, primed at deploy time — and, when
+a :class:`~repro.faults.injector.FaultInjector` marks samples as lost,
+substitutes each lost node's cached row instead of crashing or silently
+shipping garbage.  Every snapshot then carries two honesty signals
+downstream consumers act on: the per-node staleness ``age`` (seconds
+since that node last reported) and the sweep's ``coverage`` fraction.
+Without an injector the fast path is exactly the original sweep and
+every age is zero.
 """
 
 from __future__ import annotations
@@ -29,6 +40,14 @@ class TelemetrySnapshot:
 
     Arrays are aligned: entry ``k`` of each array describes node
     ``node_ids[k]``.  All arrays are copies owned by the snapshot.
+
+    ``age`` is the staleness of each entry in seconds: 0 for nodes whose
+    agent reported this cycle, the time since the last successful report
+    for nodes served from the last-known-good cache (``inf`` if a node
+    has never reported).  ``coverage`` is the fraction of monitored
+    nodes that reported fresh data this cycle; both default to the
+    fault-free values so snapshots built by tests and fault-free runs
+    are unchanged.
     """
 
     time: float
@@ -38,12 +57,18 @@ class TelemetrySnapshot:
     mem_frac: np.ndarray
     nic_frac: np.ndarray
     job_id: np.ndarray
+    age: np.ndarray | None = None
+    coverage: float = 1.0
 
     def __post_init__(self) -> None:
         n = len(self.node_ids)
-        for name in ("level", "cpu_util", "mem_frac", "nic_frac", "job_id"):
+        if self.age is None:
+            object.__setattr__(self, "age", np.zeros(n, dtype=np.float64))
+        for name in ("level", "cpu_util", "mem_frac", "nic_frac", "job_id", "age"):
             if len(getattr(self, name)) != n:
                 raise TelemetryError(f"snapshot array {name} misaligned")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise TelemetryError("snapshot coverage outside [0, 1]")
         for arr in (
             self.node_ids,
             self.level,
@@ -51,6 +76,7 @@ class TelemetrySnapshot:
             self.mem_frac,
             self.nic_frac,
             self.job_id,
+            self.age,
         ):
             arr.setflags(write=False)
 
@@ -62,6 +88,10 @@ class TelemetrySnapshot:
     def busy_mask(self) -> np.ndarray:
         """Mask of monitored nodes occupied by a job."""
         return self.job_id >= 0
+
+    def stale_mask(self, max_age_s: float) -> np.ndarray:
+        """Mask of entries older than ``max_age_s`` seconds."""
+        return self.age > float(max_age_s)
 
     def index_of(self, node_id: int) -> int:
         """Position of ``node_id`` within the snapshot arrays.
@@ -83,6 +113,9 @@ class TelemetryCollector:
         candidate_ids: The candidate set ``A_candidate`` to monitor.
         cost_model: Accounting model for central management cost; pass
             ``None`` to skip accounting.
+        fault_injector: Optional fault injector; when present, each
+            sweep asks it which samples were lost and serves those nodes
+            from the last-known-good cache.
     """
 
     def __init__(
@@ -90,13 +123,27 @@ class TelemetryCollector:
         state: ClusterState,
         candidate_ids: np.ndarray,
         cost_model: ManagementCostModel | None = None,
+        fault_injector=None,
     ) -> None:
         self._pool = AgentPool(state, candidate_ids)
         self._cost_model = cost_model
+        self._injector = fault_injector
         self._current: TelemetrySnapshot | None = None
         self._previous: TelemetrySnapshot | None = None
         self._accumulated_cost_s = 0.0
         self._collections = 0
+        self._dropped_samples = 0
+        # Last-known-good cache, primed at deploy time (each agent reads
+        # its node once when installed), so a node dropped on the very
+        # first sweep still has *some* row — marked infinitely stale
+        # until its first successful report.
+        ids = self._pool.node_ids
+        self._lkg_level = state.level[ids].copy()
+        self._lkg_cpu = state.cpu_util[ids].copy()
+        self._lkg_mem = state.mem_frac[ids].copy()
+        self._lkg_nic = state.nic_frac[ids].copy()
+        self._lkg_job = state.job_id[ids].copy()
+        self._lkg_time = np.full(len(ids), -np.inf)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -127,6 +174,11 @@ class TelemetryCollector:
         return self._collections
 
     @property
+    def dropped_samples(self) -> int:
+        """Samples served from the last-known-good cache so far."""
+        return self._dropped_samples
+
+    @property
     def accumulated_cost_s(self) -> float:
         """Total modelled management-node CPU time spent, seconds."""
         return self._accumulated_cost_s
@@ -141,8 +193,34 @@ class TelemetryCollector:
     # Collection
     # ------------------------------------------------------------------
     def collect(self, now: float) -> TelemetrySnapshot:
-        """Sweep all agents and return the new current snapshot."""
+        """Sweep all agents and return the new current snapshot.
+
+        Lost samples (when a fault injector is attached) are replaced by
+        the node's last-known-good row; the snapshot's ``age`` and
+        ``coverage`` report exactly which entries are substitutes.
+        """
         level, cpu, mem, nic, job = self._pool.sample_arrays(now)
+        age: np.ndarray | None = None
+        coverage = 1.0
+        if self._injector is not None:
+            ids = self._pool.node_ids
+            dropped = self._injector.telemetry_drop_mask(ids)
+            fresh = ~dropped
+            if dropped.any():
+                level[dropped] = self._lkg_level[dropped]
+                cpu[dropped] = self._lkg_cpu[dropped]
+                mem[dropped] = self._lkg_mem[dropped]
+                nic[dropped] = self._lkg_nic[dropped]
+                job[dropped] = self._lkg_job[dropped]
+                self._dropped_samples += int(dropped.sum())
+            self._lkg_level[fresh] = level[fresh]
+            self._lkg_cpu[fresh] = cpu[fresh]
+            self._lkg_mem[fresh] = mem[fresh]
+            self._lkg_nic[fresh] = nic[fresh]
+            self._lkg_job[fresh] = job[fresh]
+            self._lkg_time[fresh] = float(now)
+            age = float(now) - self._lkg_time
+            coverage = float(fresh.mean()) if len(ids) else 1.0
         snapshot = TelemetrySnapshot(
             time=float(now),
             node_ids=self._pool.node_ids.copy(),
@@ -151,6 +229,8 @@ class TelemetryCollector:
             mem_frac=mem,
             nic_frac=nic,
             job_id=job,
+            age=age,
+            coverage=coverage,
         )
         self._previous = self._current
         self._current = snapshot

@@ -131,3 +131,38 @@ def test_report_command_thermal_section(tmp_path):
     args = ["report", "mpc", "--thermal", "-o", str(out)] + _tiny()
     assert main(args) == 0
     assert "## Thermal / reliability" in out.read_text()
+
+
+def test_run_with_fault_preset_json(capsys):
+    args = ["run", "--policy", "mpc", "--faults", "light", "--json"] + _tiny()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["fault_stats"]
+    assert stats is not None
+    assert stats["dropped_samples"] > 0
+    assert stats["commands_abandoned"] >= 0
+
+
+def test_run_without_faults_reports_none(capsys):
+    args = ["run", "--policy", "mpc", "--json"] + _tiny()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["fault_stats"] is None
+
+
+def test_run_fault_override_flags(capsys):
+    args = [
+        "run", "--policy", "mpc", "--json",
+        "--faults", "none", "--telemetry-dropout", "0.2",
+    ] + _tiny()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["fault_stats"]["dropped_samples"] > 0
+
+
+def test_run_fault_table_lists_fault_rows(capsys):
+    args = ["run", "--policy", "mpc", "--faults", "heavy"] + _tiny()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "telemetry samples dropped" in out
+    assert "forced-red cycles" in out

@@ -1,0 +1,124 @@
+"""Tests for the per-run fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import FaultInjector, FaultScenario
+from repro.sim import RandomSource
+
+
+def _injector(scenario=None, seed=99, num_nodes=16):
+    scenario = scenario if scenario is not None else FaultScenario.heavy()
+    return FaultInjector(scenario, RandomSource(seed=seed), num_nodes=num_nodes)
+
+
+def test_query_before_begin_cycle_rejected():
+    inj = _injector()
+    with pytest.raises(FaultInjectionError):
+        inj.meter_available()
+    with pytest.raises(FaultInjectionError):
+        inj.telemetry_drop_mask(np.arange(4))
+    with pytest.raises(FaultInjectionError):
+        inj.command_outcomes(np.arange(4))
+
+
+def test_cycle_counter_advances():
+    inj = _injector()
+    assert inj.cycle == -1
+    inj.begin_cycle(0.0)
+    assert inj.cycle == 0
+    inj.begin_cycle(1.0)
+    assert inj.cycle == 1
+
+
+def test_none_scenario_injects_nothing():
+    inj = _injector(FaultScenario.none())
+    ids = np.arange(16)
+    for t in range(50):
+        inj.begin_cycle(float(t))
+        assert inj.meter_available()
+        assert inj.perturb_meter(500.0) == 500.0
+        assert not inj.telemetry_drop_mask(ids).any()
+        lost, delayed = inj.command_outcomes(ids)
+        assert not lost.any() and not delayed.any()
+        assert inj.node_online(ids).all()
+
+
+def test_schedule_reproducible_from_root_seed():
+    a = _injector(seed=1234)
+    b = _injector(seed=1234)
+    ids = np.arange(16)
+    for t in range(100):
+        a.begin_cycle(float(t))
+        b.begin_cycle(float(t))
+        assert a.meter_available() == b.meter_available()
+        np.testing.assert_array_equal(
+            a.telemetry_drop_mask(ids), b.telemetry_drop_mask(ids)
+        )
+        la, da = a.command_outcomes(ids)
+        lb, db = b.command_outcomes(ids)
+        np.testing.assert_array_equal(la, lb)
+        np.testing.assert_array_equal(da, db)
+
+
+def test_fault_streams_do_not_perturb_other_streams():
+    """Creating/driving an injector must not shift workload randomness."""
+    src_plain = RandomSource(seed=7)
+    baseline = src_plain.stream("workload.generator").random(100)
+
+    src_faulted = RandomSource(seed=7)
+    inj = FaultInjector(FaultScenario.heavy(), src_faulted, num_nodes=16)
+    for t in range(20):
+        inj.begin_cycle(float(t))
+        inj.telemetry_drop_mask(np.arange(16))
+        inj.command_outcomes(np.arange(8))
+    faulted = src_faulted.stream("workload.generator").random(100)
+    np.testing.assert_array_equal(baseline, faulted)
+
+
+def test_offline_node_samples_always_dropped():
+    # Crash rate 1.0 with slow recovery: every node goes down on cycle 0.
+    scenario = FaultScenario(node_crash_rate=1.0, node_recovery_rate=0.01)
+    inj = _injector(scenario)
+    inj.begin_cycle(0.0)
+    ids = np.arange(16)
+    online = inj.node_online(ids)
+    dropped = inj.telemetry_drop_mask(ids)
+    assert dropped[~online].all()
+
+
+def test_offline_node_commands_always_lost_never_delayed():
+    scenario = FaultScenario(
+        node_crash_rate=1.0,
+        node_recovery_rate=0.01,
+        command_delay=1.0,
+        command_delay_cycles=2,
+    )
+    inj = _injector(scenario)
+    inj.begin_cycle(0.0)
+    ids = np.arange(16)
+    offline = ~inj.node_online(ids)
+    lost, delayed = inj.command_outcomes(ids)
+    assert lost[offline].all()
+    assert not delayed[offline].any()
+
+
+def test_command_delay_cycles_exposed():
+    scenario = FaultScenario(command_delay=0.5, command_delay_cycles=4)
+    inj = _injector(scenario)
+    assert inj.command_delay_cycles == 4
+
+
+def test_accounting_properties_accumulate():
+    inj = _injector(FaultScenario.heavy(), seed=5)
+    ids = np.arange(16)
+    for t in range(300):
+        inj.begin_cycle(float(t))
+        inj.telemetry_drop_mask(ids)
+        inj.command_outcomes(ids)
+    assert inj.dropped_samples > 0
+    assert inj.meter_outage_cycles > 0
+    assert inj.meter_outages > 0
+    assert inj.node_crashes >= 0
+    assert inj.offline_node_cycles >= inj.node_crashes

@@ -1,0 +1,83 @@
+"""Tests for fault-scenario validation and presets."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import FaultScenario
+
+
+def test_none_is_disabled_default():
+    scenario = FaultScenario.none()
+    assert not scenario.enabled
+    assert scenario == FaultScenario()
+
+
+def test_light_preset_matches_acceptance_rates():
+    scenario = FaultScenario.light()
+    assert scenario.enabled
+    assert scenario.telemetry_dropout == pytest.approx(0.10)
+    assert scenario.command_loss == pytest.approx(0.01)
+    assert scenario.meter_outage_rate == 0.0
+
+
+def test_heavy_preset_enables_every_process():
+    scenario = FaultScenario.heavy()
+    assert scenario.telemetry_dropout > 0
+    assert scenario.meter_outage_rate > 0
+    assert scenario.meter_noise_fraction > 0
+    assert scenario.command_loss > 0
+    assert scenario.command_delay > 0
+    assert scenario.node_crash_rate > 0
+
+
+def test_preset_overrides_apply():
+    scenario = FaultScenario.light(telemetry_dropout=0.5)
+    assert scenario.telemetry_dropout == pytest.approx(0.5)
+    assert scenario.command_loss == pytest.approx(0.01)
+
+
+@pytest.mark.parametrize(
+    "field",
+    [
+        "telemetry_dropout",
+        "meter_outage_rate",
+        "meter_recovery_rate",
+        "command_loss",
+        "command_delay",
+        "node_crash_rate",
+        "node_recovery_rate",
+    ],
+)
+def test_probabilities_validated(field):
+    with pytest.raises(FaultInjectionError):
+        FaultScenario(**{field: 1.5})
+    with pytest.raises(FaultInjectionError):
+        FaultScenario(**{field: -0.1})
+
+
+def test_negative_noise_rejected():
+    with pytest.raises(FaultInjectionError):
+        FaultScenario(meter_noise_fraction=-0.01)
+
+
+def test_delay_cycles_validated():
+    with pytest.raises(FaultInjectionError):
+        FaultScenario(command_delay_cycles=0)
+
+
+def test_never_recovering_meter_rejected():
+    with pytest.raises(FaultInjectionError):
+        FaultScenario(meter_outage_rate=0.1, meter_recovery_rate=0.0)
+
+
+def test_never_recovering_nodes_rejected():
+    with pytest.raises(FaultInjectionError):
+        FaultScenario(node_crash_rate=0.1, node_recovery_rate=0.0)
+
+
+def test_fault_injection_error_is_configuration_error():
+    """Scenario mistakes must be catchable like any other config error."""
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        FaultScenario(telemetry_dropout=2.0)

@@ -1,0 +1,139 @@
+"""Tests for the collector's last-known-good cache and staleness signals."""
+
+import numpy as np
+import pytest
+
+from repro.core import NodeSets
+from repro.errors import TelemetryError
+from repro.telemetry import TelemetryCollector
+from repro.telemetry.collector import TelemetrySnapshot
+
+
+class _ScriptedDrops:
+    """Fault-injector stand-in: a queue of per-sweep drop masks."""
+
+    def __init__(self, masks):
+        self._masks = list(masks)
+
+    def telemetry_drop_mask(self, node_ids):
+        if self._masks:
+            return np.asarray(self._masks.pop(0), dtype=bool)
+        return np.zeros(len(node_ids), dtype=bool)
+
+
+def _collector(cluster, injector=None):
+    sets = NodeSets(cluster)
+    return TelemetryCollector(cluster.state, sets.candidates, None, injector)
+
+
+def test_snapshot_defaults_are_fault_free():
+    snap = TelemetrySnapshot(
+        time=0.0,
+        node_ids=np.array([0, 1]),
+        level=np.array([9, 9]),
+        cpu_util=np.array([0.5, 0.5]),
+        mem_frac=np.array([0.2, 0.2]),
+        nic_frac=np.array([0.1, 0.1]),
+        job_id=np.array([0, 0]),
+    )
+    np.testing.assert_array_equal(snap.age, np.zeros(2))
+    assert snap.coverage == 1.0
+    assert not snap.stale_mask(0.5).any()
+
+
+def test_snapshot_age_misalignment_rejected():
+    with pytest.raises(TelemetryError):
+        TelemetrySnapshot(
+            time=0.0,
+            node_ids=np.array([0, 1]),
+            level=np.array([9, 9]),
+            cpu_util=np.array([0.5, 0.5]),
+            mem_frac=np.array([0.2, 0.2]),
+            nic_frac=np.array([0.1, 0.1]),
+            job_id=np.array([0, 0]),
+            age=np.zeros(3),
+        )
+
+
+def test_snapshot_coverage_validated():
+    with pytest.raises(TelemetryError):
+        TelemetrySnapshot(
+            time=0.0,
+            node_ids=np.array([0]),
+            level=np.array([9]),
+            cpu_util=np.array([0.5]),
+            mem_frac=np.array([0.2]),
+            nic_frac=np.array([0.1]),
+            job_id=np.array([0]),
+            coverage=1.5,
+        )
+
+
+def test_collect_without_injector_is_fresh(busy_cluster):
+    collector = _collector(busy_cluster)
+    snap = collector.collect(1.0)
+    assert snap.coverage == 1.0
+    np.testing.assert_array_equal(snap.age, np.zeros(snap.size))
+    assert collector.dropped_samples == 0
+
+
+def test_dropped_sample_served_from_last_known_good(busy_cluster):
+    n = busy_cluster.state.num_nodes
+    drop_node3 = np.zeros(n, dtype=bool)
+    drop_node3[3] = True
+    collector = _collector(
+        busy_cluster, _ScriptedDrops([np.zeros(n, dtype=bool), drop_node3])
+    )
+    first = collector.collect(1.0)
+    # Change node 3's true load, then drop its sample: the snapshot must
+    # still show the old (cached) values.
+    busy_cluster.state.set_load(np.array([3]), 0.99, 0.88, 0.77)
+    second = collector.collect(2.0)
+    assert second.cpu_util[3] == first.cpu_util[3] != 0.99
+    assert second.age[3] == pytest.approx(1.0)
+    assert second.age[0] == 0.0
+    assert second.coverage == pytest.approx((n - 1) / n)
+    assert collector.dropped_samples == 1
+
+
+def test_age_accumulates_over_consecutive_drops(busy_cluster):
+    n = busy_cluster.state.num_nodes
+    drop5 = np.zeros(n, dtype=bool)
+    drop5[5] = True
+    collector = _collector(
+        busy_cluster,
+        _ScriptedDrops([np.zeros(n, dtype=bool)] + [drop5.copy()] * 3),
+    )
+    collector.collect(0.0)
+    for t in (1.0, 2.0, 3.0):
+        snap = collector.collect(t)
+    assert snap.age[5] == pytest.approx(3.0)
+    assert snap.stale_mask(2.5)[5]
+    assert not snap.stale_mask(2.5)[0]
+
+
+def test_node_dropped_on_first_sweep_is_infinitely_stale(busy_cluster):
+    n = busy_cluster.state.num_nodes
+    drop0 = np.zeros(n, dtype=bool)
+    drop0[0] = True
+    collector = _collector(busy_cluster, _ScriptedDrops([drop0]))
+    snap = collector.collect(5.0)
+    assert np.isinf(snap.age[0])
+    assert snap.stale_mask(1e9)[0]
+    # The primed deploy-time cache still provides a plausible row.
+    assert snap.level[0] == busy_cluster.state.level[0]
+
+
+def test_fresh_report_resets_age(busy_cluster):
+    n = busy_cluster.state.num_nodes
+    drop7 = np.zeros(n, dtype=bool)
+    drop7[7] = True
+    collector = _collector(
+        busy_cluster,
+        _ScriptedDrops([drop7.copy(), drop7.copy(), np.zeros(n, dtype=bool)]),
+    )
+    collector.collect(1.0)
+    collector.collect(2.0)
+    snap = collector.collect(3.0)
+    assert snap.age[7] == 0.0
+    assert snap.coverage == 1.0

@@ -38,3 +38,17 @@ def test_one_except_catches_everything():
         raise errors.AllocationError("x")
     with pytest.raises(errors.ReproError):
         raise errors.MetricError("y")
+
+
+def test_fault_injection_error_is_configuration_error():
+    """Bad fault scenarios are config mistakes: ValueError-compatible."""
+    assert issubclass(errors.FaultInjectionError, errors.ConfigurationError)
+    assert issubclass(errors.FaultInjectionError, ValueError)
+
+
+def test_degraded_mode_error_is_power_management_error():
+    """Losing the last estimation basis is a runtime control failure."""
+    assert issubclass(errors.DegradedModeError, errors.PowerManagementError)
+    assert issubclass(errors.DegradedModeError, RuntimeError)
+    with pytest.raises(errors.PowerManagementError):
+        raise errors.DegradedModeError("no power signal")
