@@ -18,7 +18,7 @@ from typing import Any, Callable, Sequence
 
 from repro.analysis import Table, format_fig6_table, format_fig7_table
 from repro.core.policies import available_policies
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
     ExperimentConfig,
     run_experiment,
@@ -28,6 +28,7 @@ from repro.experiments import (
 )
 from repro.experiments.ablations import policy_zoo
 from repro.faults import FaultScenario
+from repro.ha import HaConfig
 from repro.metrics import compare_runs
 from repro.units import fmt_power
 
@@ -58,18 +59,16 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     scenario = _scenario_from_args(args)
     if scenario.enabled:
         overrides["faults"] = scenario
+    ha = _ha_from_args(args)
+    if ha is not None:
+        overrides["ha"] = ha
     return replace(config, **overrides) if overrides else config
 
 
-_FAULT_PRESETS: dict[str, Callable[..., FaultScenario]] = {
-    "none": FaultScenario.none,
-    "light": FaultScenario.light,
-    "heavy": FaultScenario.heavy,
-}
-
-
 def _scenario_from_args(args: argparse.Namespace) -> FaultScenario:
-    scenario = _FAULT_PRESETS[getattr(args, "faults", "none")]()
+    # FaultScenario.preset rejects unknown names with the list of
+    # available presets; main() turns that into a friendly exit.
+    scenario = FaultScenario.preset(getattr(args, "faults", "none"))
     overrides: dict[str, Any] = {}
     if getattr(args, "telemetry_dropout", None) is not None:
         overrides["telemetry_dropout"] = args.telemetry_dropout
@@ -77,7 +76,34 @@ def _scenario_from_args(args: argparse.Namespace) -> FaultScenario:
         overrides["command_loss"] = args.command_loss
     if getattr(args, "meter_outage", None) is not None:
         overrides["meter_outage_rate"] = args.meter_outage
+    if getattr(args, "crash_rate", None) is not None:
+        overrides["controller_crash_rate"] = args.crash_rate
     return replace(scenario, **overrides) if overrides else scenario
+
+
+def _ha_from_args(args: argparse.Namespace) -> HaConfig | None:
+    if not getattr(args, "ha", False):
+        # HA knobs without --ha would be silently ignored; refuse so a
+        # run the user believes is crashing actually is.
+        for flag, name in (
+            ("crash_at", "--crash-at"),
+            ("lease_timeout", "--lease-timeout"),
+            ("restart_cycles", "--restart-cycles"),
+            ("cold_restart", "--cold-restart"),
+        ):
+            if getattr(args, flag, None):
+                raise ConfigurationError(f"{name} requires --ha")
+        return None
+    overrides: dict[str, Any] = {}
+    if getattr(args, "crash_at", None):
+        overrides["crash_at_cycles"] = tuple(args.crash_at)
+    if getattr(args, "lease_timeout", None) is not None:
+        overrides["lease_timeout_cycles"] = args.lease_timeout
+    if getattr(args, "restart_cycles", None) is not None:
+        overrides["restart_cycles"] = args.restart_cycles
+    if getattr(args, "cold_restart", False):
+        return HaConfig.restart_only(**overrides)
+    return HaConfig.warm(**overrides)
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -108,9 +134,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     faults = parser.add_argument_group("fault injection")
     faults.add_argument(
         "--faults",
-        choices=sorted(_FAULT_PRESETS),
         default="none",
-        help="fault scenario preset (default: none)",
+        metavar="PRESET",
+        help=(
+            "fault scenario preset (default: none; available: "
+            + ", ".join(FaultScenario.preset_names())
+            + ")"
+        ),
     )
     faults.add_argument(
         "--telemetry-dropout",
@@ -129,6 +159,43 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="per-cycle system-meter outage onset probability",
+    )
+    ha = parser.add_argument_group("controller high availability")
+    ha.add_argument(
+        "--ha",
+        action="store_true",
+        help="enable the crash-recovery layer (journal + failover + fencing)",
+    )
+    ha.add_argument(
+        "--crash-at",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="CYCLE",
+        help="crash the controller at these 1-based control cycles",
+    )
+    ha.add_argument(
+        "--crash-rate",
+        type=float,
+        default=None,
+        help="per-cycle stochastic controller-crash probability",
+    )
+    ha.add_argument(
+        "--lease-timeout",
+        type=int,
+        default=None,
+        help="warm-standby lease timeout, control cycles",
+    )
+    ha.add_argument(
+        "--restart-cycles",
+        type=int,
+        default=None,
+        help="cold-restart downtime, control cycles",
+    )
+    ha.add_argument(
+        "--cold-restart",
+        action="store_true",
+        help="no warm standby: every crash costs a full restart",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of tables"
@@ -155,6 +222,9 @@ def _metrics_dict(result) -> dict[str, Any]:
         "commands_sent": result.commands_sent,
         "fault_stats": (
             asdict(result.fault_stats) if result.fault_stats is not None else None
+        ),
+        "ha_stats": (
+            asdict(result.ha_stats) if result.ha_stats is not None else None
         ),
     }
 
@@ -193,6 +263,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row("meter outage cycles", fs.meter_outage_cycles)
         table.add_row("estimated-power cycles", fs.estimated_power_cycles)
         table.add_row("forced-red cycles", fs.forced_red_cycles)
+    hs = result.ha_stats
+    if hs is not None:
+        table.add_row("controller crashes", hs.crashes)
+        table.add_row(
+            "failovers (warm/cold)",
+            f"{hs.failovers} ({hs.warm_failovers}/{hs.cold_restarts})",
+        )
+        table.add_row(
+            "downtime",
+            f"{hs.downtime_cycles} cycles "
+            f"({hs.downtime_cycles * result.config.control_period_s:.0f} s)",
+        )
+        table.add_row("fenced commands", hs.fenced_commands)
+        table.add_row("epoch conflicts", hs.epoch_conflicts)
+        table.add_row(
+            "journal records/compactions",
+            f"{hs.journal_records}/{hs.journal_compactions}",
+        )
     print(table.render())
     return 0
 

@@ -13,15 +13,27 @@ On a real machine a commanded level does not always land: the RPC is
 dropped, the node's management daemon is wedged, or the write arrives
 cycles late.  The actuator therefore **verifies every command by
 readback** (commanded vs. post-write level) and re-issues verified-lost
-commands with exponential backoff in control cycles, bounded by
-``max_retries``; a newer command to the same node supersedes any pending
-re-issue.  It also enforces the degraded-mode safety clamp: a command
-that would *raise* a node's actual level only lands if the caller marked
-that node's telemetry as fresh (``raise_ok``), so stale data can never
-upgrade a node — not even through a yellow-cycle command computed from
-an out-of-date snapshot.  Every :meth:`apply` returns an
-:class:`ActuationReport` separating effective, no-op, suppressed, lost
-and delayed commands.
+commands with exponential backoff in control cycles — capped at
+``max_backoff_cycles`` so a long outage cannot schedule absurdly distant
+retries — bounded by ``max_retries`` re-issues, after which the command
+is dropped and counted in ``abandoned_commands``; a newer command to the
+same node supersedes any pending re-issue.  It also enforces the
+degraded-mode safety clamp: a command that would *raise* a node's actual
+level only lands if the caller marked that node's telemetry as fresh
+(``raise_ok``), so stale data can never upgrade a node — not even
+through a yellow-cycle command computed from an out-of-date snapshot.
+
+The actuator is also where the high-availability layer's **fencing
+tokens** (:mod:`repro.ha`) bite.  The actuator models the command path
+shared by every incarnation of the power manager, so it carries a
+monotone ``epoch``; each command is stamped with its issuer's epoch, and
+a command from any epoch other than the current one — a batch from a
+deposed primary, or a pre-crash command still in flight when the
+successor takes over — is rejected and counted in ``fenced_commands``
+instead of landing.  A single manager (epoch never advanced) never
+triggers fencing.  Every :meth:`apply` returns an
+:class:`ActuationReport` separating effective, no-op, suppressed, lost,
+delayed and fenced commands.
 """
 
 from __future__ import annotations
@@ -51,6 +63,8 @@ class ActuationReport:
         lost: Commands that failed readback verification this cycle
             (queued for re-issue unless retries are exhausted).
         delayed: Commands in flight, landing in a later cycle.
+        fenced: Commands rejected because their issuer's epoch is not
+            the actuator's current fencing epoch (deposed controller).
     """
 
     commands: int = 0
@@ -59,6 +73,7 @@ class ActuationReport:
     suppressed: int = 0
     lost: int = 0
     delayed: int = 0
+    fenced: int = 0
 
     @property
     def landed(self) -> int:
@@ -78,6 +93,7 @@ class _PendingCommand:
     raise_ok: bool
     attempts: int  #: issue attempts made so far (first issue = 1)
     due_cycle: int
+    epoch: int = 0  #: fencing epoch of the issuing manager
 
 
 class DvfsActuator:
@@ -89,6 +105,10 @@ class DvfsActuator:
             loss/delay; ``None`` (the default) actuates perfectly.
         max_retries: Bound on re-issues of a verified-lost command; the
             k-th retry waits ``2^(k−1)`` cycles (exponential backoff).
+        max_backoff_cycles: Ceiling on any single retry's backoff wait,
+            in cycles, so high retry counts (or a long meter outage
+            stretching the control cadence) cannot schedule a retry
+            absurdly far in the future.
     """
 
     def __init__(
@@ -96,13 +116,18 @@ class DvfsActuator:
         state: ClusterState,
         fault_injector=None,
         max_retries: int = 3,
+        max_backoff_cycles: int = 16,
     ) -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
+        if max_backoff_cycles < 1:
+            raise ConfigurationError("max_backoff_cycles must be >= 1")
         self._state = state
         self._injector = fault_injector
         self._max_attempts = 1 + int(max_retries)
+        self._max_backoff = int(max_backoff_cycles)
         self._cycle = 0
+        self._epoch = 0
         self._pending: list[_PendingCommand] = []
         self._live_raise_ok: np.ndarray | None = None
         self._commands_sent = 0
@@ -115,6 +140,9 @@ class DvfsActuator:
         self._lost = 0
         self._retried = 0
         self._abandoned = 0
+        self._fenced = 0
+        self._last_landing: tuple[int, int] | None = None  #: (cycle, epoch)
+        self._epoch_conflicts = 0
 
     # ------------------------------------------------------------------
     # Statistics
@@ -170,9 +198,54 @@ class DvfsActuator:
         return self._abandoned
 
     @property
+    def fenced_commands(self) -> int:
+        """Commands rejected by the fencing epoch (deposed issuer)."""
+        return self._fenced
+
+    @property
     def pending_commands(self) -> int:
         """Commands currently queued (delayed or awaiting retry)."""
         return len(self._pending)
+
+    @property
+    def stale_pending_commands(self) -> int:
+        """Queued commands whose issuer epoch is no longer current.
+
+        These will be fenced when they come due (or superseded); they
+        can never land.
+        """
+        return sum(1 for p in self._pending if p.epoch != self._epoch)
+
+    @property
+    def epoch_conflicts(self) -> int:
+        """Cycles in which commands from two different epochs landed.
+
+        The fencing invariant makes this impossible — a landing always
+        carries the current epoch and the epoch only advances between
+        takeovers — so any non-zero value marks a broken invariant.
+        Exposed so the failover benchmarks can assert it stayed zero.
+        """
+        return self._epoch_conflicts
+
+    # ------------------------------------------------------------------
+    # Fencing epoch
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The current fencing epoch (0 until the first takeover)."""
+        return self._epoch
+
+    def advance_epoch(self) -> int:
+        """Start a new fencing epoch and return it.
+
+        Called by the HA layer when a successor manager takes over.
+        Everything still queued from previous epochs becomes
+        unlandable: it is fenced when due, rather than purged now, so
+        the accounting reflects *when* each zombie command actually
+        arrived at the node.
+        """
+        self._epoch += 1
+        return self._epoch
 
     # ------------------------------------------------------------------
     # The cycle clock: land delayed/retried commands
@@ -202,6 +275,14 @@ class DvfsActuator:
         if not due:
             return 0
         self._pending = [p for p in self._pending if p.due_cycle > self._cycle]
+        # Fence zombie commands from deposed epochs before they can
+        # touch the machine (and before they consume loss/delay draws —
+        # the network outcome of a rejected command is irrelevant).
+        fenced = [p for p in due if p.epoch != self._epoch]
+        self._fenced += len(fenced)
+        due = [p for p in due if p.epoch == self._epoch]
+        if not due:
+            return 0
         if self._injector is not None:
             ids = np.asarray([p.node_id for p in due], dtype=np.int64)
             lost, delayed = self._injector.command_outcomes(ids)
@@ -225,12 +306,25 @@ class DvfsActuator:
         if cmd.attempts > self._max_attempts:
             self._abandoned += 1
             return
-        # Exponential backoff: the k-th retry waits 2^(k-1) cycles.
-        cmd.due_cycle = self._cycle + 2 ** (cmd.attempts - 2)
+        # Exponential backoff: the k-th retry waits 2^(k-1) cycles,
+        # capped so deep retry chains stay within a bounded horizon.
+        backoff = min(2 ** (cmd.attempts - 2), self._max_backoff)
+        cmd.due_cycle = self._cycle + backoff
         self._pending.append(cmd)
+
+    def _note_landing(self, epoch: int) -> None:
+        """Track landings per cycle to witness the one-epoch invariant."""
+        if (
+            self._last_landing is not None
+            and self._last_landing[0] == self._cycle
+            and self._last_landing[1] != epoch
+        ):
+            self._epoch_conflicts += 1
+        self._last_landing = (self._cycle, epoch)
 
     def _land(self, cmd: _PendingCommand) -> None:
         """Write one late command, re-applying the raise clamp."""
+        self._note_landing(cmd.epoch)
         current = int(self._state.level[cmd.node_id])
         target = cmd.level
         allow_raise = cmd.raise_ok and (
@@ -255,7 +349,10 @@ class DvfsActuator:
     # Actuation
     # ------------------------------------------------------------------
     def apply(
-        self, decision: CappingDecision, raise_ok: np.ndarray | None = None
+        self,
+        decision: CappingDecision,
+        raise_ok: np.ndarray | None = None,
+        epoch: int | None = None,
     ) -> ActuationReport:
         """Issue the decision's DVFS commands and verify by readback.
 
@@ -266,6 +363,9 @@ class DvfsActuator:
                 level (its telemetry is stale or sensing is degraded).
                 ``None`` permits raises everywhere — the fault-free
                 contract, where snapshot and actual levels coincide.
+            epoch: The issuing manager's fencing epoch; ``None`` (the
+                default, for non-HA callers) means the current epoch.
+                A batch from any other epoch is rejected wholesale.
 
         Returns:
             The batch's :class:`ActuationReport`.
@@ -279,19 +379,31 @@ class DvfsActuator:
         if decision.action is CappingAction.NONE or decision.num_targets == 0:
             return _EMPTY_REPORT
         ids = decision.node_ids
+        n = len(ids)
+        if epoch is not None and int(epoch) != self._epoch:
+            # A deposed manager's whole batch bounces off the fence; the
+            # machine is untouched and no pending state is disturbed.
+            self._fenced += n
+            return ActuationReport(commands=n, fenced=n)
         if not np.all(self._state.controllable[ids]):
             raise PowerManagementError(
                 "capping decision addresses a privileged node"
             )
         # A fresh command supersedes anything still in flight for the
-        # same nodes — the controller's latest word wins.
+        # same nodes — the controller's latest word wins.  A superseded
+        # command from a deposed epoch counts as fenced: it was in
+        # flight at takeover and has now been rejected.
         if self._pending:
             addressed = set(int(i) for i in ids)
-            self._pending = [
-                p for p in self._pending if p.node_id not in addressed
-            ]
+            kept: list[_PendingCommand] = []
+            for p in self._pending:
+                if p.node_id in addressed:
+                    if p.epoch != self._epoch:
+                        self._fenced += 1
+                else:
+                    kept.append(p)
+            self._pending = kept
 
-        n = len(ids)
         if self._injector is not None:
             lost, delayed = self._injector.command_outcomes(ids)
         else:
@@ -307,6 +419,8 @@ class DvfsActuator:
         target[blocked] = current[blocked]
 
         d_ids = ids[deliver]
+        if len(d_ids):
+            self._note_landing(self._epoch)
         before = current[deliver]
         self._state.set_levels(d_ids, target[deliver])
         # Readback verification: what actually landed this cycle.
@@ -336,6 +450,7 @@ class DvfsActuator:
                     raise_ok=bool(allow[k]),
                     attempts=1,
                     due_cycle=self._cycle,
+                    epoch=self._epoch,
                 )
             )
         if delayed.any():
@@ -348,6 +463,7 @@ class DvfsActuator:
                         raise_ok=bool(allow[k]),
                         attempts=1,
                         due_cycle=due,
+                        epoch=self._epoch,
                     )
                 )
         return ActuationReport(
@@ -358,3 +474,63 @@ class DvfsActuator:
             lost=int(lost.sum()),
             delayed=int(delayed.sum()),
         )
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.ha state journal)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cycle clock, counters and the in-flight queue, journal-ready.
+
+        ``epoch`` is deliberately absent: the fencing epoch belongs to
+        the command path itself, not to any one manager incarnation, and
+        is advanced — never restored — at takeover.
+        """
+        return {
+            "cycle": self._cycle,
+            "pending": tuple(
+                (p.node_id, p.level, p.raise_ok, p.attempts, p.due_cycle, p.epoch)
+                for p in self._pending
+            ),
+            "counters": {
+                "commands_sent": self._commands_sent,
+                "levels_lowered": self._levels_lowered,
+                "levels_raised": self._levels_raised,
+                "emergencies": self._emergencies,
+                "effective": self._effective,
+                "noops": self._noops,
+                "suppressed": self._suppressed,
+                "lost": self._lost,
+                "retried": self._retried,
+                "abandoned": self._abandoned,
+                "fenced": self._fenced,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` (fresh actuator of a successor).
+
+        When the successor shares the live actuator object (the normal
+        HA wiring — in-flight commands survive the controller, they are
+        *in the network*), restoring is an idempotent overwrite with the
+        journal's identical view.
+        """
+        self._cycle = int(state["cycle"])
+        self._pending = [
+            _PendingCommand(
+                node_id=int(n), level=int(l), raise_ok=bool(r),
+                attempts=int(a), due_cycle=int(d), epoch=int(e),
+            )
+            for n, l, r, a, d, e in state["pending"]
+        ]
+        c = state["counters"]
+        self._commands_sent = int(c["commands_sent"])
+        self._levels_lowered = int(c["levels_lowered"])
+        self._levels_raised = int(c["levels_raised"])
+        self._emergencies = int(c["emergencies"])
+        self._effective = int(c["effective"])
+        self._noops = int(c["noops"])
+        self._suppressed = int(c["suppressed"])
+        self._lost = int(c["lost"])
+        self._retried = int(c["retried"])
+        self._abandoned = int(c["abandoned"])
+        self._fenced = int(c["fenced"])

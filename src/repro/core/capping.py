@@ -118,6 +118,29 @@ class PowerCappingAlgorithm:
         self._degraded[:] = False
         self._time_g = 0
 
+    def restore(self, degraded_mask: np.ndarray, time_in_green: int) -> None:
+        """Adopt journaled Algorithm 1 state after a controller crash.
+
+        Args:
+            degraded_mask: ``A_degraded`` as a boolean mask over all
+                node ids (copied).
+            time_in_green: ``Time_g`` at the journaled cycle.
+
+        Raises:
+            PowerManagementError: on a mask of the wrong length or a
+                negative green streak — a corrupt journal must fail
+                loudly, not resume a wrong control state.
+        """
+        mask = np.asarray(degraded_mask, dtype=bool)
+        if mask.shape != self._degraded.shape:
+            raise PowerManagementError(
+                "journaled A_degraded mask does not match the cluster size"
+            )
+        if time_in_green < 0:
+            raise PowerManagementError("journaled Time_g is negative")
+        self._degraded = mask.copy()
+        self._time_g = int(time_in_green)
+
     # ------------------------------------------------------------------
     # The decision step
     # ------------------------------------------------------------------

@@ -26,6 +26,19 @@ manager runs a **degraded-mode fail-safe ladder** on top of Algorithm 1
 
 With no injector attached every rung is compiled out of the path and the
 control cycle is bit-for-bit the paper's.
+
+For controller crash-recovery (:mod:`repro.ha`) the manager can share a
+caller-supplied actuator (in-flight commands live in the network, not in
+the manager process), journal every completed cycle to a
+:class:`~repro.ha.journal.StateJournal`, emit a full
+:meth:`~PowerManager.checkpoint`, and rebuild itself from a journal via
+:meth:`~PowerManager.restore_state`.  A restored manager re-enters
+service under a **recovery hold**: it never upgrades any node until
+every candidate has reported fresh telemetry since the restore — its
+cached view of the machine is only trustworthy where it has been
+re-confirmed.  When the manager holds a fencing epoch, every command
+batch carries it and a deposed incarnation's batches (and journal
+writes) are rejected wholesale.
 """
 
 from __future__ import annotations
@@ -44,6 +57,12 @@ from repro.core.thresholds import ThresholdController
 from repro.errors import DegradedModeError
 from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector, FaultStats
+from repro.ha.journal import (
+    ControllerCheckpoint,
+    CycleRecord,
+    JournalRecovery,
+    StateJournal,
+)
 from repro.power.estimator import NodePowerEstimator
 from repro.power.hetero import make_power_model
 from repro.power.meter import SystemPowerMeter
@@ -111,6 +130,13 @@ class PowerManager:
         fault_injector: Optional fault injector; attaching one arms the
             degraded-mode fail-safe ladder.
         degraded: Ladder thresholds (defaults when omitted).
+        actuator: Optional caller-owned actuator to share (the HA wiring
+            passes the live one so in-flight commands survive a manager
+            crash); a private one is created when omitted.
+        journal: Optional state journal; when attached, every completed
+            cycle appends a :class:`~repro.ha.journal.CycleRecord` and
+            the journal is compacted with a fresh checkpoint on its
+            cadence.
     """
 
     def __init__(
@@ -125,6 +151,8 @@ class PowerManager:
         recorder: TimeSeriesRecorder | None = None,
         fault_injector: FaultInjector | None = None,
         degraded: DegradedModeConfig | None = None,
+        actuator: DvfsActuator | None = None,
+        journal: StateJournal | None = None,
     ) -> None:
         self._cluster = cluster
         self._sets = sets
@@ -133,6 +161,7 @@ class PowerManager:
         self._policy = policy
         self._injector = fault_injector
         self._degraded_cfg = degraded if degraded is not None else DegradedModeConfig()
+        self._cost_model = cost_model
         self._collector = TelemetryCollector(
             cluster.state, sets.candidates, cost_model, fault_injector
         )
@@ -140,7 +169,12 @@ class PowerManager:
         self._capping = PowerCappingAlgorithm(
             sets, cluster.spec.top_level, steady_green_cycles
         )
-        self._actuator = DvfsActuator(cluster.state, fault_injector)
+        self._actuator = (
+            actuator
+            if actuator is not None
+            else DvfsActuator(cluster.state, fault_injector)
+        )
+        self._journal = journal
         self.recorder = recorder if recorder is not None else TimeSeriesRecorder()
         self._cycles = 0
         self._state_counts = {s: 0 for s in PowerState}
@@ -153,6 +187,10 @@ class PowerManager:
         self._last_metered_snapshot: TelemetrySnapshot | None = None
         self._offset_w = 0.0
         self._offset_valid = False
+        # Crash-recovery state (repro.ha).
+        self._epoch: int | None = None
+        self._recovery_pending: set[int] = set()
+        self._last_cycle_time = 0.0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -196,6 +234,41 @@ class PowerManager:
     def fault_injector(self) -> FaultInjector | None:
         """The attached fault injector (None when fault-free)."""
         return self._injector
+
+    @property
+    def journal(self) -> StateJournal | None:
+        """The attached state journal (None when not journaling)."""
+        return self._journal
+
+    @property
+    def fencing_epoch(self) -> int | None:
+        """The epoch this incarnation's commands carry (None = unfenced)."""
+        return self._epoch
+
+    @property
+    def deposed(self) -> bool:
+        """Whether a successor's takeover has fenced this incarnation out."""
+        return self._epoch is not None and self._epoch != self._actuator.epoch
+
+    @property
+    def in_recovery_hold(self) -> bool:
+        """Whether the post-restore no-upgrade hold is still active."""
+        return bool(self._recovery_pending)
+
+    @property
+    def recovery_pending_nodes(self) -> int:
+        """Candidates not yet freshly re-observed since the restore."""
+        return len(self._recovery_pending)
+
+    def set_fencing_epoch(self, epoch: int) -> None:
+        """Adopt the fencing epoch this incarnation's commands carry.
+
+        Called by the HA layer at commissioning (primary) and takeover
+        (successor).  The epoch is fixed for the incarnation's lifetime:
+        when the actuator's epoch moves past it, this manager is deposed
+        and every further batch it issues is fenced.
+        """
+        self._epoch = int(epoch)
 
     @property
     def forced_red_cycles(self) -> int:
@@ -244,6 +317,11 @@ class PowerManager:
             inj.begin_cycle(now)
 
         snapshot = self._collector.collect(now)
+        if self._recovery_pending:
+            # Recovery hold: tick off candidates that have reported
+            # fresh since the restore (age 0 = sampled this sweep).
+            fresh_ids = snapshot.node_ids[np.asarray(snapshot.age) == 0.0]
+            self._recovery_pending.difference_update(int(i) for i in fresh_ids)
         metered = inj is None or inj.meter_available()
         if inj is not None:
             # Nodes eligible for an actual level raise this cycle: fresh
@@ -254,9 +332,17 @@ class PowerManager:
                 allow[snapshot.node_ids[stale]] = False
             else:
                 allow[:] = False
-            self._upgradable = allow
         else:
-            self._upgradable = None
+            allow = None
+        if self._recovery_pending:
+            # A restored manager upgrades nothing until every candidate
+            # has been re-observed: its inherited view of the machine is
+            # only trustworthy where it has been re-confirmed.
+            if allow is None:
+                allow = np.zeros(self._cluster.state.num_nodes, dtype=bool)
+            else:
+                allow[:] = False
+        self._upgradable = allow
         # Flush in-flight commands after the sweep so late-landing raises
         # are clamped against this cycle's staleness; their effect shows
         # in the next sweep.
@@ -299,10 +385,13 @@ class PowerManager:
             thresholds=th,
         )
         decision = self._decide(state, ctx)
-        actuation = self._actuator.apply(decision, raise_ok=self._upgradable)
+        actuation = self._actuator.apply(
+            decision, raise_ok=self._upgradable, epoch=self._epoch
+        )
 
         self._cycles += 1
         self._state_counts[state] += 1
+        self._last_cycle_time = now
         rec = self.recorder
         rec.record(SERIES_POWER, now, power)
         rec.record(SERIES_STATE, now, state.severity)
@@ -314,6 +403,31 @@ class PowerManager:
             rec.record(
                 SERIES_DEGRADED, now, 1.0 if (forced_red or not metered) else 0.0
             )
+        # Journal the completed cycle — unless this incarnation has been
+        # deposed: fencing guards the log exactly like the actuator, so
+        # a zombie primary cannot interleave its timeline into the
+        # successor's journal.
+        if self._journal is not None and not self.deposed:
+            self._journal.append(
+                CycleRecord(
+                    cycle=self._cycles,
+                    time=now,
+                    power_w=power,
+                    metered=metered,
+                    state=state.value,
+                    forced_red=forced_red,
+                    action=decision.action.value,
+                    node_ids=tuple(int(i) for i in decision.node_ids),
+                    new_levels=tuple(int(l) for l in decision.new_levels),
+                    time_in_green=decision.time_in_green,
+                    coverage=snapshot.coverage,
+                    blackout_streak=self._blackout_streak,
+                    snapshot=snapshot,
+                    actuator=self._actuator.state_dict(),
+                )
+            )
+            if self._journal.should_compact():
+                self._journal.compact(self.checkpoint())
         return CycleReport(
             time=now,
             power_w=power,
@@ -390,12 +504,31 @@ class PowerManager:
         )
 
     def reset_episode_state(self) -> None:
-        """Clear Algorithm 1 and policy cross-cycle state (new run)."""
+        """Clear cross-cycle control state for a new run.
+
+        Resets Algorithm 1 (``A_degraded``, ``Time_g``), the policy, and
+        the degraded-mode ladder's latches (blackout streak, estimation
+        anchor, upgradable mask) so a reused manager starts the next
+        episode with the same control posture as a fresh one.  Lifetime
+        *counters* (cycles, state counts, forced-red totals) and the
+        recovery hold are deliberately kept: the former are accounting,
+        and the hold reflects sensing history a new episode does not
+        erase.
+        """
         self._capping.reset()
         self._policy.reset()
+        self._blackout_streak = 0
+        self._upgradable = None
+        self._offset_w = 0.0
+        self._offset_valid = False
 
     def release_all(self) -> None:
-        """Restore every candidate node to the top level (end of run)."""
+        """Restore every candidate node to the top level (end of run).
+
+        Also clears ``A_degraded``/``Time_g`` and the blackout latch so
+        the control state agrees with the machine it just released —
+        no node is degraded, so no degraded bookkeeping may survive.
+        """
         candidates = self._sets.candidates
         if len(candidates) == 0:
             return
@@ -403,6 +536,152 @@ class PowerManager:
             candidates, self._cluster.spec.top_level
         )
         self._capping.reset()
+        self._blackout_streak = 0
+        self._upgradable = None
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.ha)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> ControllerCheckpoint:
+        """Fold the manager's full resumable state into one checkpoint.
+
+        Everything Algorithm 1 and the degraded-mode ladder need to
+        continue from this exact cycle; see
+        :class:`~repro.ha.journal.ControllerCheckpoint` for the record
+        layout and :meth:`restore_state` for the inverse.
+        """
+        n = self._cluster.state.num_nodes
+        mask = np.zeros(n, dtype=bool)
+        mask[self._capping.degraded_nodes] = True
+        return ControllerCheckpoint(
+            cycle=self._cycles,
+            time=self._last_cycle_time,
+            thresholds=self._thresholds.state_dict(),
+            degraded_mask=tuple(bool(b) for b in mask),
+            time_in_green=self._capping.time_in_green,
+            state_counts={s.value: c for s, c in self._state_counts.items()},
+            forced_red_cycles=self._forced_red_cycles,
+            estimated_cycles=self._estimated_cycles,
+            blackout_streak=self._blackout_streak,
+            snapshot=self._collector.current,
+            collections=self._collector.collections,
+            dropped_samples=self._collector.dropped_samples,
+            accumulated_cost_s=self._collector.accumulated_cost_s,
+            last_metered_power=self._last_metered_power,
+            last_metered_snapshot=self._last_metered_snapshot,
+            actuator=self._actuator.state_dict(),
+        )
+
+    def restore_state(
+        self, recovery: JournalRecovery, restore_actuator: bool = False
+    ) -> None:
+        """Rebuild this (freshly constructed) manager from a journal.
+
+        The checkpoint is adopted wholesale, then each subsequent record
+        is folded on: metered powers replay through threshold learning
+        (bit-identical, since learning is a pure function of the reading
+        sequence), the journaled *decisions* replay onto ``A_degraded``
+        — policies are never re-run, so stochastic policies consume no
+        RNG during recovery — and the final record's snapshot rebuilds
+        the collector's last-known-good cache.  With no checkpoint the
+        fold starts from this manager's pristine state, which is why the
+        HA factory must construct successors with the same initial
+        configuration (thresholds, margins, ``T_g``) as the primary.
+
+        After the restore the recovery hold is armed: no node is
+        upgraded until every candidate has reported fresh telemetry.
+
+        Args:
+            recovery: What :meth:`StateJournal.recover` returned.
+            restore_actuator: Also overwrite the actuator's queue and
+                counters from the journal (cold restore onto a fresh
+                actuator).  The default leaves the actuator alone — the
+                warm HA wiring shares the live actuator, whose in-flight
+                queue is the network's truth, not the journal's.
+        """
+        cp = recovery.checkpoint
+        n = self._cluster.state.num_nodes
+        if cp is not None:
+            self._thresholds.restore_state(cp.thresholds)
+            self._state_counts = {
+                s: int(cp.state_counts.get(s.value, 0)) for s in PowerState
+            }
+            self._forced_red_cycles = int(cp.forced_red_cycles)
+            self._estimated_cycles = int(cp.estimated_cycles)
+            self._blackout_streak = int(cp.blackout_streak)
+            self._last_metered_power = cp.last_metered_power
+            self._last_metered_snapshot = cp.last_metered_snapshot
+            mask = np.asarray(cp.degraded_mask, dtype=bool)
+            time_g = int(cp.time_in_green)
+        else:
+            mask = np.zeros(n, dtype=bool)
+            mask[self._capping.degraded_nodes] = True
+            time_g = self._capping.time_in_green
+
+        top = self._cluster.spec.top_level
+        for r in recovery.records:
+            if r.metered:
+                self._thresholds.observe(r.power_w)
+                self._last_metered_power = r.power_w
+                self._last_metered_snapshot = r.snapshot
+            else:
+                self._estimated_cycles += 1
+            self._state_counts[PowerState(r.state)] += 1
+            if r.forced_red:
+                self._forced_red_cycles += 1
+            self._blackout_streak = int(r.blackout_streak)
+            action = CappingAction(r.action)
+            if action is CappingAction.DEGRADE:
+                mask[list(r.node_ids)] = True
+            elif action is CappingAction.UPGRADE:
+                for i, level in zip(r.node_ids, r.new_levels):
+                    if level >= top:
+                        mask[i] = False
+            elif action is CappingAction.EMERGENCY:
+                mask[:] = False
+                mask[list(r.node_ids)] = True
+            time_g = int(r.time_in_green)
+        self._capping.restore(mask, time_g)
+
+        # Collector: the newest journaled sweep is the cache.
+        records = recovery.records
+        snapshot = records[-1].snapshot if records else (
+            cp.snapshot if cp is not None else None
+        )
+        base_collections = cp.collections if cp is not None else 0
+        base_dropped = cp.dropped_samples if cp is not None else 0
+        base_cost = cp.accumulated_cost_s if cp is not None else 0.0
+        folded_dropped = sum(
+            int(np.count_nonzero(np.asarray(r.snapshot.age) > 0.0))
+            for r in records
+        )
+        folded_cost = 0.0
+        if self._cost_model is not None and records:
+            folded_cost = len(records) * float(
+                self._cost_model.cycle_cost_s(self._collector.size)
+            )
+        self._collector.restore_state(
+            snapshot,
+            collections=base_collections + len(records),
+            dropped_samples=base_dropped + folded_dropped,
+            accumulated_cost_s=base_cost + folded_cost,
+        )
+
+        if restore_actuator:
+            act_state = records[-1].actuator if records else (
+                cp.actuator if cp is not None else None
+            )
+            if act_state is not None:
+                self._actuator.restore_state(act_state)
+
+        self._cycles = recovery.last_cycle
+        self._last_cycle_time = (
+            records[-1].time if records else (cp.time if cp is not None else 0.0)
+        )
+        self._offset_w = 0.0
+        self._offset_valid = False
+        self._upgradable = None
+        self._recovery_pending = set(int(i) for i in self._sets.candidates)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -195,3 +195,45 @@ class ThresholdController:
         self._thresholds = self._derive(self._peak)
         self._adjustments += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.ha state journal)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything threshold learning needs to resume after a crash.
+
+        The returned dict is one section of the HA state journal's
+        records (see ``docs/robustness.md``); feeding it back through
+        :meth:`restore_state` on a freshly built controller reproduces
+        this controller's future decisions bit for bit.
+        """
+        return {
+            "peak_w": self._peak,
+            "running_peak_w": self._running_peak,
+            "observations": self._observations,
+            "adjustments": self._adjustments,
+            "p_low_w": self._thresholds.p_low,
+            "p_high_w": self._thresholds.p_high,
+            "margin_high": self._margin_high,
+            "margin_low": self._margin_low,
+            "adjust_every_cycles": self._adjust_every,
+            "frozen": self._frozen,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict`, overwriting all learned state.
+
+        ``p_low``/``p_high`` are restored verbatim rather than re-derived
+        so admin-pinned (:meth:`fixed`) controllers round-trip too.
+        """
+        self._margin_high = float(state["margin_high"])
+        self._margin_low = float(state["margin_low"])
+        self._adjust_every = int(state["adjust_every_cycles"])
+        self._frozen = bool(state["frozen"])
+        self._peak = float(state["peak_w"])
+        self._running_peak = float(state["running_peak_w"])
+        self._observations = int(state["observations"])
+        self._adjustments = int(state["adjustments"])
+        self._thresholds = PowerThresholds(
+            p_low=float(state["p_low_w"]), p_high=float(state["p_high_w"])
+        )

@@ -10,7 +10,10 @@
 * :mod:`repro.experiments.fig7_policies` — the headline policy
   comparison (Figure 7 and §V.D's text numbers);
 * :mod:`repro.experiments.ablations` — T_g, threshold margins, sampling
-  interval and the full policy zoo.
+  interval and the full policy zoo;
+* :mod:`repro.experiments.failover` — controller-crash recovery graded
+  against an uncrashed twin run (the :mod:`repro.ha` layer's report
+  card).
 """
 
 from repro.experiments.common import (
@@ -18,6 +21,7 @@ from repro.experiments.common import (
     ExperimentResult,
     run_experiment,
 )
+from repro.experiments.failover import FailoverResult, run_failover
 from repro.experiments.fig5_scalability import Fig5Result, run_fig5
 from repro.experiments.fig6_candidate_size import Fig6Point, Fig6Result, run_fig6
 from repro.experiments.fig7_policies import Fig7Result, PolicyOutcome, run_fig7
@@ -25,12 +29,14 @@ from repro.experiments.fig7_policies import Fig7Result, PolicyOutcome, run_fig7
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "FailoverResult",
     "Fig5Result",
     "Fig6Point",
     "Fig6Result",
     "Fig7Result",
     "PolicyOutcome",
     "run_experiment",
+    "run_failover",
     "run_fig5",
     "run_fig6",
     "run_fig7",

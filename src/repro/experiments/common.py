@@ -36,9 +36,11 @@ from repro.core.sets import CandidateSelector, NodeSets
 from repro.core.states import PowerState
 from repro.core.thresholds import ThresholdController
 from repro.errors import ConfigurationError
+from repro.core.actuator import DvfsActuator
 from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.scenario import FaultScenario
+from repro.ha import HaConfig, HaController, HaStats, StateJournal
 from repro.metrics.summary import RunMetrics
 from repro.power.meter import SystemPowerMeter
 from repro.power.hetero import make_power_model
@@ -49,6 +51,7 @@ from repro.scheduler.feeder import KeepQueueFilledFeeder
 from repro.scheduler.scheduler import BatchScheduler
 from repro.sim.random import RandomSource
 from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.recorder import TimeSeriesRecorder
 from repro.workload.executor import JobExecutor
 from repro.workload.generator import RandomJobGenerator
 from repro.workload.job import Job
@@ -123,6 +126,10 @@ class ExperimentConfig:
     #: Degraded-mode fail-safe ladder thresholds (used only when
     #: ``faults`` injects something).
     degraded: DegradedModeConfig = field(default_factory=DegradedModeConfig)
+    #: Controller crash-recovery layer (journal + failover + fencing);
+    #: disabled by default, which reproduces the single-manager run bit
+    #: for bit.
+    ha: HaConfig = field(default_factory=HaConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -144,6 +151,14 @@ class ExperimentConfig:
         if self.scheduler not in ("fcfs", "backfill"):
             raise ConfigurationError(
                 f"scheduler must be 'fcfs' or 'backfill', got {self.scheduler!r}"
+            )
+        if not self.ha.enabled and (
+            self.faults.controller_crash_rate > 0.0 or self.ha.crash_at_cycles
+        ):
+            raise ConfigurationError(
+                "controller crashes are configured but the HA layer is "
+                "disabled: enable ExperimentConfig.ha or the run would "
+                "simply lose its manager"
             )
 
     @property
@@ -222,6 +237,11 @@ class ExperimentResult:
             unless the run injected faults).
         degraded_flags: Per-cycle degraded-sensing flag series aligned
             with ``times`` (None unless the run injected faults).
+        ha_stats: Crash/failover accounting (None unless the run had
+            the HA layer enabled).
+        controlled_flags: Per-cycle flag series aligned with ``times``:
+            1.0 when a manager completed the cycle, 0.0 for controller
+            crash/downtime cycles (None unless HA was enabled).
     """
 
     label: str
@@ -242,6 +262,8 @@ class ExperimentResult:
     expected_failures: float | None = None
     fault_stats: FaultStats | None = None
     degraded_flags: np.ndarray | None = None
+    ha_stats: HaStats | None = None
+    controlled_flags: np.ndarray | None = None
 
 
 class _World:
@@ -326,6 +348,7 @@ def run_experiment(
     PowerProvision(capability_w=provision_w).check_assumptions(world.cluster)
 
     manager: PowerManager | None = None
+    ha_controller: HaController | None = None
     if policy is not None:
         if isinstance(policy, str):
             kwargs = {}
@@ -367,16 +390,57 @@ def run_experiment(
                 num_nodes=config.num_nodes,
             )
             manager_kwargs["degraded"] = config.degraded
-        manager = factory(
-            world.cluster,
-            sets,
-            meter,
-            thresholds,
-            policy_obj,
-            steady_green_cycles=config.steady_green_cycles,
-            cost_model=config.cost_model,
-            **manager_kwargs,
-        )
+        if config.ha.enabled:
+            # HA wiring: the actuator and journal outlive any single
+            # manager incarnation (in-flight commands are in the
+            # network; the journal is the recovery source), and every
+            # incarnation appends to the same recorder so the series
+            # stay continuous across failovers.  Each incarnation gets
+            # a *fresh* threshold controller and collector — their
+            # learned state comes from the journal, not the factory.
+            journal = StateJournal(config.ha.journal_compact_every)
+            actuator = DvfsActuator(
+                world.cluster.state,
+                manager_kwargs.get("fault_injector"),
+            )
+            recorder = TimeSeriesRecorder()
+
+            def _make_manager() -> PowerManager:
+                return factory(
+                    world.cluster,
+                    sets,
+                    meter,
+                    ThresholdController.from_training(
+                        training_peak,
+                        margin_high=config.margin_high,
+                        margin_low=config.margin_low,
+                        adjust_every_cycles=config.adjust_every_cycles,
+                    ),
+                    policy_obj,
+                    steady_green_cycles=config.steady_green_cycles,
+                    cost_model=config.cost_model,
+                    recorder=recorder,
+                    actuator=actuator,
+                    journal=journal,
+                    **manager_kwargs,
+                )
+
+            manager = _make_manager()
+            ha_controller = HaController(
+                manager, _make_manager, journal, config.ha
+            )
+        else:
+            ha_controller = None
+            manager = factory(
+                world.cluster,
+                sets,
+                meter,
+                thresholds,
+                policy_obj,
+                steady_green_cycles=config.steady_green_cycles,
+                cost_model=config.cost_model,
+                **manager_kwargs,
+            )
 
     # Main window.
     window_start = world.now
@@ -390,9 +454,21 @@ def run_experiment(
         thermal = ThermalModel(config.num_nodes)
         thermal.settle(world.model.node_power(world.cluster.state))
         reliability = ReliabilityTracker()
+    controlled: list[float] = []
     while world.now + config.control_period_s <= window_end + 1e-9:
         now = world.tick()
-        if manager is not None:
+        if ha_controller is not None:
+            report = ha_controller.control_cycle(now)
+            times.append(now)
+            if report is None:
+                # Controller down: nobody sensed, so the recorded value
+                # is the ground truth the dead manager never saw.
+                power.append(world.true_power())
+                controlled.append(0.0)
+            else:
+                power.append(report.power_w)
+                controlled.append(1.0)
+        elif manager is not None:
             report = manager.control_cycle(now)
             times.append(now)
             power.append(report.power_w)
@@ -422,6 +498,11 @@ def run_experiment(
     failures = reliability.expected_failures if reliability is not None else None
 
     if manager is not None:
+        if ha_controller is not None:
+            # Failovers may have replaced the primary; report the
+            # incarnation that finished the run (its counters include
+            # everything the journal carried across takeovers).
+            manager = ha_controller.manager
         state_cycles = {
             s.value: manager.state_count(s) for s in PowerState
         }
@@ -429,6 +510,14 @@ def run_experiment(
         degraded_flags = None
         if manager.fault_injector is not None and "degraded_sensing" in manager.recorder:
             degraded_flags = manager.recorder.values("degraded_sensing")
+            if len(degraded_flags) != len(t_arr):
+                # Downtime cycles record no sensing flags; the series
+                # cannot be aligned with the run's time axis.
+                degraded_flags = None
+        ha_stats = ha_controller.stats() if ha_controller is not None else None
+        controlled_flags = (
+            np.asarray(controlled) if ha_controller is not None else None
+        )
         return ExperimentResult(
             label=run_label,
             config=config,
@@ -448,6 +537,8 @@ def run_experiment(
             expected_failures=failures,
             fault_stats=fault_stats,
             degraded_flags=degraded_flags,
+            ha_stats=ha_stats,
+            controlled_flags=controlled_flags,
         )
     return ExperimentResult(
         label=run_label,

@@ -23,6 +23,7 @@ from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.models import (
     ActuationFaultModel,
+    ControllerCrashModel,
     MeterFaultModel,
     NodeCrashModel,
     TelemetryFaultModel,
@@ -31,6 +32,7 @@ from repro.faults.scenario import FaultScenario
 
 __all__ = [
     "ActuationFaultModel",
+    "ControllerCrashModel",
     "DegradedModeConfig",
     "FaultInjector",
     "FaultScenario",

@@ -28,6 +28,7 @@ import numpy as np
 from repro.errors import FaultInjectionError
 from repro.faults.models import (
     ActuationFaultModel,
+    ControllerCrashModel,
     MeterFaultModel,
     NodeCrashModel,
     TelemetryFaultModel,
@@ -104,9 +105,14 @@ class FaultInjector:
             scenario.node_crash_rate,
             scenario.node_recovery_rate,
         )
+        self._controller = ControllerCrashModel(
+            rng.stream("faults.controller"), scenario.controller_crash_rate
+        )
         self._cycle = -1
+        self._last_now: float | None = None
         self._meter_up = True
         self._online = self._crash.online
+        self._controller_crash_now = False
 
     # ------------------------------------------------------------------
     # The cycle clock
@@ -119,11 +125,19 @@ class FaultInjector:
     def begin_cycle(self, now: float) -> None:
         """Advance every burst process one control cycle.
 
-        Must be called exactly once per cycle, before any other query.
+        Must be called before any other query of the cycle.  Calling it
+        again with the *same* ``now`` is a no-op, so a high-availability
+        harness that advances the clock before dispatching to the active
+        manager composes with a manager that also calls it — the fault
+        processes still step exactly once per cycle.
         """
+        if self._last_now is not None and now == self._last_now:
+            return
+        self._last_now = float(now)
         self._cycle += 1
         self._meter_up = self._meter.step()
         self._online = self._crash.step()
+        self._controller_crash_now = self._controller.step()
 
     def _require_cycle(self) -> None:
         if self._cycle < 0:
@@ -181,6 +195,16 @@ class FaultInjector:
         self._require_cycle()
         return self._online[np.asarray(node_ids, dtype=np.int64)]
 
+    def controller_crash_event(self) -> bool:
+        """Whether the active controller crashes this cycle.
+
+        Consumed by the :class:`~repro.ha.failover.HaController`; crash
+        events drawn while no controller is active are simply ignored
+        there (nothing is running that could die).
+        """
+        self._require_cycle()
+        return self._controller_crash_now
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -203,6 +227,11 @@ class FaultInjector:
     def node_crashes(self) -> int:
         """Monitoring-plane crash events so far."""
         return self._crash.crashes
+
+    @property
+    def controller_crashes(self) -> int:
+        """Controller crash events drawn so far (active or not)."""
+        return self._controller.crashes
 
     @property
     def offline_node_cycles(self) -> int:

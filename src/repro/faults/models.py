@@ -30,6 +30,7 @@ __all__ = [
     "MeterFaultModel",
     "ActuationFaultModel",
     "NodeCrashModel",
+    "ControllerCrashModel",
 ]
 
 
@@ -230,3 +231,43 @@ class NodeCrashModel:
             self._online[recovering] = True
         self._offline_node_cycles += int((~self._online).sum())
         return self._online
+
+
+class ControllerCrashModel:
+    """Crash events of the central power manager itself.
+
+    Unlike the node models this is an *event* process, not an
+    availability chain: each cycle the model draws whether the active
+    controller fails right now.  Repair timing is not random — a crashed
+    controller comes back after a fixed ``controller_restart_cycles``
+    (journal recovery plus process restart), which the
+    :class:`~repro.ha.failover.HaController` enforces; the model only
+    decides *when* crashes strike, so primary/standby and
+    restart-in-place variants face the identical crash schedule under
+    the same seed.
+
+    Args:
+        rng: The model's dedicated random substream.
+        crash_rate: Per-cycle crash probability of the active manager.
+    """
+
+    def __init__(self, rng: np.random.Generator, crash_rate: float) -> None:
+        if not 0.0 <= crash_rate <= 1.0:
+            raise FaultInjectionError("controller crash rate must lie in [0, 1]")
+        self._rng = rng
+        self._crash = float(crash_rate)
+        self._crashes = 0
+
+    @property
+    def crashes(self) -> int:
+        """Total controller crash events drawn so far."""
+        return self._crashes
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True when a crash strikes now."""
+        if self._crash <= 0.0:
+            return False
+        hit = bool(self._rng.random() < self._crash)
+        if hit:
+            self._crashes += 1
+        return hit

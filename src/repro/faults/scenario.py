@@ -59,6 +59,16 @@ class FaultScenario:
             plane fails more often than the computation does).
         node_recovery_rate: Per-node, per-cycle probability that a
             crashed node recovers.
+        controller_crash_rate: Per-cycle probability that the *active
+            global power manager itself* crashes.  A controller crash
+            only has an effect when the run uses the high-availability
+            harness (:mod:`repro.ha`): the crashed manager loses all
+            in-memory state and a successor (warm standby, or the same
+            process after ``controller_restart_cycles``) recovers from
+            the state journal under a new fencing epoch.
+        controller_restart_cycles: How many cycles a crashed controller
+            needs before it can serve again (restart-after-k: journal
+            recovery, process restart and re-attach latency).
     """
 
     telemetry_dropout: float = 0.0
@@ -70,6 +80,8 @@ class FaultScenario:
     command_delay_cycles: int = 2
     node_crash_rate: float = 0.0
     node_recovery_rate: float = 0.1
+    controller_crash_rate: float = 0.0
+    controller_restart_cycles: int = 20
 
     def __post_init__(self) -> None:
         _check_probability("telemetry_dropout", self.telemetry_dropout)
@@ -79,6 +91,9 @@ class FaultScenario:
         _check_probability("command_delay", self.command_delay)
         _check_probability("node_crash_rate", self.node_crash_rate)
         _check_probability("node_recovery_rate", self.node_recovery_rate)
+        _check_probability("controller_crash_rate", self.controller_crash_rate)
+        if self.controller_restart_cycles < 1:
+            raise FaultInjectionError("controller_restart_cycles must be >= 1")
         if self.meter_noise_fraction < 0.0:
             raise FaultInjectionError("meter_noise_fraction must be non-negative")
         if self.command_delay_cycles < 1:
@@ -104,15 +119,16 @@ class FaultScenario:
             or self.command_loss > 0.0
             or self.command_delay > 0.0
             or self.node_crash_rate > 0.0
+            or self.controller_crash_rate > 0.0
         )
 
     # ------------------------------------------------------------------
     # Presets
     # ------------------------------------------------------------------
     @classmethod
-    def none(cls) -> "FaultScenario":
+    def none(cls, **overrides) -> "FaultScenario":
         """The paper's fault-free setting (all rates zero)."""
-        return cls()
+        return replace(cls(), **overrides)
 
     @classmethod
     def light(cls, **overrides) -> "FaultScenario":
@@ -139,3 +155,51 @@ class FaultScenario:
             node_recovery_rate=0.05,
         )
         return replace(base, **overrides)
+
+    @classmethod
+    def controller_crash(cls, **overrides) -> "FaultScenario":
+        """The light monitoring-plane scenario plus crashes of the
+        central power manager itself (run with the :mod:`repro.ha`
+        harness; laggy actuation keeps commands in flight across the
+        crash so the fencing epoch has something to reject)."""
+        base = cls(
+            telemetry_dropout=0.10,
+            command_loss=0.01,
+            command_delay=0.05,
+            command_delay_cycles=3,
+            controller_crash_rate=0.005,
+            controller_restart_cycles=20,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def preset_names(cls) -> tuple[str, ...]:
+        """Names accepted by :meth:`preset`, sorted."""
+        return tuple(sorted(_PRESETS))
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "FaultScenario":
+        """Look up a named preset, with a friendly error on a typo.
+
+        Raises:
+            FaultInjectionError: for an unknown preset name, listing the
+                available presets instead of surfacing a bare KeyError.
+        """
+        try:
+            factory = _PRESETS[name]
+        except KeyError:
+            raise FaultInjectionError(
+                f"unknown fault scenario preset {name!r}; available "
+                f"presets: {', '.join(cls.preset_names())}"
+            ) from None
+        return factory(**overrides)
+
+
+#: Registry behind :meth:`FaultScenario.preset` (and the CLI ``--faults``
+#: choices) — add new presets here so every consumer sees them.
+_PRESETS: dict[str, "classmethod"] = {
+    "none": FaultScenario.none,
+    "light": FaultScenario.light,
+    "heavy": FaultScenario.heavy,
+    "controller-crash": FaultScenario.controller_crash,
+}

@@ -1,0 +1,46 @@
+"""Controller crash-recovery: journal, warm-standby failover, fencing.
+
+The paper's global power manager (Figure 1) is a single process holding
+all of Algorithm 1's cross-cycle state; §I.A's own failure-rate argument
+says that process will die.  This package makes the control plane
+survive it:
+
+* :class:`~repro.ha.journal.StateJournal` — a crash-consistent record of
+  everything Algorithm 1 needs to resume (``A_degraded``, ``Time_g``,
+  learned thresholds, the last-known-good telemetry cache, degraded-mode
+  latches, in-flight command retries): append-only
+  :class:`~repro.ha.journal.CycleRecord` per cycle, periodically
+  compacted into a :class:`~repro.ha.journal.ControllerCheckpoint`;
+* :class:`~repro.ha.failover.HaController` — the crash/takeover state
+  machine: scripted or stochastic controller crashes, lease-expiry
+  warm-standby failover or cold restart, journal recovery;
+* **fencing** — each manager incarnation holds a monotone epoch checked
+  by :class:`~repro.core.actuator.DvfsActuator`; commands from a deposed
+  or crashed incarnation are rejected, so exactly one manager's word
+  reaches the machine per cycle (``epoch_conflicts`` witnesses the
+  invariant), and a restored manager never upgrades a node until it has
+  re-observed fresh telemetry from every candidate.
+
+Everything is off (and imported by nothing on the hot path) unless
+:class:`~repro.ha.config.HaConfig` is enabled; a disabled run is
+bit-for-bit the paper's single-manager behaviour.
+"""
+
+from repro.ha.config import HaConfig
+from repro.ha.failover import HaController, HaStats
+from repro.ha.journal import (
+    ControllerCheckpoint,
+    CycleRecord,
+    JournalRecovery,
+    StateJournal,
+)
+
+__all__ = [
+    "ControllerCheckpoint",
+    "CycleRecord",
+    "HaConfig",
+    "HaController",
+    "HaStats",
+    "JournalRecovery",
+    "StateJournal",
+]

@@ -32,7 +32,10 @@ from repro.metrics.efficiency import (
 )
 from repro.metrics.faults import (
     cap_violation_seconds,
+    controller_downtime_seconds,
     degraded_overspend,
+    failover_count,
+    recovery_divergence_w,
     time_to_cap_restoration,
     violation_episodes,
 )
@@ -58,8 +61,10 @@ __all__ = [
     "average_power",
     "cap_violation_seconds",
     "compare_runs",
+    "controller_downtime_seconds",
     "count_performance_lossless_jobs",
     "degraded_overspend",
+    "failover_count",
     "energy_delay_product",
     "energy_joules",
     "flops_per_watt",
@@ -68,6 +73,7 @@ __all__ = [
     "per_application_performance",
     "performance_metric",
     "power_usage_effectiveness",
+    "recovery_divergence_w",
     "time_fraction_above",
     "time_to_cap_restoration",
     "total_cost_of_ownership",

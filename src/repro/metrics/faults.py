@@ -32,6 +32,9 @@ __all__ = [
     "violation_episodes",
     "time_to_cap_restoration",
     "degraded_overspend",
+    "controller_downtime_seconds",
+    "failover_count",
+    "recovery_divergence_w",
 ]
 
 
@@ -128,3 +131,67 @@ def degraded_overspend(
     excess = np.maximum(v[:-1] - threshold_w, 0.0)
     attributed = float((excess * dt)[d[:-1] > 0.0].sum())
     return attributed / total
+
+
+# ----------------------------------------------------------------------
+# Controller availability (repro.ha runs)
+# ----------------------------------------------------------------------
+def controller_downtime_seconds(
+    times: np.ndarray, controlled: np.ndarray
+) -> float:
+    """Wall-clock seconds the machine ran with no power manager acting.
+
+    ``controlled`` is the HA run's per-cycle flag series (1.0 when a
+    manager completed the cycle, 0.0 for crash/downtime cycles), aligned
+    with ``times``.  Sample-and-hold like the other episode metrics: an
+    interval belongs to its left sample.
+    """
+    t, c = _validate(times, controlled)
+    if len(t) < 2:
+        return 0.0
+    dt = np.diff(t)
+    return float(dt[c[:-1] <= 0.0].sum())
+
+
+def failover_count(controlled: np.ndarray) -> int:
+    """Takeovers completed: down→up transitions in the controlled series.
+
+    A trace that *starts* controlled contributes nothing for its start;
+    every recovery from a downtime episode counts once.  (The HA layer's
+    own :class:`~repro.ha.failover.HaStats` reports the same number from
+    the inside; this recomputes it from the recorded series so results
+    can be audited without the controller object.)
+    """
+    c = np.asarray(controlled, dtype=np.float64)
+    if c.ndim != 1:
+        raise MetricError("controlled series must be 1-D")
+    if len(c) < 2:
+        return 0
+    up = c > 0.0
+    return int(np.count_nonzero(~up[:-1] & up[1:]))
+
+
+def recovery_divergence_w(
+    times: np.ndarray,
+    values: np.ndarray,
+    reference: np.ndarray,
+    after_time: float | None = None,
+) -> float:
+    """Worst post-recovery deviation from an uncrashed reference, watts.
+
+    Compares the crashed-and-recovered run's power trace against a
+    reference run of the identical seeded world with no controller
+    crashes, and returns ``max |P − P_ref|`` over samples at or after
+    ``after_time`` (the takeover instant; ``None`` compares the whole
+    trace).  Zero means the journal restored the controller onto the
+    exact pre-crash trajectory; a persistent gap means recovery lost
+    control state the reference still had.
+    """
+    t, v = _validate(times, values)
+    r = np.asarray(reference, dtype=np.float64)
+    if r.shape != v.shape:
+        raise MetricError("reference series misaligned with power trace")
+    mask = np.ones(len(t), dtype=bool) if after_time is None else t >= after_time
+    if not mask.any():
+        raise MetricError("no samples at or after the recovery time")
+    return float(np.abs(v[mask] - r[mask]).max())

@@ -48,6 +48,13 @@ class TelemetrySnapshot:
     nodes that reported fresh data this cycle; both default to the
     fault-free values so snapshots built by tests and fault-free runs
     are unchanged.
+
+    **Empty-candidate convention:** when the monitored set itself is
+    empty (``size == 0``) coverage is defined as 1.0 — vacuously full.
+    A blackout means monitored nodes went dark, not that there is
+    nothing to monitor, so downstream coverage-threshold logic (the
+    manager's forced-red rung) must stay inert for an empty candidate
+    set.
     """
 
     time: float
@@ -204,23 +211,32 @@ class TelemetryCollector:
         coverage = 1.0
         if self._injector is not None:
             ids = self._pool.node_ids
-            dropped = self._injector.telemetry_drop_mask(ids)
-            fresh = ~dropped
-            if dropped.any():
-                level[dropped] = self._lkg_level[dropped]
-                cpu[dropped] = self._lkg_cpu[dropped]
-                mem[dropped] = self._lkg_mem[dropped]
-                nic[dropped] = self._lkg_nic[dropped]
-                job[dropped] = self._lkg_job[dropped]
-                self._dropped_samples += int(dropped.sum())
-            self._lkg_level[fresh] = level[fresh]
-            self._lkg_cpu[fresh] = cpu[fresh]
-            self._lkg_mem[fresh] = mem[fresh]
-            self._lkg_nic[fresh] = nic[fresh]
-            self._lkg_job[fresh] = job[fresh]
-            self._lkg_time[fresh] = float(now)
-            age = float(now) - self._lkg_time
-            coverage = float(fresh.mean()) if len(ids) else 1.0
+            if len(ids) == 0:
+                # Convention: an empty candidate set has coverage 1.0
+                # (vacuously full).  There is nothing to monitor, so a
+                # blackout cannot be in progress and the manager's
+                # forced-red rung must never fire on the absence of a
+                # candidate set — only on a dark one.
+                coverage = 1.0
+                age = np.zeros(0, dtype=np.float64)
+            else:
+                dropped = self._injector.telemetry_drop_mask(ids)
+                fresh = ~dropped
+                if dropped.any():
+                    level[dropped] = self._lkg_level[dropped]
+                    cpu[dropped] = self._lkg_cpu[dropped]
+                    mem[dropped] = self._lkg_mem[dropped]
+                    nic[dropped] = self._lkg_nic[dropped]
+                    job[dropped] = self._lkg_job[dropped]
+                    self._dropped_samples += int(dropped.sum())
+                self._lkg_level[fresh] = level[fresh]
+                self._lkg_cpu[fresh] = cpu[fresh]
+                self._lkg_mem[fresh] = mem[fresh]
+                self._lkg_nic[fresh] = nic[fresh]
+                self._lkg_job[fresh] = job[fresh]
+                self._lkg_time[fresh] = float(now)
+                age = float(now) - self._lkg_time
+                coverage = float(fresh.mean())
         snapshot = TelemetrySnapshot(
             time=float(now),
             node_ids=self._pool.node_ids.copy(),
@@ -238,3 +254,57 @@ class TelemetryCollector:
         if self._cost_model is not None:
             self._accumulated_cost_s += float(self._cost_model.cycle_cost_s(self.size))
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.ha state journal)
+    # ------------------------------------------------------------------
+    def restore_state(
+        self,
+        snapshot: TelemetrySnapshot | None,
+        collections: int = 0,
+        dropped_samples: int = 0,
+        accumulated_cost_s: float = 0.0,
+    ) -> None:
+        """Rebuild the collector of a crashed manager from its journal.
+
+        The last journaled sweep carries everything the cache needs: its
+        rows *are* the post-sweep last-known-good rows, and each node's
+        last report time is exactly ``snapshot.time - age`` (``-inf``
+        for a node that never reported).  The restored snapshot becomes
+        ``current`` so the first post-recovery sweep sees it as
+        ``previous`` — change-based policies resume on the same
+        ``P^{t-1}`` an uncrashed manager would have used.
+
+        Args:
+            snapshot: The last pre-crash sweep (``None`` if the manager
+                crashed before its first collection; the deploy-time
+                cache priming then stands).
+            collections: Journaled sweep count.
+            dropped_samples: Journaled cache-substitution count.
+            accumulated_cost_s: Journaled management-cost integral.
+
+        Raises:
+            TelemetryError: if the snapshot does not cover exactly this
+                collector's candidate set (a journal from a different
+                configuration must not be replayed onto this one).
+        """
+        self._collections = int(collections)
+        self._dropped_samples = int(dropped_samples)
+        self._accumulated_cost_s = float(accumulated_cost_s)
+        self._previous = None
+        if snapshot is None:
+            self._current = None
+            return
+        if not np.array_equal(snapshot.node_ids, self._pool.node_ids):
+            raise TelemetryError(
+                "journaled snapshot does not cover this candidate set"
+            )
+        self._lkg_level = snapshot.level.astype(self._lkg_level.dtype).copy()
+        self._lkg_cpu = snapshot.cpu_util.astype(np.float64).copy()
+        self._lkg_mem = snapshot.mem_frac.astype(np.float64).copy()
+        self._lkg_nic = snapshot.nic_frac.astype(np.float64).copy()
+        self._lkg_job = snapshot.job_id.astype(self._lkg_job.dtype).copy()
+        self._lkg_time = float(snapshot.time) - np.asarray(
+            snapshot.age, dtype=np.float64
+        )
+        self._current = snapshot

@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.cluster import Cluster, NodeSpec
 from repro.power import NodePowerEstimator, PowerModel
 from repro.sim import RandomSource, SimulationEngine
+
+# Property-based tests must behave identically on every CI run: the
+# "deterministic" profile derandomises example generation (same examples
+# every run, no flaky shrink timeouts).  Local runs keep Hypothesis'
+# default randomised exploration unless HYPOTHESIS_PROFILE says
+# otherwise; CI exports HYPOTHESIS_PROFILE=deterministic.
+settings.register_profile("deterministic", derandomize=True, deadline=None)
+settings.register_profile("default", settings.default)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,165 @@
+"""release_all() / reset_episode_state() interplay.
+
+Both clear the degraded-mode latches, but they answer different
+questions: ``release_all`` reconciles control state with a machine it
+just restored to full speed (end of run), ``reset_episode_state``
+re-arms the control posture for a new episode on whatever machine state
+stands.  These tests pin the contract: latches cleared, lifetime
+counters kept, and the two composable in either order without leaving a
+stale ``A_degraded`` or blackout streak behind.
+"""
+
+import numpy as np
+
+from repro.core import NodeSets, PowerManager, PowerState, ThresholdController
+from repro.core.policies import make_policy
+from repro.faults import DegradedModeConfig
+from repro.power import PowerModel, SystemPowerMeter
+
+
+class _FakeInjector:
+    """Scripted injector: flip ``meter_up`` / ``drop`` between cycles."""
+
+    def __init__(self, num_nodes):
+        self.meter_up = True
+        self.drop = np.zeros(num_nodes, dtype=bool)
+        self.command_delay_cycles = 2
+        self.meter_outages = 0
+        self.meter_outage_cycles = 0
+        self.node_crashes = 0
+        self.offline_node_cycles = 0
+
+    def begin_cycle(self, now):
+        if not self.meter_up:
+            self.meter_outage_cycles += 1
+
+    def meter_available(self):
+        return self.meter_up
+
+    def perturb_meter(self, reading_w):
+        return reading_w
+
+    def telemetry_drop_mask(self, node_ids):
+        return self.drop[np.asarray(node_ids, dtype=np.int64)]
+
+    def command_outcomes(self, node_ids):
+        z = np.zeros(len(node_ids), dtype=bool)
+        return z, z.copy()
+
+
+def _manager(cluster, p_low, p_high, injector=None):
+    sets = NodeSets(cluster)
+    model = PowerModel(cluster.spec)
+    meter = SystemPowerMeter(model, cluster.state)
+    return PowerManager(
+        cluster,
+        sets,
+        meter,
+        ThresholdController.fixed(p_low=p_low, p_high=p_high),
+        make_policy("mpc"),
+        steady_green_cycles=2,
+        fault_injector=injector,
+        degraded=DegradedModeConfig(blackout_cycles=2),
+    )
+
+
+def _hot_manager(cluster, injector=None):
+    """A manager whose first cycle lands yellow and degrades nodes."""
+    p_ref = PowerModel(cluster.spec).system_power(cluster.state)
+    return _manager(cluster, p_ref * 0.9, p_ref * 1.5, injector)
+
+
+def test_release_all_restores_levels_and_clears_degraded_state(busy_cluster):
+    state = busy_cluster.state
+    top = busy_cluster.spec.top_level
+    manager = _hot_manager(busy_cluster)
+    report = manager.control_cycle(1.0)
+    assert report.state is PowerState.YELLOW
+    assert len(manager.capping.degraded_nodes) > 0
+    assert (state.level < top).any()
+
+    manager.release_all()
+    candidates = manager.sets.candidates
+    assert (state.level[candidates] == top).all()
+    assert len(manager.capping.degraded_nodes) == 0
+    assert manager.capping.time_in_green == 0
+    # Lifetime accounting survives the release.
+    assert manager.cycles == 1
+    assert manager.state_count(PowerState.YELLOW) == 1
+
+
+def test_release_all_clears_blackout_latch(busy_cluster):
+    inj = _FakeInjector(16)
+    manager = _hot_manager(busy_cluster, inj)
+    inj.drop[:] = True  # total telemetry blackout -> forced red
+    for t in (1.0, 2.0, 3.0):
+        report = manager.control_cycle(t)
+    assert report.forced_red
+    streak_before = manager.forced_red_cycles
+
+    manager.release_all()
+    inj.drop[:] = False
+    report = manager.control_cycle(4.0)
+    # Full coverage is back and the streak latch was cleared: the next
+    # cycle is graded on thresholds, not forced red by a stale streak.
+    assert not report.forced_red
+    assert manager.forced_red_cycles == streak_before
+
+
+def test_reset_episode_state_keeps_counters_clears_latches(busy_cluster):
+    inj = _FakeInjector(16)
+    manager = _hot_manager(busy_cluster, inj)
+    manager.control_cycle(1.0)
+    inj.meter_up = False
+    manager.control_cycle(2.0)  # runs on the estimation anchor
+    assert manager.estimated_power_cycles == 1
+    cycles, yellow = manager.cycles, manager.state_count(PowerState.YELLOW)
+
+    manager.reset_episode_state()
+    assert len(manager.capping.degraded_nodes) == 0
+    assert manager.capping.time_in_green == 0
+    # Counters are accounting, not control state: they must survive.
+    assert manager.cycles == cycles
+    assert manager.state_count(PowerState.YELLOW) == yellow
+    assert manager.estimated_power_cycles == 1
+
+    # The estimation anchor was discarded with the episode: the next
+    # estimated cycle re-anchors from the new episode's first metered
+    # reading instead of reusing the stale offset.
+    inj.meter_up = True
+    metered = manager.control_cycle(3.0)
+    inj.meter_up = False
+    estimated = manager.control_cycle(4.0)
+    assert not estimated.metered
+    assert abs(estimated.power_w - metered.power_w) < 0.5 * metered.power_w
+
+
+def test_reset_does_not_touch_node_levels(busy_cluster):
+    state = busy_cluster.state
+    manager = _hot_manager(busy_cluster)
+    manager.control_cycle(1.0)
+    levels = state.level.copy()
+    manager.reset_episode_state()
+    # reset re-arms control state only; releasing hardware is
+    # release_all()'s job.
+    np.testing.assert_array_equal(state.level, levels)
+
+
+def test_release_then_reset_equals_fresh_manager(busy_cluster):
+    state = busy_cluster.state
+    manager = _hot_manager(busy_cluster)
+    for t in (1.0, 2.0, 3.0):
+        manager.control_cycle(t)
+    manager.release_all()
+    manager.reset_episode_state()
+
+    fresh = _hot_manager(busy_cluster)
+    reused_report = manager.control_cycle(10.0)
+    # Rerun the same instant on an identical machine with the fresh
+    # manager: the reused manager must make the same first decision.
+    levels_after_reused = state.level.copy()
+    manager.release_all()
+    fresh_report = fresh.control_cycle(10.0)
+    assert reused_report.state is fresh_report.state
+    assert reused_report.decision.action == fresh_report.decision.action
+    np.testing.assert_array_equal(levels_after_reused, state.level)

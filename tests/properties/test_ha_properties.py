@@ -1,0 +1,153 @@
+"""Property tests: crash-recovery replay fidelity and fencing safety.
+
+The tentpole guarantee of the :mod:`repro.ha` layer, stated as
+properties over *arbitrary* crash timing and journal compaction cadence:
+
+* **Replay bit-identity** — crash the controller after any cycle ``k``
+  of a seeded trace, restore a successor from the journal, and from
+  cycle ``k+1`` on the run is indistinguishable from one that never
+  crashed: same power readings, same state classifications, same
+  decisions (action, node ids, levels), same final DVFS levels.  The
+  compaction cadence (checkpoint-only, checkpoint+tail, tail-only) must
+  not matter.
+* **Fencing safety** — whatever single cycle the crash lands on, no
+  control cycle is ever acted on by two manager epochs, and every
+  command the dead primary left in flight is fenced, never applied.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actuator import DvfsActuator
+from repro.faults import FaultScenario
+from repro.ha import HaConfig, HaController, StateJournal
+
+from tests.ha.conftest import build_manager, drive_load, make_world, tight_thresholds
+
+TOTAL_CYCLES = 36
+
+
+def _reference_trace(p_low, p_high):
+    """The uncrashed run's per-cycle decisions and final levels."""
+    world = make_world()
+    manager = build_manager(world, p_low, p_high)
+    rng = np.random.default_rng(7)
+    reports = []
+    for k in range(1, TOTAL_CYCLES + 1):
+        drive_load(world.state, rng)
+        reports.append(manager.control_cycle(float(k)))
+    return reports, world.state.level.copy()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    crash_at=st.integers(min_value=1, max_value=TOTAL_CYCLES - 1),
+    compact_every=st.integers(min_value=1, max_value=12),
+)
+def test_journal_replay_is_bit_identical(crash_at, compact_every):
+    world = make_world()
+    p_low, p_high = tight_thresholds(world)
+    ref_reports, ref_levels = _reference_trace(p_low, p_high)
+
+    journal = StateJournal(compact_every=compact_every)
+    primary = build_manager(world, p_low, p_high, journal=journal)
+    rng = np.random.default_rng(7)
+    reports = []
+    for k in range(1, crash_at + 1):
+        drive_load(world.state, rng)
+        reports.append(primary.control_cycle(float(k)))
+
+    # Crash: the successor shares the world and the live actuator but
+    # starts with pristine controller state, then restores.
+    successor = build_manager(
+        world, p_low, p_high, journal=journal, actuator=primary.actuator
+    )
+    successor.restore_state(journal.recover())
+    assert successor.cycles == crash_at
+    for k in range(crash_at + 1, TOTAL_CYCLES + 1):
+        drive_load(world.state, rng)
+        reports.append(successor.control_cycle(float(k)))
+
+    for k, (a, b) in enumerate(zip(ref_reports, reports), start=1):
+        assert a.power_w == b.power_w, k
+        assert a.state is b.state, k
+        assert a.decision.action is b.decision.action, k
+        assert np.array_equal(a.decision.node_ids, b.decision.node_ids), k
+        assert np.array_equal(a.decision.new_levels, b.decision.new_levels), k
+    np.testing.assert_array_equal(world.state.level, ref_levels)
+
+
+class _RetryInjector:
+    """Every node's first command issue is lost, forcing in-flight retries."""
+
+    def __init__(self):
+        self._failed_once = set()
+        self.command_delay_cycles = 2
+        self.scenario = FaultScenario.none()
+        self.meter_outages = 0
+        self.meter_outage_cycles = 0
+        self.node_crashes = 0
+        self.offline_node_cycles = 0
+
+    def begin_cycle(self, now):
+        pass
+
+    def meter_available(self):
+        return True
+
+    def perturb_meter(self, reading_w):
+        return reading_w
+
+    def telemetry_drop_mask(self, node_ids):
+        return np.zeros(len(node_ids), dtype=bool)
+
+    def command_outcomes(self, node_ids):
+        lost = np.asarray(
+            [int(i) not in self._failed_once for i in node_ids], dtype=bool
+        )
+        self._failed_once.update(int(i) for i in node_ids)
+        return lost, np.zeros(len(node_ids), dtype=bool)
+
+
+@settings(max_examples=15, deadline=None)
+@given(crash_at=st.integers(min_value=2, max_value=TOTAL_CYCLES - 3))
+def test_fencing_never_double_applies(crash_at):
+    world = make_world()
+    p_low, p_high = tight_thresholds(world)
+    injector = _RetryInjector()
+    journal = StateJournal(compact_every=8)
+    actuator = DvfsActuator(world.state, injector)
+
+    def factory():
+        return build_manager(
+            world,
+            p_low,
+            p_high,
+            journal=journal,
+            actuator=actuator,
+            fault_injector=injector,
+        )
+
+    ha = HaController(
+        factory(),
+        factory,
+        journal,
+        HaConfig.warm(lease_timeout_cycles=2, crash_at_cycles=(crash_at,)),
+    )
+    rng = np.random.default_rng(7)
+    inflight_at_crash = 0
+    for k in range(1, TOTAL_CYCLES + 1):
+        pending_before = actuator.pending_commands
+        drive_load(world.state, rng)
+        ha.control_cycle(float(k))
+        if k == crash_at:
+            inflight_at_crash = pending_before
+
+    stats = ha.stats()
+    assert stats.epoch_conflicts == 0
+    assert stats.failovers == 1 and stats.final_epoch == 1
+    # Every stranded command was fenced by the end of the run; nothing
+    # from the dead epoch remains pending or ever landed.
+    assert actuator.stale_pending_commands == 0
+    assert stats.fenced_commands == inflight_at_crash

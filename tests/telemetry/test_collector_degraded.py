@@ -69,6 +69,48 @@ def test_snapshot_coverage_validated():
         )
 
 
+def test_empty_snapshot_coverage_is_vacuously_full():
+    snap = TelemetrySnapshot(
+        time=0.0,
+        node_ids=np.array([], dtype=np.int64),
+        level=np.array([], dtype=np.int64),
+        cpu_util=np.array([]),
+        mem_frac=np.array([]),
+        nic_frac=np.array([]),
+        job_id=np.array([], dtype=np.int64),
+    )
+    assert snap.size == 0
+    assert snap.coverage == 1.0
+    assert not snap.stale_mask(0.0).any()
+
+
+class _ForbiddenDrops:
+    """Injector stand-in that must never be consulted."""
+
+    def telemetry_drop_mask(self, node_ids):
+        raise AssertionError("drop mask requested for an empty candidate set")
+
+
+def test_empty_candidate_set_has_full_coverage_under_faults(busy_cluster):
+    # Convention under test: an empty candidate set is vacuously fully
+    # covered (coverage 1.0, no ages), and the injector is never asked
+    # for a drop mask — so the manager's forced-red blackout rung can
+    # never fire on the *absence* of candidates, only on dark ones.
+    collector = TelemetryCollector(
+        busy_cluster.state,
+        np.array([], dtype=np.int64),
+        None,
+        _ForbiddenDrops(),
+    )
+    for t in (1.0, 2.0, 3.0):
+        snap = collector.collect(t)
+    assert snap.size == 0
+    assert snap.coverage == 1.0
+    assert snap.age.shape == (0,)
+    assert collector.dropped_samples == 0
+    assert collector.collections == 3
+
+
 def test_collect_without_injector_is_fresh(busy_cluster):
     collector = _collector(busy_cluster)
     snap = collector.collect(1.0)
@@ -136,4 +178,59 @@ def test_fresh_report_resets_age(busy_cluster):
     collector.collect(2.0)
     snap = collector.collect(3.0)
     assert snap.age[7] == 0.0
+    assert snap.coverage == 1.0
+
+
+def test_restore_state_rebuilds_lkg_cache(busy_cluster):
+    """A successor collector restored from a journaled snapshot behaves
+    exactly like the crashed one: cached rows, ages, and the previous/
+    current chaining all line up."""
+    n = busy_cluster.state.num_nodes
+    drop3 = np.zeros(n, dtype=bool)
+    drop3[3] = True
+    primary = _collector(
+        busy_cluster, _ScriptedDrops([np.zeros(n, dtype=bool), drop3])
+    )
+    primary.collect(1.0)
+    last = primary.collect(2.0)
+
+    successor = _collector(
+        busy_cluster, _ScriptedDrops([drop3.copy()])
+    )
+    successor.restore_state(
+        last,
+        collections=primary.collections,
+        dropped_samples=primary.dropped_samples,
+        accumulated_cost_s=primary.accumulated_cost_s,
+    )
+    assert successor.collections == 2
+    assert successor.dropped_samples == 1
+    assert successor.current is last
+    assert successor.previous is None
+
+    # Node 3 drops again on the first post-recovery sweep: it must be
+    # served from the journal-reconstructed cache with age measured from
+    # its *original* last report (t=1.0), not from the recovery point.
+    snap = successor.collect(4.0)
+    assert snap.cpu_util[3] == last.cpu_util[3]
+    assert snap.age[3] == pytest.approx(3.0)
+    assert successor.previous is last
+
+
+def test_restore_state_rejects_foreign_candidate_set(busy_cluster):
+    primary = _collector(busy_cluster, _ScriptedDrops([]))
+    last = primary.collect(1.0)
+    sets = NodeSets(busy_cluster)
+    other = TelemetryCollector(
+        busy_cluster.state, sets.candidates[:4], None, _ScriptedDrops([])
+    )
+    with pytest.raises(TelemetryError):
+        other.restore_state(last)
+
+
+def test_restore_state_with_no_snapshot_keeps_deploy_priming(busy_cluster):
+    collector = _collector(busy_cluster, _ScriptedDrops([]))
+    collector.restore_state(None, collections=0)
+    assert collector.current is None
+    snap = collector.collect(1.0)
     assert snap.coverage == 1.0
