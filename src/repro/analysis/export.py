@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.errors import MetricError
 from repro.workload.job import Job
+
+if TYPE_CHECKING:
+    from repro.experiments.common import ExperimentResult
 
 __all__ = [
     "power_trace_csv",
@@ -90,7 +93,7 @@ def jobs_csv(jobs: Sequence[Job]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def metrics_json(result) -> str:
+def metrics_json(result: ExperimentResult) -> str:
     """Run metadata + the §V.C metric bundle as pretty JSON."""
     m = result.metrics
     payload = {
@@ -118,7 +121,9 @@ def metrics_json(result) -> str:
     return json.dumps(payload, indent=2) + "\n"
 
 
-def export_result(result, directory: str | Path, stem: str | None = None) -> list[Path]:
+def export_result(
+    result: ExperimentResult, directory: str | Path, stem: str | None = None
+) -> list[Path]:
     """Write trace CSV, jobs CSV and metrics JSON for one result.
 
     Args:

@@ -12,7 +12,7 @@ artifacts rather than scrollback.
 from __future__ import annotations
 
 import io
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -23,10 +23,13 @@ from repro.metrics.performance import per_application_performance
 from repro.metrics.summary import compare_runs
 from repro.units import fmt_duration, fmt_energy, fmt_power
 
+if TYPE_CHECKING:
+    from repro.experiments.common import ExperimentResult
+
 __all__ = ["render_run_report"]
 
 
-def _config_section(out: io.StringIO, result) -> None:
+def _config_section(out: io.StringIO, result: ExperimentResult) -> None:
     config = result.config
     out.write("## Configuration\n\n")
     table = Table(["parameter", "value"])

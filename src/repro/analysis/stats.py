@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import MetricError
+from repro.sim.random import RandomSource
 
 __all__ = ["SeriesSummary", "summarize", "bootstrap_ci"]
 
@@ -88,7 +89,11 @@ def bootstrap_ci(
         raise MetricError("confidence must lie in (0, 1)")
     if resamples < 1:
         raise MetricError("resamples must be >= 1")
-    gen = rng if rng is not None else np.random.default_rng(0)
+    gen = (
+        rng
+        if rng is not None
+        else RandomSource(seed=0).stream("analysis.bootstrap")
+    )
     point = float(statistic(v))
     idx = gen.integers(0, v.size, size=(resamples, v.size))
     stats = np.asarray([statistic(v[row]) for row in idx])

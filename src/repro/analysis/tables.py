@@ -7,9 +7,13 @@ paper-figure results through it.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import MetricError
+
+if TYPE_CHECKING:
+    from repro.experiments.fig6_candidate_size import Fig6Result
+    from repro.experiments.fig7_policies import Fig7Result
 
 __all__ = ["Table", "format_fig6_table", "format_fig7_table"]
 
@@ -64,7 +68,7 @@ class Table:
         return self.render()
 
 
-def format_fig6_table(result) -> str:
+def format_fig6_table(result: Fig6Result) -> str:
     """Render a :class:`~repro.experiments.fig6_candidate_size.Fig6Result`
     as the paper's Figure 6: normalised P_max and ΔP×T per size/policy."""
     table = Table(
@@ -81,7 +85,7 @@ def format_fig6_table(result) -> str:
     return table.render()
 
 
-def format_fig7_table(result) -> str:
+def format_fig7_table(result: Fig7Result) -> str:
     """Render a :class:`~repro.experiments.fig7_policies.Fig7Result` as
     the paper's Figure 7 summary rows."""
     table = Table(

@@ -21,6 +21,7 @@ from repro.core.policies import available_policies
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
     ExperimentConfig,
+    ExperimentResult,
     run_experiment,
     run_fig5,
     run_fig6,
@@ -30,7 +31,7 @@ from repro.experiments.ablations import policy_zoo
 from repro.faults import FaultScenario
 from repro.ha import HaConfig
 from repro.metrics import compare_runs
-from repro.units import fmt_power
+from repro.units import MICRO, fmt_power
 
 __all__ = ["build_parser", "main"]
 
@@ -202,7 +203,7 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _metrics_dict(result) -> dict[str, Any]:
+def _metrics_dict(result: ExperimentResult) -> dict[str, Any]:
     m = result.metrics
     return {
         "label": result.label,
@@ -323,7 +324,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     table = Table(["|A_candidate|", "modelled mgmt CPU", "measured cycle (us)"])
     for i, size in enumerate(result.sizes):
         measured = (
-            f"{result.measured_cycle_s[i] * 1e6:.1f}"
+            f"{result.measured_cycle_s[i] / MICRO:.1f}"
             if result.measured_cycle_s is not None
             else "-"
         )

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.cluster.dvfs import DvfsTable
 from repro.errors import ConfigurationError
+from repro.units import gb_per_s
 
 __all__ = ["NicSpec"]
 
@@ -58,7 +59,7 @@ class NicSpec:
         idle, in line with contemporary high-radix router NICs.
         """
         return cls(
-            bandwidth_bytes_per_s=20e9,
+            bandwidth_bytes_per_s=gb_per_s(20.0),
             max_dynamic_power_w=15.0,
             idle_power_w=10.0,
             dvfs_coupling=0.2,

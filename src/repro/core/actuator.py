@@ -45,6 +45,7 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.core.capping import CappingAction, CappingDecision
 from repro.errors import ConfigurationError, PowerManagementError
+from repro.faults.injector import FaultInjector
 
 __all__ = ["ActuationReport", "DvfsActuator"]
 
@@ -114,7 +115,7 @@ class DvfsActuator:
     def __init__(
         self,
         state: ClusterState,
-        fault_injector=None,
+        fault_injector: FaultInjector | None = None,
         max_retries: int = 3,
         max_backoff_cycles: int = 16,
     ) -> None:
@@ -476,9 +477,44 @@ class DvfsActuator:
         )
 
     # ------------------------------------------------------------------
+    # Release (end-of-run teardown, still epoch-fenced)
+    # ------------------------------------------------------------------
+    def release(
+        self,
+        node_ids: np.ndarray,
+        level: int,
+        epoch: int | None = None,
+    ) -> int:
+        """Restore ``node_ids`` to ``level`` through the fenced path.
+
+        End-of-episode teardown is still a command to the machine, so it
+        goes through the same fence as :meth:`apply`: a deposed manager
+        cannot "release" nodes it no longer owns.  Unlike :meth:`apply`
+        it is not a control command — it bypasses loss/delay injection
+        and the regular command statistics (the run is over; there is no
+        later cycle to retry in).
+
+        Args:
+            node_ids: Nodes to restore (typically ``A_candidate``).
+            level: The level to restore them to (typically the top).
+            epoch: The caller's fencing epoch; ``None`` means current.
+
+        Returns:
+            The number of nodes written (0 when the batch was fenced).
+        """
+        n = len(node_ids)
+        if n == 0:
+            return 0
+        if epoch is not None and int(epoch) != self._epoch:
+            self._fenced += n
+            return 0
+        self._state.set_levels(node_ids, level)
+        return n
+
+    # ------------------------------------------------------------------
     # Crash recovery (repro.ha state journal)
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, object]:
         """Cycle clock, counters and the in-flight queue, journal-ready.
 
         ``epoch`` is deliberately absent: the fencing epoch belongs to
@@ -506,7 +542,7 @@ class DvfsActuator:
             },
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, object]) -> None:
         """Adopt a :meth:`state_dict` (fresh actuator of a successor).
 
         When the successor shares the live actuator object (the normal

@@ -69,6 +69,7 @@ from repro.power.meter import SystemPowerMeter
 from repro.telemetry.collector import TelemetryCollector, TelemetrySnapshot
 from repro.telemetry.cost import ManagementCostModel
 from repro.telemetry.recorder import TimeSeriesRecorder
+from repro.types import Seconds
 
 __all__ = ["PowerManager", "CycleReport"]
 
@@ -310,7 +311,7 @@ class PowerManager:
     # ------------------------------------------------------------------
     # The control cycle
     # ------------------------------------------------------------------
-    def control_cycle(self, now: float) -> CycleReport:
+    def control_cycle(self, now: Seconds) -> CycleReport:
         """Sense → classify → decide → actuate, and record the series."""
         inj = self._injector
         if inj is not None:
@@ -319,8 +320,9 @@ class PowerManager:
         snapshot = self._collector.collect(now)
         if self._recovery_pending:
             # Recovery hold: tick off candidates that have reported
-            # fresh since the restore (age 0 = sampled this sweep).
-            fresh_ids = snapshot.node_ids[np.asarray(snapshot.age) == 0.0]
+            # fresh since the restore (age 0 = sampled this sweep; age
+            # is non-negative, so <= avoids exact float equality).
+            fresh_ids = snapshot.node_ids[np.asarray(snapshot.age) <= 0.0]
             self._recovery_pending.difference_update(int(i) for i in fresh_ids)
         metered = inj is None or inj.meter_available()
         if inj is not None:
@@ -532,8 +534,11 @@ class PowerManager:
         candidates = self._sets.candidates
         if len(candidates) == 0:
             return
-        self._cluster.state.set_levels(
-            candidates, self._cluster.spec.top_level
+        # Through the actuator's fenced release path, never a direct
+        # state write: a deposed manager must not touch the machine
+        # even to "clean up" (RL301).
+        self._actuator.release(
+            candidates, self._cluster.spec.top_level, epoch=self._epoch
         )
         self._capping.reset()
         self._blackout_streak = 0

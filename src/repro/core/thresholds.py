@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, PowerManagementError
+from repro.types import Watts
 
 __all__ = ["PowerThresholds", "ThresholdController"]
 
@@ -63,7 +64,7 @@ class ThresholdController:
 
     def __init__(
         self,
-        initial_peak_w: float,
+        initial_peak_w: Watts,
         margin_high: float = 0.07,
         margin_low: float = 0.16,
         adjust_every_cycles: int = 600,
@@ -103,7 +104,7 @@ class ThresholdController:
     @classmethod
     def from_training(
         cls,
-        training_peak_w: float,
+        training_peak_w: Watts,
         margin_high: float = 0.07,
         margin_low: float = 0.16,
         adjust_every_cycles: int = 600,
@@ -158,7 +159,7 @@ class ThresholdController:
     # ------------------------------------------------------------------
     # Observation / adjustment
     # ------------------------------------------------------------------
-    def observe(self, power_w: float) -> bool:
+    def observe(self, power_w: Watts) -> bool:
         """Feed one power reading; returns True if thresholds changed.
 
         The running peak ratchets up immediately; thresholds are only
@@ -175,7 +176,7 @@ class ThresholdController:
             return False
         return self._apply_peak(self._running_peak)
 
-    def complete_training(self, training_peak_w: float) -> bool:
+    def complete_training(self, training_peak_w: Watts) -> bool:
         """End the training period: adopt its recorded maximum as P_peak.
 
         Returns True if the thresholds changed.
@@ -199,7 +200,7 @@ class ThresholdController:
     # ------------------------------------------------------------------
     # Crash recovery (repro.ha state journal)
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, object]:
         """Everything threshold learning needs to resume after a crash.
 
         The returned dict is one section of the HA state journal's
@@ -220,7 +221,7 @@ class ThresholdController:
             "frozen": self._frozen,
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, object]) -> None:
         """Adopt a :meth:`state_dict`, overwriting all learned state.
 
         ``p_low``/``p_high`` are restored verbatim rather than re-derived

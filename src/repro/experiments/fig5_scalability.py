@@ -28,6 +28,7 @@ from repro.core.thresholds import PowerThresholds
 from repro.errors import ConfigurationError
 from repro.power.estimator import NodePowerEstimator
 from repro.power.model import PowerModel
+from repro.sim.random import RandomSource
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.cost import ManagementCostModel
 
@@ -69,7 +70,7 @@ def _busy_cluster(num_nodes: int) -> Cluster:
     """A fully-busy synthetic cluster: one 8-node job per 8-node block."""
     cluster = Cluster.tianhe_1a(num_nodes=num_nodes)
     state = cluster.state
-    rng = np.random.default_rng(42)
+    rng = RandomSource(seed=42).stream("experiments.fig5.busy_cluster")
     for start in range(0, num_nodes, 8):
         ids = np.arange(start, min(start + 8, num_nodes))
         state.assign_job(ids, start // 8)

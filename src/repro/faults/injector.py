@@ -126,12 +126,13 @@ class FaultInjector:
         """Advance every burst process one control cycle.
 
         Must be called before any other query of the cycle.  Calling it
-        again with the *same* ``now`` is a no-op, so a high-availability
-        harness that advances the clock before dispatching to the active
-        manager composes with a manager that also calls it — the fault
-        processes still step exactly once per cycle.
+        again with a non-advancing ``now`` is a no-op, so a
+        high-availability harness that advances the clock before
+        dispatching to the active manager composes with a manager that
+        also calls it — the fault processes still step exactly once per
+        cycle.
         """
-        if self._last_now is not None and now == self._last_now:
+        if self._last_now is not None and now <= self._last_now:
             return
         self._last_now = float(now)
         self._cycle += 1

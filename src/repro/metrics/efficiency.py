@@ -9,6 +9,7 @@ reports can show both families side by side.
 from __future__ import annotations
 
 from repro.errors import MetricError
+from repro.types import Joules, Seconds, Watts
 
 __all__ = [
     "energy_delay_product",
@@ -18,7 +19,7 @@ __all__ = [
 ]
 
 
-def energy_delay_product(energy_j: float, delay_s: float, n: int = 1) -> float:
+def energy_delay_product(energy_j: Joules, delay_s: Seconds, n: int = 1) -> float:
     """``E × Dⁿ`` (Penzes & Martin): energy-performance trade-off.
 
     Args:
@@ -35,7 +36,7 @@ def energy_delay_product(energy_j: float, delay_s: float, n: int = 1) -> float:
     return energy_j * delay_s**n
 
 
-def flops_per_watt(flops: float, average_power_w: float) -> float:
+def flops_per_watt(flops: float, average_power_w: Watts) -> float:
     """``FLOPS/W`` (the Green500 measure).
 
     Args:
@@ -50,7 +51,7 @@ def flops_per_watt(flops: float, average_power_w: float) -> float:
 
 
 def power_usage_effectiveness(
-    total_facility_power_w: float, it_equipment_power_w: float
+    total_facility_power_w: Watts, it_equipment_power_w: Watts
 ) -> float:
     """``PUE`` (The Green Grid): facility power over IT power, ≥ 1.
 

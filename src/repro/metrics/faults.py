@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MetricError
+from repro.types import Watts
 from repro.metrics.power import _validate, energy_joules
 
 __all__ = [
@@ -39,7 +40,7 @@ __all__ = [
 
 
 def cap_violation_seconds(
-    times: np.ndarray, values: np.ndarray, threshold_w: float
+    times: np.ndarray, values: np.ndarray, threshold_w: Watts
 ) -> float:
     """Total wall-clock seconds spent above ``threshold_w``.
 
@@ -57,7 +58,7 @@ def cap_violation_seconds(
 
 
 def violation_episodes(
-    times: np.ndarray, values: np.ndarray, threshold_w: float
+    times: np.ndarray, values: np.ndarray, threshold_w: Watts
 ) -> list[tuple[float, float]]:
     """Contiguous cap-violation episodes as ``(start, end)`` pairs.
 
@@ -84,7 +85,7 @@ def violation_episodes(
 
 
 def time_to_cap_restoration(
-    times: np.ndarray, values: np.ndarray, threshold_w: float
+    times: np.ndarray, values: np.ndarray, threshold_w: Watts
 ) -> float:
     """Worst-case seconds from cap breach to restoration, 0 if never breached.
 
@@ -101,7 +102,7 @@ def time_to_cap_restoration(
 def degraded_overspend(
     times: np.ndarray,
     values: np.ndarray,
-    threshold_w: float,
+    threshold_w: Watts,
     degraded: np.ndarray,
 ) -> float:
     """ΔP×T-style overspend attributable to degraded-sensing cycles.

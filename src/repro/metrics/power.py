@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MetricError
+from repro.types import Watts
 
 __all__ = [
     "peak_power",
@@ -71,7 +72,7 @@ def energy_joules(times: np.ndarray, values: np.ndarray) -> float:
 
 
 def overspend_energy_joules(
-    times: np.ndarray, values: np.ndarray, threshold_w: float
+    times: np.ndarray, values: np.ndarray, threshold_w: Watts
 ) -> float:
     """``∫ max(P − P_th, 0) dt`` with crossing interpolation, joules.
 
@@ -108,7 +109,7 @@ def overspend_energy_joules(
 
 
 def accumulated_overspend(
-    times: np.ndarray, values: np.ndarray, threshold_w: float
+    times: np.ndarray, values: np.ndarray, threshold_w: Watts
 ) -> float:
     """The paper's ΔP×T metric (dimensionless, in [0, 1))."""
     total = energy_joules(times, values)
@@ -118,7 +119,7 @@ def accumulated_overspend(
 
 
 def time_fraction_above(
-    times: np.ndarray, values: np.ndarray, threshold_w: float
+    times: np.ndarray, values: np.ndarray, threshold_w: Watts
 ) -> float:
     """Fraction of the trace's wall-clock spent above ``threshold_w``.
 

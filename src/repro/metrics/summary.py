@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import MetricError
+from repro.types import Watts
 from repro.metrics.performance import (
     count_performance_lossless_jobs,
     performance_metric,
@@ -53,7 +54,7 @@ class RunMetrics:
     avg_power_w: float
     energy_j: float
     overspend: float
-    threshold_w: float
+    threshold_w: Watts
 
     @property
     def cplj_fraction(self) -> float:
@@ -69,7 +70,7 @@ class RunMetrics:
         times: np.ndarray,
         power_w: np.ndarray,
         jobs: Sequence[Job],
-        threshold_w: float,
+        threshold_w: Watts,
     ) -> "RunMetrics":
         """Evaluate every metric from raw run artifacts."""
         finished = [j for j in jobs if j.state is JobState.FINISHED]

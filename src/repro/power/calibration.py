@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, PowerManagementError
+from repro.types import Watts
 from repro.power.model import PowerModel
 
 __all__ = [
@@ -193,7 +194,7 @@ def synthesize_samples(
     model: PowerModel,
     rng: np.random.Generator,
     samples_per_level: int = 32,
-    noise_std_w: float = 0.0,
+    noise_std_w: Watts = 0.0,
 ) -> list[CalibrationSample]:
     """Generate a synthetic measurement campaign against ``model``.
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.errors import ConfigurationError
+from repro.types import Watts
 
 __all__ = ["PowerProvision"]
 
@@ -107,6 +108,6 @@ class PowerProvision:
         """``P_th`` of the ΔP×T metric: the provision capability."""
         return self.capability_w
 
-    def headroom(self, current_power_w: float) -> float:
+    def headroom(self, current_power_w: Watts) -> float:
         """Watts between a reading and the capability (negative if over)."""
         return self.capability_w - current_power_w

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.types import Seconds
 
 __all__ = [
     "ThermalModel",
@@ -54,7 +55,7 @@ class ThermalModel:
         num_nodes: int,
         ambient_c: float = 22.0,
         thermal_resistance_c_per_w: float = 0.155,
-        time_constant_s: float = 120.0,
+        time_constant_s: Seconds = 120.0,
     ) -> None:
         if num_nodes < 1:
             raise ConfigurationError("num_nodes must be >= 1")
@@ -76,7 +77,7 @@ class ThermalModel:
         """Equilibrium temperature for the given per-node power, °C."""
         return self.ambient_c + self.r_th * np.asarray(power_w, dtype=np.float64)
 
-    def step(self, power_w: np.ndarray, dt: float) -> np.ndarray:
+    def step(self, power_w: np.ndarray, dt: Seconds) -> np.ndarray:
         """Advance every node's temperature by ``dt`` seconds.
 
         Args:
@@ -157,7 +158,7 @@ class ReliabilityTracker:
         """Hottest node temperature seen."""
         return self._peak_c
 
-    def accumulate(self, temperature_c: np.ndarray, dt: float) -> None:
+    def accumulate(self, temperature_c: np.ndarray, dt: Seconds) -> None:
         """Charge ``dt`` seconds at the given per-node temperatures."""
         if dt <= 0:
             raise ConfigurationError("dt must be positive")
@@ -169,7 +170,7 @@ class ReliabilityTracker:
 
     def mean_rate_multiplier(self) -> float:
         """Average failure-rate multiplier over the run so far."""
-        if self._node_seconds == 0:
+        if self._node_seconds <= 0.0:
             return 0.0
         baseline = self._lambda0_per_s * self._node_seconds
         return self._expected_failures / baseline

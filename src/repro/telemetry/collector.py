@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.errors import TelemetryError
+from repro.faults.injector import FaultInjector
 from repro.telemetry.agent import AgentPool
 from repro.telemetry.cost import ManagementCostModel
 
@@ -130,7 +131,7 @@ class TelemetryCollector:
         state: ClusterState,
         candidate_ids: np.ndarray,
         cost_model: ManagementCostModel | None = None,
-        fault_injector=None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self._pool = AgentPool(state, candidate_ids)
         self._cost_model = cost_model

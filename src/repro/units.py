@@ -8,6 +8,7 @@ and keep report formatting consistent across tables, figures and logs.
 from __future__ import annotations
 
 __all__ = [
+    "MICRO",
     "KILO",
     "MEGA",
     "GIGA",
@@ -17,6 +18,7 @@ __all__ = [
     "mib",
     "kw",
     "mw",
+    "gb_per_s",
     "minutes",
     "hours",
     "fmt_power",
@@ -27,6 +29,7 @@ __all__ = [
     "fmt_percent",
 ]
 
+MICRO = 1e-6
 KILO = 1e3
 MEGA = 1e6
 GIGA = 1e9
@@ -62,6 +65,11 @@ def kw(value: float) -> float:
 def mw(value: float) -> float:
     """Power in megawatts → watts."""
     return value * MEGA
+
+
+def gb_per_s(value: float) -> float:
+    """Link bandwidth in decimal gigabytes per second → bytes per second."""
+    return value * GIGA
 
 
 def minutes(value: float) -> float:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.errors import WorkloadError
 from repro.workload.job import Job, JobState
+from repro.workload.phases import Phase
 from repro.workload.scaling import job_progress_rate
 
 __all__ = ["JobExecutor", "FinishedJob"]
@@ -160,7 +161,7 @@ class JobExecutor:
         innovation = self._rng.normal(0.0, self._modulation_std)
         self._modulation = rho * self._modulation + (1.0 - rho * rho) ** 0.5 * innovation
 
-    def _write_load(self, job: Job, phase, now: float) -> None:
+    def _write_load(self, job: Job, phase: Phase, now: float) -> None:
         nodes = job.nodes
         k = len(nodes)
         jitter = self.modulation_factor

@@ -71,6 +71,46 @@ def test_actuator_rejects_privileged_nodes(busy_cluster):
         act.apply(_decision(CappingAction.DEGRADE, [4], [8]))
 
 
+def test_actuator_release_restores_levels(busy_cluster):
+    act = DvfsActuator(busy_cluster.state)
+    ids = np.array([4, 5, 6])
+    busy_cluster.state.set_levels(ids, 0)
+    top = busy_cluster.spec.top_level
+    assert act.release(ids, top) == 3
+    assert np.all(busy_cluster.state.level[ids] == top)
+    # Teardown path, not a control command: no command statistics.
+    assert act.commands_sent == 0
+
+
+def test_actuator_release_current_epoch_lands(busy_cluster):
+    act = DvfsActuator(busy_cluster.state)
+    current = act.advance_epoch()
+    ids = np.array([4, 5])
+    busy_cluster.state.set_levels(ids, 0)
+    top = busy_cluster.spec.top_level
+    assert act.release(ids, top, epoch=current) == 2
+    assert np.all(busy_cluster.state.level[ids] == top)
+    assert act.fenced_commands == 0
+
+
+def test_actuator_release_stale_epoch_is_fenced(busy_cluster):
+    act = DvfsActuator(busy_cluster.state)
+    stale = act.advance_epoch()
+    act.advance_epoch()
+    ids = np.array([4, 5])
+    busy_cluster.state.set_levels(ids, 0)
+    assert act.release(ids, busy_cluster.spec.top_level, epoch=stale) == 0
+    assert np.all(busy_cluster.state.level[ids] == 0)
+    assert act.fenced_commands == 2
+
+
+def test_actuator_release_empty_is_noop(busy_cluster):
+    act = DvfsActuator(busy_cluster.state)
+    before = busy_cluster.state.level.copy()
+    assert act.release(np.empty(0, dtype=np.int64), 0) == 0
+    np.testing.assert_array_equal(busy_cluster.state.level, before)
+
+
 def test_decision_alignment_validated():
     with pytest.raises(PowerManagementError):
         CappingDecision(
@@ -180,6 +220,19 @@ def test_manager_release_all(busy_cluster):
     mgr.control_cycle(1.0)  # red: everything to level 0
     mgr.release_all()
     assert np.all(busy_cluster.state.level == busy_cluster.spec.top_level)
+
+
+def test_deposed_manager_release_all_cannot_touch_machine(busy_cluster):
+    """A deposed incarnation's teardown is fenced like any other write."""
+    model = PowerModel(busy_cluster.spec)
+    current = model.system_power(busy_cluster.state)
+    mgr = _manager(busy_cluster, p_low=current * 0.5, p_high=current * 0.8)
+    mgr.control_cycle(1.0)  # red: everything to level 0
+    mgr.set_fencing_epoch(mgr.actuator.epoch)
+    mgr.actuator.advance_epoch()  # successor took over
+    mgr.release_all()
+    assert np.all(busy_cluster.state.level == 0)
+    assert mgr.actuator.fenced_commands > 0
 
 
 def test_manager_with_empty_candidates(busy_cluster):

@@ -1,0 +1,36 @@
+"""Shared paths and expectation parsing for the lint test suite."""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+# ``tools`` is imported as a top-level package from the repo root (it is
+# not installed); make that work no matter where pytest was launched.
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+_EXPECT_RE = re.compile(r"#\s*rl-expect:\s*([A-Z0-9,\s]+)")
+
+
+def expected_findings(path: Path) -> list[tuple[int, str]]:
+    """``(line, rule_id)`` pairs declared by ``# rl-expect:`` markers.
+
+    A marker names every rule expected on its line, repeated ids meaning
+    repeated diagnostics (``# rl-expect: RL402, RL402``).
+    """
+    expected: list[tuple[int, str]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match is None:
+            continue
+        for rule_id in match.group(1).split(","):
+            rule_id = rule_id.strip()
+            if rule_id:
+                expected.append((lineno, rule_id))
+    return expected

@@ -1,0 +1,12 @@
+"""Good: the machine layer (repro.cluster) may write its own DVFS state."""
+
+from __future__ import annotations
+
+
+class NodeFacade:
+    def __init__(self, state: object, index: int) -> None:
+        self._state = state
+        self._index = index
+
+    def set_level(self, value: int) -> None:
+        self._state.set_level(self._index, value)

@@ -1,0 +1,17 @@
+"""Bad: control code writing DVFS state behind the actuator's back."""
+
+from __future__ import annotations
+
+
+class SneakyController:
+    def __init__(self, state: object) -> None:
+        self._state = state
+
+    def force_top(self, node_id: int, top: int) -> None:
+        self._state.set_level(node_id, top)  # rl-expect: RL301
+
+    def force_all(self, ids: object, top: int) -> None:
+        self._state.set_levels(ids, top)  # rl-expect: RL301
+
+    def poke_array(self, state: object, ids: object, top: int) -> None:
+        state.level[ids] = top  # rl-expect: RL301

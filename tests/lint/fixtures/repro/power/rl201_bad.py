@@ -1,0 +1,17 @@
+"""Bad: unit-bearing params on the public power surface as bare floats."""
+
+from __future__ import annotations
+
+
+def set_cap(
+    cap_w: float,  # rl-expect: RL201
+    ramp_s: float,  # rl-expect: RL201
+) -> None:
+    del cap_w, ramp_s
+
+
+def retune(
+    frequency: float,  # rl-expect: RL201
+    energy_j: float | None = None,  # rl-expect: RL201
+) -> None:
+    del frequency, energy_j

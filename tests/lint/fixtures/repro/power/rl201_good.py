@@ -1,0 +1,18 @@
+"""Good: the same surface annotated with the repro.types aliases."""
+
+from __future__ import annotations
+
+from repro.types import Hertz, Joules, Seconds, Watts
+
+
+def set_cap(cap_w: Watts, ramp_s: Seconds) -> None:
+    del cap_w, ramp_s
+
+
+def retune(frequency_hz: Hertz | None = None, energy_j: Joules | None = None) -> None:
+    del frequency_hz, energy_j
+
+
+def _internal(power_w: float) -> float:
+    # Private helpers are outside the public unit contract.
+    return power_w

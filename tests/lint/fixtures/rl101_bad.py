@@ -1,0 +1,22 @@
+"""Bad: RNGs created or drawn outside repro.sim.random (RL101)."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # rl-expect: RL101
+
+
+def noise() -> float:
+    gen = np.random.default_rng(7)  # rl-expect: RL101
+    return float(gen.normal())
+
+
+def shuffle_ids(ids: list) -> None:
+    random.shuffle(ids)  # rl-expect: RL101
+
+
+def legacy_draw() -> float:
+    return float(np.random.uniform())  # rl-expect: RL101

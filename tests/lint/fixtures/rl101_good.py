@@ -1,0 +1,12 @@
+"""Good: every draw flows from a named RandomSource substream."""
+
+from repro.sim.random import RandomSource
+
+
+def jitter(rng: RandomSource) -> float:
+    stream = rng.stream("fixture.jitter")
+    return float(stream.uniform())
+
+
+def fork_for_repetition(rng: RandomSource, rep: int) -> RandomSource:
+    return rng.fork(f"rep.{rep}")

@@ -1,0 +1,16 @@
+"""Bad: host wall-clock reads in simulator code (RL102)."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # rl-expect: RL102
+
+
+def when() -> str:
+    return datetime.now().isoformat()  # rl-expect: RL102
+
+
+def nanos() -> int:
+    return time.time_ns()  # rl-expect: RL102

@@ -1,0 +1,14 @@
+"""Good: simulated time from the engine; perf_counter for benchmarks."""
+
+import time
+
+
+def measure(repetitions: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        pass
+    return time.perf_counter() - start
+
+
+def simulated_deadline(now: float, period_s: float) -> float:
+    return now + period_s

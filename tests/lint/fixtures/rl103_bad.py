@@ -1,0 +1,17 @@
+"""Bad: OS entropy sources (RL103)."""
+
+import os
+import secrets
+import uuid
+
+
+def token() -> bytes:
+    return os.urandom(16)  # rl-expect: RL103
+
+
+def run_id() -> str:
+    return str(uuid.uuid4())  # rl-expect: RL103
+
+
+def secret() -> str:
+    return secrets.token_hex(8)  # rl-expect: RL103

@@ -1,0 +1,8 @@
+"""Good: stable identifiers derived from content, not OS entropy."""
+
+import hashlib
+
+
+def stream_key(name: str) -> int:
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")

@@ -1,0 +1,20 @@
+"""Bad: set iteration order reaching results (RL104)."""
+
+
+def walk_literal() -> list:
+    out = []
+    for node_id in {3, 1, 2}:  # rl-expect: RL104
+        out.append(node_id)
+    return out
+
+
+def materialise(xs: list) -> list:
+    return list(set(xs))  # rl-expect: RL104
+
+
+def in_comprehension(xs: list) -> list:
+    return [x * 2 for x in set(xs)]  # rl-expect: RL104
+
+
+def union_order(a: list, b: list) -> list:
+    return list(set(a) | set(b))  # rl-expect: RL104

@@ -1,0 +1,17 @@
+"""Good: sets are sorted before their order can reach results."""
+
+
+def walk_sorted() -> list:
+    out = []
+    for node_id in sorted({3, 1, 2}):
+        out.append(node_id)
+    return out
+
+
+def materialise(xs: list) -> list:
+    return sorted(set(xs))
+
+
+def membership_only(xs: list) -> int:
+    seen = set(xs)
+    return sum(1 for x in xs if x in seen)

@@ -1,0 +1,15 @@
+"""Bad: exact float equality on power/time quantities (RL202)."""
+
+from __future__ import annotations
+
+
+def same_power(power_w: float, budget_w: float) -> bool:
+    return power_w == budget_w  # rl-expect: RL202
+
+
+def is_fresh(age: float) -> bool:
+    return float(age) == 0.0  # rl-expect: RL202
+
+
+def expired(timeout_s: float, elapsed: float) -> bool:
+    return elapsed != timeout_s  # rl-expect: RL202

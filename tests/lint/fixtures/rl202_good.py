@@ -1,0 +1,17 @@
+"""Good: tolerances and ordering comparisons on float quantities."""
+
+from __future__ import annotations
+
+import math
+
+
+def same_power(power_w: float, budget_w: float, tol_w: float = 1e-9) -> bool:
+    return math.isclose(power_w, budget_w, abs_tol=tol_w)
+
+
+def is_fresh(age: float) -> bool:
+    return age <= 0.0
+
+
+def over_budget(power_w: float, budget_w: float) -> bool:
+    return power_w > budget_w

@@ -1,0 +1,11 @@
+"""Bad: raw scientific-notation magnitude literals (RL203)."""
+
+BANDWIDTH_BYTES_PER_S = 20e9  # rl-expect: RL203
+
+
+def base_frequency() -> float:
+    return 2.93e9  # rl-expect: RL203
+
+
+def cap_watts() -> float:
+    return 40e3  # rl-expect: RL203

@@ -1,0 +1,18 @@
+"""Good: magnitudes spelled through the repro.units constructors."""
+
+from repro.units import GIGA, ghz, kw
+
+BANDWIDTH_BYTES_PER_S = 20 * GIGA
+
+
+def base_frequency() -> float:
+    return ghz(2.93)
+
+
+def cap_watts() -> float:
+    return kw(40)
+
+
+def tolerance() -> float:
+    # Small tolerances are not magnitudes; negative exponents are fine.
+    return 1e-9

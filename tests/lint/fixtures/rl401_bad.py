@@ -1,0 +1,15 @@
+"""Bad: mutable default arguments (RL401)."""
+
+from __future__ import annotations
+
+
+def collect(into: list = []) -> list:  # rl-expect: RL401
+    return into
+
+
+def tag(labels: dict = {}) -> dict:  # rl-expect: RL401
+    return labels
+
+
+def register(*, seen: set = set()) -> set:  # rl-expect: RL401
+    return seen

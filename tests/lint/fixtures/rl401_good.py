@@ -1,0 +1,16 @@
+"""Good: None defaults with containers created per call."""
+
+from __future__ import annotations
+
+
+def collect(into: list | None = None) -> list:
+    return [] if into is None else into
+
+
+def tag(labels: dict | None = None) -> dict:
+    return {} if labels is None else labels
+
+
+def register(*, seen: frozenset = frozenset()) -> frozenset:
+    # Immutable defaults are safe to share.
+    return seen

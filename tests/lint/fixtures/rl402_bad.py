@@ -1,0 +1,11 @@
+"""Bad: __all__ drifted from the module's definitions (RL402)."""
+
+__all__ = ["exists", "ghost"]  # rl-expect: RL402, RL402
+
+
+def exists() -> int:
+    return 1
+
+
+def orphan() -> int:
+    return 2

@@ -1,0 +1,17 @@
+"""Good: __all__ and the public surface agree."""
+
+__all__ = ["exists", "helper", "CONSTANT"]
+
+CONSTANT = 7
+
+
+def exists() -> int:
+    return 1
+
+
+def helper() -> int:
+    return 2
+
+
+def _private() -> int:
+    return 3

@@ -1,0 +1,10 @@
+"""Good: specific exception types."""
+
+from __future__ import annotations
+
+
+def parse(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        return 0

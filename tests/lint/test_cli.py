@@ -1,0 +1,100 @@
+"""CLI behaviour: exit codes, formats, rule selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.lint.conftest import FIXTURES, SRC_REPRO
+from tools.reprolint.cli import EXIT_CLEAN, EXIT_DIAGNOSTICS, EXIT_ERROR, main
+
+
+def test_clean_tree_exits_zero(capsys) -> None:
+    assert main([str(SRC_REPRO)]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().err
+
+
+def test_fixture_corpus_exits_nonzero(capsys) -> None:
+    assert main([str(FIXTURES)]) == EXIT_DIAGNOSTICS
+    out = capsys.readouterr().out
+    assert "RL101" in out and "RL403" in out
+
+
+def test_github_format(capsys) -> None:
+    bad = FIXTURES / "rl403_bad.py"
+    assert main([str(bad), "--format=github"]) == EXIT_DIAGNOSTICS
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines and all(line.startswith("::error") for line in lines)
+    assert any("title=reprolint RL403" in line for line in lines)
+
+
+def test_json_format(capsys) -> None:
+    bad = FIXTURES / "rl401_bad.py"
+    assert main([str(bad), "--format=json"]) == EXIT_DIAGNOSTICS
+    payload = json.loads(capsys.readouterr().out)
+    assert {entry["rule"] for entry in payload} == {"RL401"}
+
+
+def test_select_restricts_rules(capsys) -> None:
+    target = str(FIXTURES)
+    assert main([target, "--select=RL403"]) == EXIT_DIAGNOSTICS
+    out = capsys.readouterr().out
+    assert "RL403" in out and "RL101" not in out
+
+
+def test_ignore_drops_rules(capsys) -> None:
+    bad = FIXTURES / "rl403_bad.py"
+    assert main([str(bad), "--ignore=RL403"]) == EXIT_CLEAN
+
+
+def test_unknown_rule_id_is_a_usage_error(capsys) -> None:
+    assert main([str(FIXTURES), "--select=RL999"]) == EXIT_ERROR
+    assert "RL999" in capsys.readouterr().err
+
+
+def test_fail_on_error_passes_warning_only_findings(tmp_path, capsys) -> None:
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text("CAP = 40e3\n")
+    assert main([str(snippet)]) == EXIT_DIAGNOSTICS
+    capsys.readouterr()
+    assert main([str(snippet), "--fail-on=error"]) == EXIT_CLEAN
+    capsys.readouterr()
+    assert main([str(snippet), "--fail-on=never"]) == EXIT_CLEAN
+    capsys.readouterr()
+
+
+def test_syntax_error_exits_two(tmp_path, capsys) -> None:
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main([str(broken)]) == EXIT_ERROR
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_statistics_output(capsys) -> None:
+    bad = FIXTURES / "rl401_bad.py"
+    assert main([str(bad), "--statistics"]) == EXIT_DIAGNOSTICS
+    assert "RL401: 3" in capsys.readouterr().out
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("RL101", "RL201", "RL301", "RL401"):
+        assert rule_id in out
+
+
+@pytest.mark.parametrize("fmt", ["text", "github"])
+def test_module_invocation(fmt) -> None:
+    import subprocess
+    import sys
+
+    from tests.lint.conftest import REPO_ROOT
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "src/repro", f"--format={fmt}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr

@@ -1,0 +1,52 @@
+"""The fixture corpus: every rule must flag its bad snippet at exactly
+the marked lines, and must stay silent on the good twin."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from tests.lint.conftest import FIXTURES, expected_findings
+from tools.reprolint.checkers import all_rules
+from tools.reprolint.runner import lint_paths
+
+BAD_FIXTURES = sorted(FIXTURES.rglob("*_bad.py"))
+GOOD_FIXTURES = sorted(FIXTURES.rglob("*_good.py"))
+
+
+def test_corpus_is_complete() -> None:
+    """Every rule in the catalogue has one bad and one good fixture."""
+    bad_rules = {p.stem.split("_")[0].upper() for p in BAD_FIXTURES}
+    good_rules = {p.stem.split("_")[0].upper() for p in GOOD_FIXTURES}
+    catalogue = {rule.rule_id for rule in all_rules()}
+    assert catalogue <= bad_rules, catalogue - bad_rules
+    assert catalogue <= good_rules | {"SUPPRESSED"}, catalogue - good_rules
+
+
+@pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
+def test_bad_fixture_flags_exactly_the_marked_lines(path) -> None:
+    expected = expected_findings(path)
+    assert expected, f"{path} has no # rl-expect markers"
+    diagnostics, parse_errors = lint_paths([path])
+    assert parse_errors == []
+    found = Counter((d.line, d.rule_id) for d in diagnostics)
+    assert found == Counter(expected), (
+        f"{path}: expected {sorted(Counter(expected).items())}, "
+        f"found {sorted(found.items())}"
+    )
+
+
+@pytest.mark.parametrize("path", GOOD_FIXTURES, ids=lambda p: p.stem)
+def test_good_fixture_is_clean(path) -> None:
+    diagnostics, parse_errors = lint_paths([path])
+    assert parse_errors == []
+    assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+
+def test_whole_corpus_fails_the_gate() -> None:
+    """Linting the corpus root is nonzero: the bad files dominate."""
+    diagnostics, _ = lint_paths([FIXTURES])
+    assert diagnostics, "corpus unexpectedly clean"
+    flagged_rules = {d.rule_id for d in diagnostics}
+    assert flagged_rules == {rule.rule_id for rule in all_rules()}

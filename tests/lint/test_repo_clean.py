@@ -1,0 +1,23 @@
+"""The gate itself: the simulator (and the linter) lint clean.
+
+This is the test that keeps every invariant the rule catalogue encodes —
+seeded determinism, SI-unit annotations, fenced actuation, hygiene —
+machine-enforced for all future changes to ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from tests.lint.conftest import REPO_ROOT, SRC_REPRO
+from tools.reprolint.runner import lint_paths
+
+
+def test_src_repro_lints_clean() -> None:
+    diagnostics, parse_errors = lint_paths([SRC_REPRO])
+    assert parse_errors == []
+    assert diagnostics == [], "\n".join(d.format_text() for d in diagnostics)
+
+
+def test_reprolint_lints_itself_clean() -> None:
+    diagnostics, parse_errors = lint_paths([REPO_ROOT / "tools"])
+    assert parse_errors == []
+    assert diagnostics == [], "\n".join(d.format_text() for d in diagnostics)

@@ -1,0 +1,139 @@
+"""Unit tests for reprolint's engine: suppressions, import resolution,
+module naming, diagnostic formatting."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.reprolint.diagnostics import Diagnostic, Severity
+from tools.reprolint.runner import lint_source, max_severity
+from tools.reprolint.source import ParsedModule, module_name_for_path
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_only_that_rule(self) -> None:
+        src = "import time\nT = time.time()  # reprolint: disable=RL102\n"
+        assert lint_source(src) == []
+
+    def test_wrong_rule_id_does_not_suppress(self) -> None:
+        src = "import time\nT = time.time()  # reprolint: disable=RL101\n"
+        diags = lint_source(src)
+        assert [d.rule_id for d in diags] == ["RL102"]
+
+    def test_disable_all_keyword(self) -> None:
+        src = "import time\nT = time.time()  # reprolint: disable=all\n"
+        assert lint_source(src) == []
+
+    def test_file_level_suppression(self) -> None:
+        src = (
+            "# reprolint: disable-file=RL102\n"
+            "import time\n"
+            "A = time.time()\n"
+            "B = time.time()\n"
+        )
+        assert lint_source(src) == []
+
+    def test_file_level_suppression_is_rule_scoped(self) -> None:
+        src = (
+            "# reprolint: disable-file=RL104\n"
+            "import time\n"
+            "A = time.time()\n"
+        )
+        assert [d.rule_id for d in lint_source(src)] == ["RL102"]
+
+    def test_multiple_rules_one_comment(self) -> None:
+        src = (
+            "import time\n"
+            "def f(xs: list) -> list:\n"
+            "    t = time.time(); return list(set(xs))"
+            "  # reprolint: disable=RL102, RL104\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestImportResolution:
+    def test_aliased_numpy_import(self) -> None:
+        src = "import numpy as anp\nG = anp.random.default_rng(0)\n"
+        assert [d.rule_id for d in lint_source(src)] == ["RL101"]
+
+    def test_from_import(self) -> None:
+        src = "from time import time\nT = time()\n"
+        assert [d.rule_id for d in lint_source(src)] == ["RL102"]
+
+    def test_from_import_with_alias(self) -> None:
+        src = "from random import choice as pick\nX = pick([1, 2])\n"
+        assert [d.rule_id for d in lint_source(src)] == ["RL101"]
+
+    def test_unrelated_names_are_not_confused(self) -> None:
+        # A local object with a ``random`` attribute is not the module.
+        src = "def f(gen) -> float:\n    return gen.random()\n"
+        assert lint_source(src) == []
+
+
+class TestModuleNaming:
+    def test_src_layout(self) -> None:
+        path = Path("src/repro/power/meter.py")
+        assert module_name_for_path(path) == "repro.power.meter"
+
+    def test_fixture_layout(self) -> None:
+        path = Path("tests/lint/fixtures/repro/power/rl201_bad.py")
+        assert module_name_for_path(path) == "repro.power.rl201_bad"
+
+    def test_package_init(self) -> None:
+        assert module_name_for_path(Path("src/repro/__init__.py")) == "repro"
+
+    def test_bare_file(self) -> None:
+        assert module_name_for_path(Path("snippet.py")) == "snippet"
+
+    def test_scoped_rules_do_not_fire_outside_their_packages(self) -> None:
+        src = "def f(power_w: float) -> float:\n    return power_w\n"
+        assert lint_source(src, path="scratch/snippet.py") == []
+        flagged = lint_source(src, path="src/repro/power/snippet.py")
+        assert [d.rule_id for d in flagged] == ["RL201"]
+
+
+class TestDiagnostics:
+    DIAG = Diagnostic(
+        path="src/repro/x.py",
+        line=12,
+        column=5,
+        rule_id="RL101",
+        severity=Severity.ERROR,
+        message="bad",
+    )
+
+    def test_text_format(self) -> None:
+        assert self.DIAG.format_text() == "src/repro/x.py:12:5: error RL101 bad"
+
+    def test_github_format(self) -> None:
+        rendered = self.DIAG.format_github()
+        assert rendered.startswith("::error ")
+        assert "file=src/repro/x.py" in rendered
+        assert "line=12" in rendered
+        assert rendered.endswith("::bad")
+
+    def test_json_shape(self) -> None:
+        assert self.DIAG.as_dict() == {
+            "path": "src/repro/x.py",
+            "line": 12,
+            "column": 5,
+            "rule": "RL101",
+            "severity": "error",
+            "message": "bad",
+        }
+
+    def test_max_severity(self) -> None:
+        warn = Diagnostic("p", 1, 1, "RL201", Severity.WARNING, "m")
+        assert max_severity([]) is None
+        assert max_severity([warn]) is Severity.WARNING
+        assert max_severity([warn, self.DIAG]) is Severity.ERROR
+
+
+class TestParsedModule:
+    def test_in_package_requires_boundary(self) -> None:
+        module = ParsedModule.parse(
+            Path("src/repro/power/meter.py"), source="X = 1\n"
+        )
+        assert module.in_package("repro.power")
+        assert module.in_package("repro")
+        assert not module.in_package("repro.pow")

@@ -1,0 +1,42 @@
+"""The strict-typing half of the gate: mypy --strict and ruff.
+
+Both tools are dev-only dependencies (requirements-dev.txt); when the
+environment lacks them the tests skip rather than fail, and CI — which
+installs requirements-dev.txt — runs them for real.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+
+import pytest
+
+from tests.lint.conftest import REPO_ROOT
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
+def test_mypy_strict_src_repro() -> None:
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff not installed")
+def test_ruff_check() -> None:
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tools", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

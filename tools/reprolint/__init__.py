@@ -1,0 +1,31 @@
+"""reprolint: domain-invariant static analysis for the repro simulator.
+
+The simulator's headline guarantees — bit-identical crash replay,
+never-upgrade-on-stale telemetry, epoch-fenced actuation — rest on code
+disciplines that no general-purpose linter knows about: all randomness
+must flow from :mod:`repro.sim.random`, quantities carry SI units via the
+:mod:`repro.types` aliases, and DVFS state is only written through the
+epoch-checked actuator entry points.  ``reprolint`` machine-checks those
+disciplines with repo-specific AST checkers.
+
+Usage::
+
+    python -m tools.reprolint src/repro            # lint the simulator
+    python -m tools.reprolint --list-rules         # rule catalogue
+    python -m tools.reprolint p.py --format=github # CI annotations
+
+Suppress a diagnostic with a trailing ``# reprolint: disable=RL101``
+comment (comma-separate several rule ids), or a whole file with a
+``# reprolint: disable-file=RL101`` comment anywhere in the file.
+
+See ``docs/static-analysis.md`` for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.diagnostics import Diagnostic, Severity
+from tools.reprolint.runner import lint_paths, lint_source
+
+__all__ = ["Diagnostic", "Severity", "lint_paths", "lint_source", "__version__"]
+
+__version__ = "1.0.0"

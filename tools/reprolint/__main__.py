@@ -1,0 +1,10 @@
+"""Entry point for ``python -m tools.reprolint``."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Checker registry: every rule family reprolint knows about."""
+
+from __future__ import annotations
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.checkers.determinism import DeterminismChecker
+from tools.reprolint.checkers.fencing import FencingChecker
+from tools.reprolint.checkers.hygiene import HygieneChecker
+from tools.reprolint.checkers.units import UnitsChecker
+from tools.reprolint.diagnostics import Rule
+
+__all__ = ["Checker", "all_checkers", "all_rules"]
+
+
+def all_checkers() -> tuple[Checker, ...]:
+    """One fresh instance of every registered checker."""
+    return (
+        DeterminismChecker(),
+        UnitsChecker(),
+        FencingChecker(),
+        HygieneChecker(),
+    )
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """The full rule catalogue, ordered by rule id."""
+    rules: list[Rule] = []
+    for checker in all_checkers():
+        rules.extend(checker.rules)
+    return tuple(sorted(rules))

@@ -1,0 +1,41 @@
+"""Checker base class shared by all rule families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.diagnostics import Diagnostic, Rule
+from tools.reprolint.source import ParsedModule
+
+
+class Checker:
+    """One family of rules sharing a single AST walk.
+
+    Subclasses set :attr:`rules` and implement :meth:`check`, yielding
+    diagnostics via :meth:`emit` (which fills in rule severity from the
+    catalogue).  Suppression filtering happens in the runner, not here.
+    """
+
+    rules: tuple[Rule, ...] = ()
+
+    def __init__(self) -> None:
+        self._by_id = {rule.rule_id: rule for rule in self.rules}
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        """Yield every violation this family finds in ``module``."""
+        raise NotImplementedError
+
+    def emit(
+        self, module: ParsedModule, node: ast.AST, rule_id: str, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic for ``rule_id`` anchored at ``node``."""
+        rule = self._by_id[rule_id]
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=message,
+        )

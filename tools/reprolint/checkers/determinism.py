@@ -1,0 +1,201 @@
+"""Determinism rules (RL1xx).
+
+The simulator's crash-recovery layer replays runs **bit-identically**
+from the state journal, and every experiment is reproducible from one
+root seed.  Both properties die the moment any code path draws entropy
+outside :class:`repro.sim.random.RandomSource` or observes the host's
+wall clock, so these rules ban the APIs that smuggle either in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.diagnostics import Diagnostic, Rule, Severity
+from tools.reprolint.source import ParsedModule, dotted_name
+
+#: Modules allowed to touch numpy's seeding machinery: the one place
+#: substreams are derived from the root seed.
+_RNG_EXEMPT_MODULES = ("repro.sim.random",)
+
+#: Qualified callables that create or draw from ambient RNG state.
+_UNSEEDED_RNG = {
+    "numpy.random.default_rng",
+    "numpy.random.seed",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.random",
+    "numpy.random.random_sample",
+    "numpy.random.randint",
+    "numpy.random.choice",
+    "numpy.random.permutation",
+    "numpy.random.shuffle",
+    "numpy.random.uniform",
+    "numpy.random.normal",
+    "numpy.random.exponential",
+    "numpy.random.poisson",
+}
+
+#: The stdlib ``random`` module: every public callable is ambient state.
+_STDLIB_RANDOM_PREFIX = "random."
+
+#: Wall-clock reads; simulated time comes from the engine, never the host.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: OS / hardware entropy sources.
+_OS_ENTROPY_PREFIXES = ("os.urandom", "secrets.", "uuid.uuid1", "uuid.uuid4")
+
+#: Callables whose first argument is consumed in iteration order.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
+
+#: Set-producing calls whose iteration order is hash-dependent.
+_SET_PRODUCERS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+
+class DeterminismChecker(Checker):
+    """RL101 unseeded RNG, RL102 wall clock, RL103 OS entropy,
+    RL104 hash-ordered set iteration."""
+
+    rules = (
+        Rule(
+            "RL101",
+            "unseeded-rng",
+            Severity.ERROR,
+            "RNG created or drawn outside repro.sim.random",
+            "Every stochastic draw must flow from a named RandomSource "
+            "substream, or crash replay stops being bit-identical.",
+        ),
+        Rule(
+            "RL102",
+            "wall-clock",
+            Severity.ERROR,
+            "host wall-clock read in simulator code",
+            "Simulated time comes from the engine; host time differs "
+            "between a run and its journal replay.",
+        ),
+        Rule(
+            "RL103",
+            "os-entropy",
+            Severity.ERROR,
+            "OS entropy source (os.urandom / uuid / secrets)",
+            "Hardware entropy cannot be reproduced from the root seed.",
+        ),
+        Rule(
+            "RL104",
+            "unordered-iteration",
+            Severity.ERROR,
+            "iteration over a set in an order-sensitive position",
+            "Set iteration order depends on insertion/hash history; when "
+            "it reaches results, two identical runs can diverge.  Wrap "
+            "the set in sorted().",
+        ),
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        rng_exempt = module.in_package(*_RNG_EXEMPT_MODULES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, rng_exempt)
+            if isinstance(node, ast.For):
+                yield from self._check_iteration(module, node.iter)
+            if isinstance(node, ast.comprehension):
+                yield from self._check_iteration(module, node.iter)
+
+    # -- RL101/RL102/RL103 --------------------------------------------
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, rng_exempt: bool
+    ) -> Iterator[Diagnostic]:
+        raw = dotted_name(node.func)
+        if raw is None:
+            return
+        qualified = module.imports.qualify(raw)
+        # ``np.random`` is the conventional alias for ``numpy.random``.
+        qualified = qualified.replace("np.random.", "numpy.random.", 1)
+        if not rng_exempt:
+            if qualified in _UNSEEDED_RNG or qualified.startswith(
+                _STDLIB_RANDOM_PREFIX
+            ):
+                yield self.emit(
+                    module,
+                    node,
+                    "RL101",
+                    f"call to {qualified}(); draw from a "
+                    "repro.sim.random.RandomSource substream instead",
+                )
+                return
+        if qualified in _WALL_CLOCK:
+            yield self.emit(
+                module,
+                node,
+                "RL102",
+                f"call to {qualified}(); use simulated time from the "
+                "engine (time.perf_counter is allowed for benchmarks)",
+            )
+            return
+        if qualified.startswith(_OS_ENTROPY_PREFIXES):
+            yield self.emit(
+                module,
+                node,
+                "RL103",
+                f"call to {qualified}(); OS entropy is not reproducible "
+                "from the root seed",
+            )
+            return
+        # RL104: list(set(...)) and friends materialise hash order.
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_WRAPPERS
+            and node.args
+        ):
+            yield from self._check_iteration(module, node.args[0])
+
+    # -- RL104 ---------------------------------------------------------
+    def _check_iteration(
+        self, module: ParsedModule, iterable: ast.expr
+    ) -> Iterator[Diagnostic]:
+        if self._is_set_expression(iterable):
+            yield self.emit(
+                module,
+                iterable,
+                "RL104",
+                "iterating a set in an order-sensitive position; "
+                "wrap it in sorted() so the order is deterministic",
+            )
+
+    @staticmethod
+    def _is_set_expression(node: ast.expr) -> bool:
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_PRODUCERS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and DeterminismChecker._is_set_expression(func.value)
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return DeterminismChecker._is_set_expression(
+                node.left
+            ) or DeterminismChecker._is_set_expression(node.right)
+        return False

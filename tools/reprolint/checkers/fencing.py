@@ -1,0 +1,86 @@
+"""Actuation-fencing rules (RL3xx).
+
+The HA layer guarantees that a deposed power manager can never touch the
+machine: every DVFS command is stamped with a fencing epoch and rejected
+by :class:`repro.core.actuator.DvfsActuator` unless the epoch is
+current.  That guarantee holds only while the actuator is the *sole*
+writer of DVFS state — one direct ``set_level`` call from control code
+reopens the split-brain window the fencing tokens closed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.diagnostics import Diagnostic, Rule, Severity
+from tools.reprolint.source import ParsedModule
+
+#: Where DVFS state may legitimately be written: the machine layer
+#: itself (``repro.cluster``: the state arrays, node facade, hardware
+#: models) and the epoch-checked command path (the actuator).
+FENCED_WRITER_MODULES = ("repro.cluster", "repro.core.actuator")
+
+#: Control code is linted everywhere else under repro.*; code outside
+#: the simulator package (tools, scripts) is not control code.
+_CONTROL_PACKAGES = ("repro",)
+
+_LEVEL_WRITERS = {"set_level", "set_levels"}
+
+
+class FencingChecker(Checker):
+    """RL301: DVFS state written outside the epoch-checked entry points."""
+
+    rules = (
+        Rule(
+            "RL301",
+            "unfenced-actuation",
+            Severity.ERROR,
+            "direct DVFS write outside the epoch-checked actuator",
+            "Only DvfsActuator (and the repro.cluster machine layer it "
+            "drives) may write node levels; a direct write bypasses "
+            "fencing, readback verification and the never-upgrade-on-"
+            "stale clamp.",
+        ),
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if not module.in_package(*_CONTROL_PACKAGES):
+            return
+        if module.in_package(*FENCED_WRITER_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _LEVEL_WRITERS:
+                    yield self.emit(
+                        module,
+                        node,
+                        "RL301",
+                        f"direct call to {func.attr}() outside the "
+                        "actuator; route the command through "
+                        "DvfsActuator.apply()/release() so it is "
+                        "epoch-fenced and readback-verified",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if self._writes_level(target):
+                        yield self.emit(
+                            module,
+                            node,
+                            "RL301",
+                            "direct assignment to DVFS level state "
+                            "outside the actuator; use "
+                            "DvfsActuator.apply()/release()",
+                        )
+
+    @staticmethod
+    def _writes_level(target: ast.expr) -> bool:
+        # ``state.level[ids] = …`` or ``node.level = …``
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        return isinstance(target, ast.Attribute) and target.attr == "level"

@@ -1,0 +1,183 @@
+"""General hygiene rules (RL4xx).
+
+Not domain-specific, but each guards a bug class this codebase has to
+care about: shared mutable defaults leak state across control cycles,
+``__all__`` drift silently changes the public API the docs promise, and
+bare ``except:`` swallows the typed error hierarchy in
+:mod:`repro.errors` (and ``KeyboardInterrupt`` with it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.diagnostics import Diagnostic, Rule, Severity
+from tools.reprolint.source import ParsedModule
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+class HygieneChecker(Checker):
+    """RL401 mutable defaults, RL402 ``__all__`` drift, RL403 bare except."""
+
+    rules = (
+        Rule(
+            "RL401",
+            "mutable-default",
+            Severity.ERROR,
+            "mutable default argument",
+            "A default list/dict/set is created once and shared by every "
+            "call — state leaks across control cycles and test cases.",
+        ),
+        Rule(
+            "RL402",
+            "all-drift",
+            Severity.WARNING,
+            "__all__ out of sync with module definitions",
+            "__all__ is the module's public contract; a name listed but "
+            "undefined breaks star-imports, a public def not listed is "
+            "invisible API.",
+        ),
+        Rule(
+            "RL403",
+            "bare-except",
+            Severity.ERROR,
+            "bare except clause",
+            "Swallows KeyboardInterrupt/SystemExit and hides the typed "
+            "repro.errors hierarchy; catch a specific exception.",
+        ),
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        yield from self._check_all_drift(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.emit(
+                    module,
+                    node,
+                    "RL403",
+                    "bare 'except:'; catch a specific exception type "
+                    "(or 'Exception' if you truly mean almost-everything)",
+                )
+
+    # -- RL401 ---------------------------------------------------------
+    def _check_defaults(
+        self,
+        module: ParsedModule,
+        node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    ) -> Iterator[Diagnostic]:
+        name = getattr(node, "name", "<lambda>")
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            if self._is_mutable(default):
+                yield self.emit(
+                    module,
+                    default,
+                    "RL401",
+                    f"mutable default argument in {name}(); default to "
+                    "None and create the container inside the function",
+                )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+    # -- RL402 ---------------------------------------------------------
+    def _check_all_drift(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        declared = self._declared_all(module.tree)
+        if declared is None:
+            return
+        all_node, names = declared
+        top_level = self._top_level_names(module.tree)
+        for name in sorted(set(names) - top_level):
+            yield self.emit(
+                module,
+                all_node,
+                "RL402",
+                f"'{name}' is listed in __all__ but not defined or "
+                "imported at module top level",
+            )
+        public_defs = {
+            stmt.name
+            for stmt in module.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not stmt.name.startswith("_")
+        }
+        for name in sorted(public_defs - set(names)):
+            yield self.emit(
+                module,
+                all_node,
+                "RL402",
+                f"public definition '{name}' is missing from __all__ "
+                "(add it, or prefix the name with '_' if it is private)",
+            )
+
+    @staticmethod
+    def _declared_all(tree: ast.Module) -> tuple[ast.stmt, list[str]] | None:
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        names = [
+                            elt.value
+                            for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        ]
+                        return stmt, names
+        return None
+
+    @staticmethod
+    def _top_level_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        names.update(
+                            elt.id for elt in target.elts if isinstance(elt, ast.Name)
+                        )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+            elif isinstance(stmt, ast.Import):
+                names.update(
+                    (alias.asname or alias.name.split(".")[0]) for alias in stmt.names
+                )
+            elif isinstance(stmt, ast.ImportFrom):
+                names.update(
+                    (alias.asname or alias.name)
+                    for alias in stmt.names
+                    if alias.name != "*"
+                )
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # Conditional definitions (TYPE_CHECKING blocks, fallbacks).
+                names.update(HygieneChecker._top_level_names_in(stmt))
+        return names
+
+    @staticmethod
+    def _top_level_names_in(stmt: ast.stmt) -> set[str]:
+        fake = ast.Module(body=list(ast.iter_child_nodes(stmt)), type_ignores=[])
+        body = [node for node in fake.body if isinstance(node, ast.stmt)]
+        fake.body = body
+        return HygieneChecker._top_level_names(fake)

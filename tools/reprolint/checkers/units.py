@@ -1,0 +1,198 @@
+"""SI-unit discipline rules (RL2xx).
+
+The simulator stores raw floats but keeps them honest through the
+:mod:`repro.types` aliases (``Watts``, ``Seconds``, ``Hertz``,
+``Joules``) and the :mod:`repro.units` constructors (``ghz``, ``kw``,
+``mw``…).  These rules keep that discipline machine-checked where it
+matters most: the public control/measurement surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.diagnostics import Diagnostic, Rule, Severity
+from tools.reprolint.source import ParsedModule
+
+#: Packages whose *public* functions must annotate unit-bearing params
+#: with the repro.types aliases (the control/measurement surface).
+UNIT_ANNOTATION_PACKAGES = ("repro.power", "repro.core", "repro.metrics")
+
+#: Parameter-name pattern → required repro.types alias.  Names with a
+#: ``per`` component (ratios like ``c_per_w``) are exempt — they are not
+#: bare quantities of the suffix unit.
+_UNIT_NAME_PATTERNS: tuple[tuple[str, re.Pattern[str]], ...] = (
+    ("Watts", re.compile(r"(?:^|_)(?:watts?)$|(?<!per)_w$|_watts$")),
+    (
+        "Seconds",
+        re.compile(
+            r"(?:^|_)(?:seconds?|now|timestamp|duration|dt|age)$"
+            r"|(?<!per)_s$|_seconds$"
+        ),
+    ),
+    ("Hertz", re.compile(r"(?:^|_)(?:hertz|freq|frequency)$|(?<!per)_hz$")),
+    ("Joules", re.compile(r"(?:^|_)(?:joules?)$|(?<!per)_j$|_joules$")),
+)
+
+#: Annotations RL201 rewrites: the bare float spellings.
+_BARE_FLOAT_ANNOTATIONS = {"float", "float | None", "Optional[float]"}
+
+#: Module allowed to define magnitude constants with raw exponents.
+_LITERAL_EXEMPT_MODULES = ("repro.units",)
+
+#: Scientific-notation exponents covered by a repro.units constructor
+#: (kw: e3, mw/mhz: e6, ghz/gb_per_s: e9) or scale constant.
+_MAGNITUDE_RE = re.compile(r"^\d+(?:\.\d+)?[eE]\+?(?:3|6|9)$")
+
+_SUGGESTIONS = {
+    "3": "units.KILO (or kw())",
+    "6": "units.MEGA (or mw()/mhz())",
+    "9": "units.GIGA (or ghz()/gb_per_s())",
+}
+
+
+def _unit_alias_for(name: str) -> str | None:
+    for alias, pattern in _UNIT_NAME_PATTERNS:
+        if pattern.search(name):
+            return alias
+    return None
+
+
+class UnitsChecker(Checker):
+    """RL201 unit annotations, RL202 float equality on unit values,
+    RL203 raw magnitude literals."""
+
+    rules = (
+        Rule(
+            "RL201",
+            "unit-annotation",
+            Severity.WARNING,
+            "unit-bearing parameter annotated as bare float",
+            "Public power/core/metrics functions must carry the "
+            "repro.types aliases so reviewers (and mypy users aliasing "
+            "them to distinct types) see the unit contract.",
+        ),
+        Rule(
+            "RL202",
+            "float-unit-eq",
+            Severity.ERROR,
+            "exact float equality on a power/time quantity",
+            "Watts and seconds are accumulated floats; == compares bit "
+            "patterns, not quantities.  Use an explicit tolerance or an "
+            "ordering comparison.",
+        ),
+        Rule(
+            "RL203",
+            "raw-magnitude-literal",
+            Severity.WARNING,
+            "raw scientific-notation magnitude literal",
+            "Write ghz(2.93), kw(40) or the KILO/MEGA/GIGA constants "
+            "instead of bare e3/e6/e9 literals, so the unit is visible.",
+        ),
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        check_annotations = module.in_package(*UNIT_ANNOTATION_PACKAGES)
+        literal_exempt = module.in_package(*_LITERAL_EXEMPT_MODULES)
+        for node in ast.walk(module.tree):
+            if check_annotations and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                yield from self._check_signature(module, node)
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node)
+            if not literal_exempt and isinstance(node, ast.Constant):
+                yield from self._check_literal(module, node)
+
+    # -- RL201 ---------------------------------------------------------
+    def _check_signature(
+        self, module: ParsedModule, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        if node.name.startswith("_") and node.name != "__init__":
+            return
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            annotation = ast.unparse(arg.annotation)
+            if annotation not in _BARE_FLOAT_ANNOTATIONS:
+                continue
+            alias = _unit_alias_for(arg.arg)
+            if alias is None:
+                continue
+            fixed = annotation.replace("float", alias)
+            yield self.emit(
+                module,
+                arg,
+                "RL201",
+                f"parameter '{arg.arg}' of {node.name}() is annotated "
+                f"'{annotation}'; use the repro.types alias '{fixed}'",
+            )
+
+    # -- RL202 ---------------------------------------------------------
+    def _check_compare(
+        self, module: ParsedModule, node: ast.Compare
+    ) -> Iterator[Diagnostic]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                name = self._terminal_name(side)
+                if name is None:
+                    continue
+                alias = _unit_alias_for(name)
+                if alias is None:
+                    continue
+                yield self.emit(
+                    module,
+                    node,
+                    "RL202",
+                    f"'{name}' ({alias}) compared with "
+                    f"{'==' if isinstance(op, ast.Eq) else '!='}; use a "
+                    "tolerance (math.isclose) or an ordering comparison",
+                )
+                break
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> str | None:
+        # Unwrap value-preserving wrappers so float(x.age) == 0.0 and
+        # np.asarray(ages) == 0.0 still reveal the quantity's name.
+        while (
+            isinstance(node, ast.Call)
+            and node.args
+            and isinstance(node.func, (ast.Name, ast.Attribute))
+            and (
+                node.func.id
+                if isinstance(node.func, ast.Name)
+                else node.func.attr
+            )
+            in ("float", "abs", "asarray", "array", "round")
+        ):
+            node = node.args[0]
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    # -- RL203 ---------------------------------------------------------
+    def _check_literal(
+        self, module: ParsedModule, node: ast.Constant
+    ) -> Iterator[Diagnostic]:
+        if not isinstance(node.value, (int, float)) or isinstance(node.value, bool):
+            return
+        segment = ast.get_source_segment(module.source, node)
+        if segment is None or not _MAGNITUDE_RE.match(segment):
+            return
+        exponent = segment.lower().rsplit("e", 1)[1].lstrip("+")
+        yield self.emit(
+            module,
+            node,
+            "RL203",
+            f"raw magnitude literal {segment}; use "
+            f"{_SUGGESTIONS[exponent]} from repro.units",
+        )

@@ -1,0 +1,123 @@
+"""``python -m tools.reprolint`` — the command-line front end."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Sequence
+
+from tools.reprolint.checkers import all_rules
+from tools.reprolint.diagnostics import Severity
+from tools.reprolint.runner import lint_paths
+
+#: Exit codes: clean / diagnostics found / usage or parse error.
+EXIT_CLEAN = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "Domain-invariant static analysis for the repro simulator: "
+            "determinism (RL1xx), SI-unit discipline (RL2xx), actuation "
+            "fencing (RL3xx) and hygiene (RL4xx) rules."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "github", "json"), default="text",
+        help="diagnostic output format (github = Actions annotations)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("warning", "error", "never"), default="warning",
+        help="minimum severity that causes a nonzero exit (default: any)",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print a per-rule violation count after the diagnostics",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {str(rule.severity):<7}  {rule.name}: {rule.summary}")
+
+
+def _resolve_selection(args: argparse.Namespace) -> list[str] | None:
+    known = {rule.rule_id for rule in all_rules()}
+
+    def parse(raw: str, flag: str) -> set[str]:
+        ids = {part.strip().upper() for part in raw.split(",") if part.strip()}
+        unknown = ids - known
+        if unknown:
+            raise SystemExit(
+                f"error: unknown rule id(s) in {flag}: {', '.join(sorted(unknown))}"
+            )
+        return ids
+
+    selected = known if args.select is None else parse(args.select, "--select")
+    if args.ignore is not None:
+        selected = selected - parse(args.ignore, "--ignore")
+    return sorted(selected)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+    try:
+        select = _resolve_selection(args)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_ERROR
+
+    diagnostics, parse_errors = lint_paths(args.paths, select=select)
+
+    if args.format == "json":
+        print(json.dumps([d.as_dict() for d in diagnostics], indent=2))
+    else:
+        for diag in diagnostics:
+            line = (
+                diag.format_github() if args.format == "github" else diag.format_text()
+            )
+            print(line)
+    for err in parse_errors:
+        print(f"parse error: {err}", file=sys.stderr)
+
+    if args.statistics and diagnostics:
+        counts = Counter(d.rule_id for d in diagnostics)
+        print()
+        for rule_id, count in sorted(counts.items()):
+            print(f"{rule_id}: {count}")
+    if args.format != "json" and not diagnostics and not parse_errors:
+        print(f"reprolint: clean ({', '.join(args.paths)})", file=sys.stderr)
+
+    if parse_errors:
+        return EXIT_ERROR
+    if args.fail_on == "never":
+        return EXIT_CLEAN
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    if any(d.severity >= threshold for d in diagnostics):
+        return EXIT_DIAGNOSTICS
+    return EXIT_CLEAN

@@ -1,0 +1,75 @@
+"""Diagnostic records and severities emitted by reprolint checkers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Ordering matters: higher is worse."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Rule:
+    """Static metadata for one reprolint rule.
+
+    Attributes:
+        rule_id: Stable identifier, e.g. ``"RL101"``.  The first digit
+            groups rules by family (1xx determinism, 2xx units,
+            3xx fencing, 4xx hygiene).
+        name: Short kebab-case name, e.g. ``"unseeded-rng"``.
+        severity: Default severity of diagnostics for this rule.
+        summary: One-line description shown by ``--list-rules``.
+        rationale: Which simulator invariant the rule guards.
+    """
+
+    rule_id: str
+    name: str
+    severity: Severity = field(compare=False)
+    summary: str = field(compare=False)
+    rationale: str = field(compare=False, default="")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violated at a precise source location."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+
+    def format_text(self) -> str:
+        """``path:line:col: severity RLxxx message`` (human/editor)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity} {self.rule_id} {self.message}"
+        )
+
+    def format_github(self) -> str:
+        """A GitHub Actions workflow-command annotation line."""
+        kind = "error" if self.severity is Severity.ERROR else "warning"
+        return (
+            f"::{kind} file={self.path},line={self.line},col={self.column},"
+            f"title=reprolint {self.rule_id}::{self.message}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (``--format=json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

@@ -1,0 +1,74 @@
+"""Walk files, run every checker, filter suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.reprolint.checkers import all_checkers
+from tools.reprolint.diagnostics import Diagnostic, Severity
+from tools.reprolint.source import ParsedModule
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def lint_module(
+    module: ParsedModule, select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """All non-suppressed diagnostics for one parsed module."""
+    diagnostics: list[Diagnostic] = []
+    for checker in all_checkers():
+        for diag in checker.check(module):
+            if select is not None and diag.rule_id not in select:
+                continue
+            if module.is_suppressed(diag.rule_id, diag.line):
+                continue
+            diagnostics.append(diag)
+    return sorted(diagnostics)
+
+
+def lint_source(
+    source: str, path: str | Path = "<string>", select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Lint a source string as if it lived at ``path`` (for tests)."""
+    module = ParsedModule.parse(Path(path), source=source)
+    return lint_module(module, select=select)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Sequence[str] | None = None
+) -> tuple[list[Diagnostic], list[str]]:
+    """Lint every Python file reachable from ``paths``.
+
+    Returns:
+        ``(diagnostics, parse_errors)`` — files that fail to parse are
+        reported as strings rather than aborting the whole run.
+    """
+    diagnostics: list[Diagnostic] = []
+    parse_errors: list[str] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        try:
+            module = ParsedModule.parse(file_path)
+        except SyntaxError as exc:
+            parse_errors.append(f"{file_path}:{exc.lineno or 0}: {exc.msg}")
+            continue
+        diagnostics.extend(lint_module(module, select=select))
+    return sorted(diagnostics), parse_errors
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Severity | None:
+    """Worst severity present, or ``None`` when clean."""
+    return max((d.severity for d in diagnostics), default=None)

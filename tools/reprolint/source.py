@@ -1,0 +1,157 @@
+"""Parsed-source model: one module, its AST, imports and suppressions."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Rooted at the last ``repro`` path component when present (so both
+    ``src/repro/power/meter.py`` and fixture trees like
+    ``tests/lint/fixtures/repro/power/x.py`` resolve to ``repro.…``),
+    else at the component after a ``src`` directory, else the bare stem.
+    """
+    parts = list(path.parts)
+    stem_parts = parts[:-1] + [path.stem]
+    for root in ("repro", "tools"):
+        if root in stem_parts:
+            idx = len(stem_parts) - 1 - stem_parts[::-1].index(root)
+            dotted = stem_parts[idx:]
+            break
+    else:
+        if "src" in stem_parts and stem_parts.index("src") + 1 < len(stem_parts):
+            dotted = stem_parts[stem_parts.index("src") + 1 :]
+        else:
+            dotted = [path.stem]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+class ImportMap:
+    """Maps local names to the qualified names they were imported as.
+
+    ``import numpy as np`` → ``np: numpy``;
+    ``from random import choice`` → ``choice: random.choice``;
+    ``from numpy import random as npr`` → ``npr: numpy.random``.
+    Relative imports resolve against the module's own package.
+    """
+
+    def __init__(self, tree: ast.Module, module_name: str) -> None:
+        self._names: dict[str, str] = {}
+        package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._names[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = package.split(".") if package else []
+                    cut = len(prefix_parts) - (node.level - 1)
+                    prefix_parts = prefix_parts[: max(cut, 0)]
+                    base = ".".join(prefix_parts + ([base] if base else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._names[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def qualify(self, dotted: str) -> str:
+        """Expand the first component of ``dotted`` through the imports."""
+        head, _, rest = dotted.partition(".")
+        base = self._names.get(head, head)
+        return f"{base}.{rest}" if rest else base
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ParsedModule:
+    """Everything checkers need about one source file."""
+
+    path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    #: line number → rule ids suppressed on that line ({"*"} = all).
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file ({"*"} = all).
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, source: str | None = None) -> "ParsedModule":
+        """Parse ``path`` (or ``source`` standing in for its contents).
+
+        Raises:
+            SyntaxError: if the file does not parse — surfaced to the
+                caller so the CLI can report it as a hard error.
+        """
+        text = path.read_text(encoding="utf-8") if source is None else source
+        tree = ast.parse(text, filename=str(path))
+        name = module_name_for_path(path)
+        mod = cls(
+            path=str(path),
+            module_name=name,
+            source=text,
+            tree=tree,
+            imports=ImportMap(tree, name),
+        )
+        mod._collect_suppressions()
+        return mod
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.source).readline))
+        except tokenize.TokenError:  # pragma: no cover - parse succeeded
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {r.strip().upper() for r in match.group(2).split(",") if r.strip()}
+            rules = {"*" if r == "ALL" else r for r in rules}
+            if match.group(1) == "disable-file":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(tok.start[0], set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` disabled at ``line`` (or file-wide)?"""
+        if {"*", rule_id} & self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(line, ())
+        return "*" in on_line or rule_id in on_line
+
+    def in_package(self, *packages: str) -> bool:
+        """Does this module live under any of the dotted ``packages``?"""
+        return any(
+            self.module_name == p or self.module_name.startswith(p + ".")
+            for p in packages
+        )
