@@ -1,0 +1,195 @@
+"""Observability overhead guard (the obs cost budget).
+
+Replicates ``bench_micro``'s 128-node manager control cycle and measures
+it under every observability configuration:
+
+* **disabled** — ``Observability.disabled()`` (and the ``obs=None``
+  default): must be *unmeasurable* against the un-instrumented baseline;
+* **production** — ``ObsConfig(metrics=True)``, the always-on
+  configuration: metric series are either collected at export time (zero
+  hot-path cost) or one inline ``observe()``/store per cycle.  Budget:
+  **≤5%** on the bench_micro cycle time;
+* **flight** — ``ObsConfig(metrics=True, flight_recorder_cycles=64)``:
+  adds per-cycle span trees feeding the flight-recorder ring.  A
+  diagnostic mode — per-stage attribute capture alone costs more than
+  the 5% always-on budget allows — held to a documented **≤30%**
+  ceiling;
+* **debug** — ``ObsConfig.full()``: whole-run trace retention on top.
+  Postmortem/debugging mode, documented **≤50%** ceiling.
+
+Span-tree cost is O(1) per cycle (independent of node count), so the
+relative cost of the diagnostic modes shrinks on larger clusters; the
+ceilings here are for the paper-scale 128-node hot loop.
+
+Methodology: wall clocks on shared CI boxes are far too noisy to resolve
+a 5% budget, so the budget test measures **CPU time** with a paired,
+order-alternating, min-of-reps protocol and calibrates its own noise
+floor from an A/A (baseline vs baseline) split.  Every bound is the max
+of the relative budget and the measured noise — on a quiet machine the
+budget binds, on a loud one the test degrades gracefully instead of
+flaking.
+
+Run with ``pytest benchmarks/bench_obs_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import NodeSets, PowerManager, ThresholdController
+from repro.core.policies import make_policy
+from repro.obs import Observability, ObsConfig
+from repro.power import PowerModel, SystemPowerMeter
+
+# Paired-measurement protocol: each timing runs CYCLES control cycles on
+# a freshly built manager; each comparison alternates measurement order
+# over REPS repetitions and keeps the per-variant minimum.
+CYCLES = 600
+REPS = 10
+
+#: Budgets, as fractions of the baseline cycle time.
+PRODUCTION_BUDGET = 0.05
+FLIGHT_CEILING = 0.30
+DEBUG_CEILING = 0.50
+
+
+def build_manager(obs: Observability | None) -> PowerManager:
+    """The bench_micro manager: 128 loaded Tianhe-1A nodes, MPC policy."""
+    cluster = Cluster.tianhe_1a(num_nodes=128)
+    rng = np.random.default_rng(0)
+    state = cluster.state
+    state.level[:] = rng.integers(0, cluster.spec.num_levels, 128)
+    state.cpu_util[:] = rng.random(128)
+    state.mem_frac[:] = rng.random(128)
+    state.nic_frac[:] = rng.random(128)
+    for start in range(0, 128, 8):
+        state.job_id[start : start + 8] = start // 8
+    sets = NodeSets(cluster)
+    model = PowerModel(cluster.spec)
+    meter = SystemPowerMeter(model, cluster.state)
+    thresholds = ThresholdController.from_training(meter.true_power() * 1.05)
+    return PowerManager(
+        cluster, sets, meter, thresholds, make_policy("mpc"), obs=obs
+    )
+
+
+def _baseline() -> PowerManager:
+    return build_manager(None)
+
+
+def _disabled() -> PowerManager:
+    return build_manager(Observability.disabled())
+
+
+def _production() -> PowerManager:
+    return build_manager(Observability(ObsConfig(metrics=True)))
+
+
+def _flight() -> PowerManager:
+    return build_manager(
+        Observability(ObsConfig(metrics=True, flight_recorder_cycles=64))
+    )
+
+
+def _debug() -> PowerManager:
+    return build_manager(Observability(ObsConfig.full()))
+
+
+def _timed(factory: Callable[[], PowerManager]) -> float:
+    """CPU seconds per control cycle on a fresh manager."""
+    manager = factory()
+    t = 0.0
+    start = time.process_time()
+    for _ in range(CYCLES):
+        t += 1.0
+        manager.control_cycle(t)
+    return (time.process_time() - start) / CYCLES
+
+
+def _paired(
+    fa: Callable[[], PowerManager], fb: Callable[[], PowerManager]
+) -> tuple[float, float]:
+    """Min-of-REPS cycle times for two variants, order-alternated."""
+    a = b = float("inf")
+    for rep in range(REPS):
+        if rep % 2 == 0:
+            a = min(a, _timed(fa))
+            b = min(b, _timed(fb))
+        else:
+            b = min(b, _timed(fb))
+            a = min(a, _timed(fa))
+    return a, b
+
+
+def test_obs_overhead_budget() -> None:
+    """Enforce the obs cost budget against a self-calibrated noise floor."""
+    n1, n2 = _paired(_baseline, _baseline)
+    noise = abs(n1 - n2)
+
+    base_d, dis = _paired(_baseline, _disabled)
+    base_p, prod = _paired(_baseline, _production)
+    base_f, fl = _paired(_baseline, _flight)
+    base_g, dbg = _paired(_baseline, _debug)
+
+    def report(label: str, base: float, variant: float, bound: float) -> str:
+        delta = variant - base
+        return (
+            f"{label}: {variant * 1e6:.1f}us vs baseline {base * 1e6:.1f}us "
+            f"(delta {delta * 1e6:+.1f}us, bound {bound * 1e6:.1f}us, "
+            f"noise {noise * 1e6:.1f}us)"
+        )
+
+    # Disabled obs must be unmeasurable: within noise / low single-digit
+    # microseconds of the un-instrumented default.
+    dis_bound = max(0.02 * base_d, 4.0 * noise, 2.0e-6)
+    line = report("disabled", base_d, dis, dis_bound)
+    print(line)
+    assert dis - base_d <= dis_bound, line
+
+    # Production (metrics on): the ≤5% budget.
+    prod_bound = max(PRODUCTION_BUDGET * base_p, 4.0 * noise, 2.0e-6)
+    line = report("production(metrics)", base_p, prod, prod_bound)
+    print(line)
+    assert prod - base_p <= prod_bound, line
+
+    # Diagnostic modes: documented ceilings, not the always-on budget.
+    fl_bound = max(FLIGHT_CEILING * base_f, 4.0 * noise, 2.0e-6)
+    line = report("flight(ring=64)", base_f, fl, fl_bound)
+    print(line)
+    assert fl - base_f <= fl_bound, line
+
+    dbg_bound = max(DEBUG_CEILING * base_g, 4.0 * noise, 2.0e-6)
+    line = report("debug(full trace)", base_g, dbg, dbg_bound)
+    print(line)
+    assert dbg - base_g <= dbg_bound, line
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark visibility rows (no assertions): per-config absolute
+# cycle times alongside bench_micro's numbers.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "label,factory",
+    [
+        ("baseline", _baseline),
+        ("disabled", _disabled),
+        ("production", _production),
+        ("flight64", _flight),
+        ("debug", _debug),
+    ],
+)
+def test_cycle_time_by_obs_config(benchmark, label, factory) -> None:
+    """One control cycle under each observability configuration."""
+    manager = factory()
+    clock = [0.0]
+
+    def cycle() -> None:
+        clock[0] += 1.0
+        manager.control_cycle(clock[0])
+
+    benchmark(cycle)

@@ -30,6 +30,8 @@ Subpackages
 ``repro.telemetry``    profiling agents, collector, cost model, recorder
 ``repro.core``         THE PAPER: sets, thresholds, Algorithm 1, policies
 ``repro.faults``       seeded fault injection + degraded-mode config
+``repro.ha``           controller crash-recovery: journal, failover, fencing
+``repro.obs``          cycle tracing, metric registry, flight recorder
 ``repro.metrics``      Performance(cap), CPLJ, P_max, ΔP×T, survey metrics
 ``repro.analysis``     tables, ASCII charts, statistics
 ``repro.experiments``  per-figure harnesses (Fig. 5/6/7, ablations)
@@ -48,6 +50,7 @@ from repro.core import (
 from repro.experiments import ExperimentConfig, ExperimentResult, run_experiment
 from repro.faults import DegradedModeConfig, FaultInjector, FaultScenario, FaultStats
 from repro.metrics import RunMetrics, compare_runs
+from repro.obs import Observability, ObsConfig
 from repro.power import PowerModel, PowerProvision, SystemPowerMeter
 from repro.sim import RandomSource, SimulationEngine
 
@@ -63,6 +66,8 @@ __all__ = [
     "FaultStats",
     "NodeSets",
     "NodeSpec",
+    "ObsConfig",
+    "Observability",
     "PowerManager",
     "PowerModel",
     "PowerProvision",

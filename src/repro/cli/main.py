@@ -31,6 +31,7 @@ from repro.experiments.ablations import policy_zoo
 from repro.faults import FaultScenario
 from repro.ha import HaConfig
 from repro.metrics import compare_runs
+from repro.obs import ObsConfig
 from repro.units import MICRO, fmt_power
 
 __all__ = ["build_parser", "main"]
@@ -63,6 +64,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     ha = _ha_from_args(args)
     if ha is not None:
         overrides["ha"] = ha
+    obs = _obs_from_args(args)
+    if obs is not None:
+        overrides["obs"] = obs
     return replace(config, **overrides) if overrides else config
 
 
@@ -105,6 +109,27 @@ def _ha_from_args(args: argparse.Namespace) -> HaConfig | None:
     if getattr(args, "cold_restart", False):
         return HaConfig.restart_only(**overrides)
     return HaConfig.warm(**overrides)
+
+
+def _obs_from_args(args: argparse.Namespace) -> ObsConfig | None:
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    flight_cycles = getattr(args, "flight_recorder", None)
+    flight_out = getattr(args, "flight_out", None)
+    if flight_out is not None and not flight_cycles:
+        raise ConfigurationError("--flight-out requires --flight-recorder N")
+    if trace_out is None and metrics_out is None and not flight_cycles:
+        return None
+    if flight_cycles and flight_out is None:
+        flight_out = "flight.jsonl"
+    return ObsConfig(
+        trace=trace_out is not None,
+        metrics=metrics_out is not None,
+        flight_recorder_cycles=int(flight_cycles or 0),
+        trace_path=trace_out,
+        metrics_path=metrics_out,
+        flight_path=flight_out,
+    )
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +223,36 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="no warm standby: every crash costs a full restart",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the whole-run cycle trace as JSON lines to PATH",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write end-of-run metrics in Prometheus text format to PATH",
+    )
+    obs.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "arm a flight recorder holding the last N control cycles, "
+            "dumped on fault onset, crash, failover, red-state entry "
+            "and run end"
+        ),
+    )
+    obs.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="PATH",
+        help="flight-recorder dump path (default: flight.jsonl)",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of tables"
     )
@@ -226,6 +281,17 @@ def _metrics_dict(result: ExperimentResult) -> dict[str, Any]:
         ),
         "ha_stats": (
             asdict(result.ha_stats) if result.ha_stats is not None else None
+        ),
+        "observability": (
+            {
+                "cycles_traced": result.observability.tracer.cycles_traced,
+                "flight_dumps": [
+                    d.reason for d in result.observability.flight.dumps
+                ],
+                "metric_families": result.observability.metrics.names(),
+            }
+            if result.observability is not None
+            else None
         ),
     }
 
@@ -282,6 +348,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "journal records/compactions",
             f"{hs.journal_records}/{hs.journal_compactions}",
         )
+    o = result.observability
+    if o is not None:
+        if o.tracing:
+            table.add_row("cycles traced", o.tracer.cycles_traced)
+        if o.flight.enabled:
+            table.add_row(
+                "flight dumps",
+                ", ".join(d.reason for d in o.flight.dumps) or "none",
+            )
+        for path in (
+            config.obs.trace_path,
+            config.obs.metrics_path,
+            config.obs.flight_path,
+        ):
+            if path is not None:
+                table.add_row("wrote", path)
     print(table.render())
     return 0
 

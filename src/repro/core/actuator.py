@@ -46,6 +46,7 @@ from repro.cluster.state import ClusterState
 from repro.core.capping import CappingAction, CappingDecision
 from repro.errors import ConfigurationError, PowerManagementError
 from repro.faults.injector import FaultInjector
+from repro.obs.facade import Observability, resolve_obs
 
 __all__ = ["ActuationReport", "DvfsActuator"]
 
@@ -110,6 +111,9 @@ class DvfsActuator:
             in cycles, so high retry counts (or a long meter outage
             stretching the control cadence) cannot schedule a retry
             absurdly far in the future.
+        obs: Observability facade; when its metric registry is live the
+            actuator's statistics are mirrored as export-time collected
+            series (zero per-command cost).
     """
 
     def __init__(
@@ -118,6 +122,7 @@ class DvfsActuator:
         fault_injector: FaultInjector | None = None,
         max_retries: int = 3,
         max_backoff_cycles: int = 16,
+        obs: Observability | None = None,
     ) -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
@@ -144,6 +149,70 @@ class DvfsActuator:
         self._fenced = 0
         self._last_landing: tuple[int, int] | None = None  #: (cycle, epoch)
         self._epoch_conflicts = 0
+        self._register_metrics(resolve_obs(obs))
+
+    def _register_metrics(self, obs: Observability) -> None:
+        """Mirror the actuation statistics as collected metric series.
+
+        Re-registration (a successor manager sharing the live actuator
+        after failover) rebinds the callbacks, so the exported values
+        always read the live object.
+        """
+        if not obs.metrics_on:
+            return
+        reg = obs.metrics
+        by_result = {
+            "effective": lambda: float(self._effective),
+            "noop": lambda: float(self._noops),
+            "suppressed": lambda: float(self._suppressed),
+            "lost": lambda: float(self._lost),
+            "abandoned": lambda: float(self._abandoned),
+            "fenced": lambda: float(self._fenced),
+        }
+        for result, fn in by_result.items():
+            reg.counter_func(
+                "repro_dvfs_commands_total",
+                "DVFS commands by final outcome",
+                fn,
+                labels={"result": result},
+            )
+        reg.counter_func(
+            "repro_dvfs_levels_total",
+            "Cumulative DVFS level steps by direction",
+            lambda: float(self._levels_lowered),
+            labels={"direction": "lower"},
+        )
+        reg.counter_func(
+            "repro_dvfs_levels_total",
+            "Cumulative DVFS level steps by direction",
+            lambda: float(self._levels_raised),
+            labels={"direction": "raise"},
+        )
+        reg.counter_func(
+            "repro_dvfs_retried_total",
+            "Commands that landed only after at least one re-issue",
+            lambda: float(self._retried),
+        )
+        reg.counter_func(
+            "repro_dvfs_emergencies_total",
+            "Red-state (emergency) actuations",
+            lambda: float(self._emergencies),
+        )
+        reg.counter_func(
+            "repro_fencing_epoch_conflicts_total",
+            "Cycles in which two epochs landed commands (must stay 0)",
+            lambda: float(self._epoch_conflicts),
+        )
+        reg.gauge_func(
+            "repro_dvfs_pending_commands",
+            "Commands queued (delayed or awaiting retry)",
+            lambda: float(len(self._pending)),
+        )
+        reg.gauge_func(
+            "repro_fencing_epoch",
+            "Current actuator fencing epoch",
+            lambda: float(self._epoch),
+        )
 
     # ------------------------------------------------------------------
     # Statistics

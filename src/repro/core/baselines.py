@@ -39,6 +39,7 @@ from repro.core.thresholds import ThresholdController
 from repro.errors import ConfigurationError
 from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector
+from repro.obs.facade import Observability
 from repro.power.meter import SystemPowerMeter
 from repro.telemetry.cost import ManagementCostModel
 from repro.telemetry.recorder import TimeSeriesRecorder
@@ -80,6 +81,7 @@ class MimoFeedbackManager(PowerManager):
         release_margin_fraction: float = 0.03,
         fault_injector: FaultInjector | None = None,
         degraded: DegradedModeConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(
             cluster,
@@ -92,6 +94,7 @@ class MimoFeedbackManager(PowerManager):
             recorder=recorder,
             fault_injector=fault_injector,
             degraded=degraded,
+            obs=obs,
         )
         if not 0.0 < gain <= 1.0:
             raise ConfigurationError("gain must lie in (0, 1]")
@@ -194,6 +197,7 @@ class BudgetPartitionManager(PowerManager):
         proportional: bool = True,
         fault_injector: FaultInjector | None = None,
         degraded: DegradedModeConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(
             cluster,
@@ -206,6 +210,7 @@ class BudgetPartitionManager(PowerManager):
             recorder=recorder,
             fault_injector=fault_injector,
             degraded=degraded,
+            obs=obs,
         )
         self._proportional = bool(proportional)
         self._num_levels = cluster.spec.num_levels

@@ -63,6 +63,8 @@ from repro.ha.journal import (
     JournalRecovery,
     StateJournal,
 )
+from repro.obs.facade import Observability, resolve_obs
+from repro.obs.trace import CycleTracer, Span
 from repro.power.estimator import NodePowerEstimator
 from repro.power.hetero import make_power_model
 from repro.power.meter import SystemPowerMeter
@@ -138,6 +140,13 @@ class PowerManager:
             cycle appends a :class:`~repro.ha.journal.CycleRecord` and
             the journal is compacted with a fresh checkpoint on its
             cadence.
+        obs: Observability facade (:mod:`repro.obs`).  When tracing is
+            on the manager emits one span tree per control cycle; when
+            metrics are on the cycle statistics are mirrored into the
+            registry; when the flight recorder is armed the manager
+            trips it on entry into the red state.  ``None`` (the
+            default) resolves to the shared disabled facade and leaves
+            the control cycle bit-for-bit unchanged.
     """
 
     def __init__(
@@ -154,6 +163,7 @@ class PowerManager:
         degraded: DegradedModeConfig | None = None,
         actuator: DvfsActuator | None = None,
         journal: StateJournal | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self._cluster = cluster
         self._sets = sets
@@ -163,8 +173,9 @@ class PowerManager:
         self._injector = fault_injector
         self._degraded_cfg = degraded if degraded is not None else DegradedModeConfig()
         self._cost_model = cost_model
+        self._obs = resolve_obs(obs)
         self._collector = TelemetryCollector(
-            cluster.state, sets.candidates, cost_model, fault_injector
+            cluster.state, sets.candidates, cost_model, fault_injector, obs=obs
         )
         self._estimator = NodePowerEstimator(make_power_model(cluster))
         self._capping = PowerCappingAlgorithm(
@@ -173,7 +184,7 @@ class PowerManager:
         self._actuator = (
             actuator
             if actuator is not None
-            else DvfsActuator(cluster.state, fault_injector)
+            else DvfsActuator(cluster.state, fault_injector, obs=obs)
         )
         self._journal = journal
         self.recorder = recorder if recorder is not None else TimeSeriesRecorder()
@@ -192,6 +203,77 @@ class PowerManager:
         self._epoch: int | None = None
         self._recovery_pending: set[int] = set()
         self._last_cycle_time = 0.0
+        # Observability: previous cycle's state, for the red-entry trip.
+        self._last_state: PowerState | None = None
+        self._last_power_w = 0.0
+        self._register_metrics()
+
+    def _power_ratio_high(self) -> float:
+        """Collected-gauge callback: last power over P_H (0 if unset)."""
+        p_high = self._thresholds.thresholds.p_high
+        return self._last_power_w / p_high if p_high > 0.0 else 0.0
+
+    def _register_metrics(self) -> None:
+        """Wire the cycle-level metric series (no-op instruments when off).
+
+        Everything the manager already tracks — per-state cycle counts,
+        last power, P/P_H — is exposed as collected (export-time) series
+        at zero per-cycle cost; only the target-set histogram needs one
+        inline ``observe()`` per cycle (a distribution cannot be
+        reconstructed from a callback).
+        """
+        obs = self._obs
+        reg = obs.metrics
+        self._metrics_on = obs.metrics_on
+        self._targets_hist = reg.histogram(
+            "repro_targets_per_cycle",
+            "Target-set size of each cycle's capping decision",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        if not obs.metrics_on:
+            return
+        for state in PowerState:
+            reg.counter_func(
+                "repro_cycles_total",
+                "Control cycles by classified power state",
+                (lambda s=state: float(self._state_counts[s])),
+                labels={"state": state.value},
+            )
+        reg.gauge_func(
+            "repro_system_power_watts",
+            "Last observed system power, watts",
+            lambda: self._last_power_w,
+        )
+        reg.gauge_func(
+            "repro_power_ratio_high",
+            "Last system power over the high threshold P/P_H",
+            self._power_ratio_high,
+        )
+        reg.counter_func(
+            "repro_forced_red_cycles_total",
+            "Cycles the blackout rung forced to red",
+            lambda: float(self._forced_red_cycles),
+        )
+        reg.counter_func(
+            "repro_estimated_power_cycles_total",
+            "Cycles run on the Formula (1) fallback estimate",
+            lambda: float(self._estimated_cycles),
+        )
+        reg.gauge_func(
+            "repro_time_in_green",
+            "Algorithm 1 steady-green counter Time_g",
+            lambda: float(self._capping.time_in_green),
+        )
+        reg.gauge_func(
+            "repro_degraded_nodes",
+            "Size of A_degraded (nodes currently capped)",
+            lambda: float(len(self._capping.degraded_nodes)),
+        )
+        reg.gauge_func(
+            "repro_recovery_pending_nodes",
+            "Candidates awaiting fresh telemetry under the recovery hold",
+            lambda: float(len(self._recovery_pending)),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -312,22 +394,53 @@ class PowerManager:
     # The control cycle
     # ------------------------------------------------------------------
     def control_cycle(self, now: Seconds) -> CycleReport:
-        """Sense → classify → decide → actuate, and record the series."""
+        """Sense → classify → decide → actuate, and record the series.
+
+        When tracing is on, each cycle emits one span tree (``cycle`` →
+        ``collect`` / ``estimate`` / ``classify`` / ``select_targets``
+        / ``actuate`` / ``journal``); an exception unwinding mid-cycle
+        aborts the open tree so the tracer stays usable.
+        """
+        tracer = self._obs.tracer
+        root = tracer.begin_cycle(now)
+        try:
+            report = self._traced_cycle(now, tracer, root)
+        except BaseException:
+            tracer.abort_cycle()
+            raise
+        tracer.end_cycle()
+        if report.state is PowerState.RED and self._last_state is not PowerState.RED:
+            # Trip after end_cycle so the dump includes the red cycle.
+            self._obs.trip("red_state_entry", now)
+        self._last_state = report.state
+        return report
+
+    def _traced_cycle(
+        self, now: Seconds, tracer: CycleTracer, root: Span
+    ) -> CycleReport:
+        tracing = tracer.enabled
         inj = self._injector
         if inj is not None:
             inj.begin_cycle(now)
 
+        # Stages open/close spans directly (no ``with`` dispatch) under a
+        # single ``tracing`` guard; an exception unwinding mid-stage is
+        # cleaned up by ``abort_cycle`` in the caller's handler.
+        if tracing:
+            sp = tracer.open_span("collect")
         snapshot = self._collector.collect(now)
         if self._recovery_pending:
             # Recovery hold: tick off candidates that have reported
             # fresh since the restore (age 0 = sampled this sweep; age
             # is non-negative, so <= avoids exact float equality).
             fresh_ids = snapshot.node_ids[np.asarray(snapshot.age) <= 0.0]
-            self._recovery_pending.difference_update(int(i) for i in fresh_ids)
+            self._recovery_pending.difference_update(
+                int(i) for i in fresh_ids
+            )
         metered = inj is None or inj.meter_available()
         if inj is not None:
-            # Nodes eligible for an actual level raise this cycle: fresh
-            # telemetry, and only while running on a real meter reading.
+            # Nodes eligible for an actual level raise this cycle:
+            # fresh telemetry, and only on a real meter reading.
             allow = np.ones(self._cluster.state.num_nodes, dtype=bool)
             if metered:
                 stale = snapshot.stale_mask(self._degraded_cfg.max_stale_age_s)
@@ -345,11 +458,20 @@ class PowerManager:
             else:
                 allow[:] = False
         self._upgradable = allow
-        # Flush in-flight commands after the sweep so late-landing raises
-        # are clamped against this cycle's staleness; their effect shows
-        # in the next sweep.
+        # Flush in-flight commands after the sweep so late-landing
+        # raises are clamped against this cycle's staleness; their
+        # effect shows in the next sweep.
         self._actuator.begin_cycle(raise_ok=self._upgradable)
+        if tracing:
+            sp.attrs = {
+                "size": snapshot.size,
+                "coverage": snapshot.coverage,
+                "recovery_pending": len(self._recovery_pending),
+            }
+            tracer.close_span()
 
+        if tracing:
+            sp = tracer.open_span("estimate")
         if metered:
             power = self._meter.read()
             if inj is not None:
@@ -361,9 +483,14 @@ class PowerManager:
         else:
             power = self._estimate_system_power(snapshot)
             self._estimated_cycles += 1
+        if tracing:
+            sp.attrs = {"metered": metered, "power_w": power}
+            tracer.close_span()
+
+        if tracing:
+            sp = tracer.open_span("classify")
         th = self._thresholds.thresholds
         state = classify_power_state(power, th.p_low, th.p_high)
-
         forced_red = False
         if inj is not None:
             cfg = self._degraded_cfg
@@ -378,7 +505,17 @@ class PowerManager:
                 state = PowerState.RED
                 forced_red = True
                 self._forced_red_cycles += 1
+        if tracing:
+            sp.attrs = {
+                "state": state.value,
+                "p_low_w": th.p_low,
+                "p_high_w": th.p_high,
+                "forced_red": forced_red,
+            }
+            tracer.close_span()
 
+        if tracing:
+            sp = tracer.open_span("select_targets")
         ctx = PolicyContext(
             snapshot=snapshot,
             previous=self._collector.previous,
@@ -387,9 +524,30 @@ class PowerManager:
             thresholds=th,
         )
         decision = self._decide(state, ctx)
+        if tracing:
+            sp.attrs = {
+                "action": decision.action.value,
+                "targets": decision.num_targets,
+                "time_in_green": decision.time_in_green,
+            }
+            tracer.close_span()
+
+        if tracing:
+            sp = tracer.open_span("actuate")
         actuation = self._actuator.apply(
             decision, raise_ok=self._upgradable, epoch=self._epoch
         )
+        if tracing:
+            sp.attrs = {
+                "commands": actuation.commands,
+                "effective": actuation.effective,
+                "noop": actuation.noop,
+                "suppressed": actuation.suppressed,
+                "lost": actuation.lost,
+                "delayed": actuation.delayed,
+                "fenced": actuation.fenced,
+            }
+            tracer.close_span()
 
         self._cycles += 1
         self._state_counts[state] += 1
@@ -405,11 +563,16 @@ class PowerManager:
             rec.record(
                 SERIES_DEGRADED, now, 1.0 if (forced_red or not metered) else 0.0
             )
-        # Journal the completed cycle — unless this incarnation has been
-        # deposed: fencing guards the log exactly like the actuator, so
-        # a zombie primary cannot interleave its timeline into the
-        # successor's journal.
-        if self._journal is not None and not self.deposed:
+
+        if tracing:
+            sp = tracer.open_span("journal")
+        # Journal the completed cycle — unless this incarnation has
+        # been deposed: fencing guards the log exactly like the
+        # actuator, so a zombie primary cannot interleave its
+        # timeline into the successor's journal.
+        journaled = self._journal is not None and not self.deposed
+        compacted = False
+        if self._journal is not None and journaled:
             self._journal.append(
                 CycleRecord(
                     cycle=self._cycles,
@@ -430,6 +593,29 @@ class PowerManager:
             )
             if self._journal.should_compact():
                 self._journal.compact(self.checkpoint())
+                compacted = True
+        if tracing:
+            sp.attrs = {"journaled": journaled, "compacted": compacted}
+            tracer.close_span()
+
+        if self._metrics_on:
+            self._last_power_w = power
+            self._targets_hist.observe(float(decision.num_targets))
+        if tracing:
+            root.attrs = {
+                "cycle": self._cycles,
+                "power_w": power,
+                "ratio_high": (power / th.p_high) if th.p_high > 0.0 else None,
+                "state": state.value,
+                "metered": metered,
+                "coverage": snapshot.coverage,
+                "forced_red": forced_red,
+                "degraded": forced_red or not metered,
+                "action": decision.action.value,
+                "targets": decision.num_targets,
+                "epoch": self._epoch,
+                "recovery_hold": bool(self._recovery_pending),
+            }
         return CycleReport(
             time=now,
             power_w=power,

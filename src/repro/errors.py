@@ -23,6 +23,7 @@ __all__ = [
     "TelemetryError",
     "WorkloadError",
     "MetricError",
+    "ObservabilityError",
 ]
 
 
@@ -119,4 +120,13 @@ class MetricError(ReproError, ValueError):
 
     Examples: ΔP×T over an empty trace, or Performance(cap) with mismatched
     baseline/capped job sets.
+    """
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """The observability layer was misused.
+
+    Examples: ending a span that is not the innermost open one, closing
+    a cycle with child spans still open, or registering two metrics of
+    different kinds under the same name.
     """

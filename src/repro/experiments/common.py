@@ -26,6 +26,7 @@ simulator's sharper version of the paper's "statistically identical
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.scenario import FaultScenario
 from repro.ha import HaConfig, HaController, HaStats, StateJournal
 from repro.metrics.summary import RunMetrics
+from repro.obs import Observability, ObsConfig
 from repro.power.meter import SystemPowerMeter
 from repro.power.hetero import make_power_model
 from repro.power.supply import PowerProvision
@@ -130,6 +132,10 @@ class ExperimentConfig:
     #: disabled by default, which reproduces the single-manager run bit
     #: for bit.
     ha: HaConfig = field(default_factory=HaConfig)
+    #: Observability layer (:mod:`repro.obs`): cycle tracing, metric
+    #: registry, flight recorder.  Off by default; enabling it never
+    #: changes any capping decision, only records them.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -242,6 +248,10 @@ class ExperimentResult:
         controlled_flags: Per-cycle flag series aligned with ``times``:
             1.0 when a manager completed the cycle, 0.0 for controller
             crash/downtime cycles (None unless HA was enabled).
+        observability: The run's :class:`~repro.obs.Observability`
+            facade — spans, metrics and flight dumps, already exported
+            to any configured paths (None unless ``config.obs`` enabled
+            something).
     """
 
     label: str
@@ -264,6 +274,7 @@ class ExperimentResult:
     degraded_flags: np.ndarray | None = None
     ha_stats: HaStats | None = None
     controlled_flags: np.ndarray | None = None
+    observability: Observability | None = None
 
 
 class _World:
@@ -271,6 +282,11 @@ class _World:
 
     def __init__(self, config: ExperimentConfig) -> None:
         self.config = config
+        #: The run's observability facade (None when everything is off,
+        #: so un-instrumented paths stay exactly as before).
+        self.obs: Observability | None = (
+            Observability(config.obs) if config.obs.enabled else None
+        )
         self.rng = RandomSource(seed=config.seed)
         self.cluster = Cluster.tianhe_1a(num_nodes=config.num_nodes)
         if config.privileged_nodes:
@@ -292,7 +308,7 @@ class _World:
             BackfillScheduler if config.scheduler == "backfill" else BatchScheduler
         )
         self.scheduler = scheduler_cls(
-            self.cluster, executor, KeepQueueFilledFeeder(generator)
+            self.cluster, executor, KeepQueueFilledFeeder(generator), obs=self.obs
         )
         self.now = 0.0
 
@@ -382,12 +398,13 @@ def run_experiment(
             adjust_every_cycles=config.adjust_every_cycles,
         )
         factory = PowerManager if manager_factory is None else manager_factory
-        manager_kwargs = {}
+        manager_kwargs: dict[str, Any] = {"obs": world.obs}
         if config.faults.enabled:
             manager_kwargs["fault_injector"] = FaultInjector(
                 config.faults,
                 world.rng,
                 num_nodes=config.num_nodes,
+                obs=world.obs,
             )
             manager_kwargs["degraded"] = config.degraded
         if config.ha.enabled:
@@ -402,6 +419,7 @@ def run_experiment(
             actuator = DvfsActuator(
                 world.cluster.state,
                 manager_kwargs.get("fault_injector"),
+                obs=world.obs,
             )
             recorder = TimeSeriesRecorder()
 
@@ -427,7 +445,7 @@ def run_experiment(
 
             manager = _make_manager()
             ha_controller = HaController(
-                manager, _make_manager, journal, config.ha
+                manager, _make_manager, journal, config.ha, obs=world.obs
             )
         else:
             ha_controller = None
@@ -482,6 +500,12 @@ def run_experiment(
             )
             assert reliability is not None
             reliability.accumulate(temps, config.control_period_s)
+
+    if world.obs is not None:
+        # End-of-run trigger: the flight recorder's last-N window, then
+        # every configured output file.
+        world.obs.trip("run_end", world.now)
+        world.obs.export()
 
     finished = [
         j
@@ -539,6 +563,7 @@ def run_experiment(
             degraded_flags=degraded_flags,
             ha_stats=ha_stats,
             controlled_flags=controlled_flags,
+            observability=world.obs,
         )
     return ExperimentResult(
         label=run_label,
@@ -557,4 +582,5 @@ def run_experiment(
         entered_red=False,
         peak_temperature_c=peak_temp,
         expected_failures=failures,
+        observability=world.obs,
     )

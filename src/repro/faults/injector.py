@@ -34,6 +34,7 @@ from repro.faults.models import (
     TelemetryFaultModel,
 )
 from repro.faults.scenario import FaultScenario
+from repro.obs.facade import Observability, resolve_obs
 from repro.sim.random import RandomSource
 
 __all__ = ["FaultInjector", "FaultStats"]
@@ -78,10 +79,17 @@ class FaultInjector:
         rng: The run's root random source (substreams are spawned from
             it by name).
         num_nodes: Cluster size (for the crash model).
+        obs: Observability facade; trips the flight recorder at fault
+            onset (meter outage start, node crash) and mirrors the fault
+            accounting as collected metric series.
     """
 
     def __init__(
-        self, scenario: FaultScenario, rng: RandomSource, num_nodes: int
+        self,
+        scenario: FaultScenario,
+        rng: RandomSource,
+        num_nodes: int,
+        obs: Observability | None = None,
     ) -> None:
         self.scenario = scenario
         self._telemetry = TelemetryFaultModel(
@@ -113,6 +121,41 @@ class FaultInjector:
         self._meter_up = True
         self._online = self._crash.online
         self._controller_crash_now = False
+        self._obs = resolve_obs(obs)
+        self._trips_on = self._obs.flight.enabled
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Mirror the fault accounting as collected metric series."""
+        obs = self._obs
+        if not obs.metrics_on:
+            return
+        reg = obs.metrics
+        reg.counter_func(
+            "repro_meter_outages_total",
+            "Distinct meter outage bursts",
+            lambda: float(self._meter.outages),
+        )
+        reg.counter_func(
+            "repro_meter_outage_cycles_total",
+            "Cycles spent with the meter down",
+            lambda: float(self._meter.outage_cycles),
+        )
+        reg.counter_func(
+            "repro_node_crashes_total",
+            "Monitoring-plane crash events",
+            lambda: float(self._crash.crashes),
+        )
+        reg.counter_func(
+            "repro_offline_node_cycles_total",
+            "Sum over cycles of the offline node count",
+            lambda: float(self._crash.offline_node_cycles),
+        )
+        reg.counter_func(
+            "repro_telemetry_dropout_samples_total",
+            "Telemetry samples lost to i.i.d. dropout (excludes offline)",
+            lambda: float(self._telemetry.dropped_samples),
+        )
 
     # ------------------------------------------------------------------
     # The cycle clock
@@ -136,9 +179,16 @@ class FaultInjector:
             return
         self._last_now = float(now)
         self._cycle += 1
+        meter_was_up = self._meter_up
+        crashes_before = self._crash.crashes
         self._meter_up = self._meter.step()
         self._online = self._crash.step()
         self._controller_crash_now = self._controller.step()
+        if self._trips_on:
+            if meter_was_up and not self._meter_up:
+                self._obs.trip("meter_outage", now)
+            if self._crash.crashes > crashes_before:
+                self._obs.trip("node_crash", now)
 
     def _require_cycle(self) -> None:
         if self._cycle < 0:

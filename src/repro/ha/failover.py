@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import PowerManagementError
 from repro.ha.config import HaConfig
 from repro.ha.journal import StateJournal
+from repro.obs.facade import Observability, resolve_obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.manager import CycleReport, PowerManager
@@ -89,6 +90,9 @@ class HaController:
         journal: The shared state journal.
         config: The :class:`~repro.ha.config.HaConfig` (must be
             ``enabled``).
+        obs: Observability facade; trips the flight recorder on every
+            controller crash and takeover, and mirrors the crash/
+            recovery accounting as collected metric series.
     """
 
     def __init__(
@@ -97,6 +101,7 @@ class HaController:
         manager_factory: Callable[[], "PowerManager"],
         journal: StateJournal,
         config: HaConfig,
+        obs: Observability | None = None,
     ) -> None:
         if not config.enabled:
             raise PowerManagementError("HaController requires HaConfig.enabled")
@@ -120,6 +125,37 @@ class HaController:
         self._warm_failovers = 0
         self._cold_restarts = 0
         self._downtime_cycles = 0
+        self._obs = resolve_obs(obs)
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Mirror the crash/recovery accounting as collected series."""
+        obs = self._obs
+        if not obs.metrics_on:
+            return
+        reg = obs.metrics
+        reg.counter_func(
+            "repro_controller_crashes_total",
+            "Controller crashes that struck",
+            lambda: float(self._crashes),
+        )
+        reg.counter_func(
+            "repro_failovers_total",
+            "Takeovers completed, by kind",
+            lambda: float(self._warm_failovers),
+            labels={"kind": "warm"},
+        )
+        reg.counter_func(
+            "repro_failovers_total",
+            "Takeovers completed, by kind",
+            lambda: float(self._cold_restarts),
+            labels={"kind": "cold"},
+        )
+        reg.counter_func(
+            "repro_downtime_cycles_total",
+            "Control cycles with no manager acting",
+            lambda: float(self._downtime_cycles),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -174,12 +210,14 @@ class HaController:
             self._crashes += 1
             self._up = False
             self._down_remaining = self._downtime_for_crash()
+            self._obs.trip("controller_crash", now)
         if self._down_remaining > 0:
             self._down_remaining -= 1
             self._downtime_cycles += 1
             return None
         if not self._up:
             self._take_over()
+            self._obs.trip("failover", now)
         return self._manager.control_cycle(now)
 
     def _crash_strikes(self, now: float) -> bool:

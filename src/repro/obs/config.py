@@ -1,0 +1,99 @@
+"""Configuration of the observability layer.
+
+One :class:`ObsConfig` switches every instrument the simulator carries —
+the per-cycle span tracer, the metric registry and the flight-recorder
+ring buffer — and names the files the run's exporters write.  The
+default configuration disables everything; a disabled layer is wired
+through the control loop as shared no-op objects, so a run with the
+default config is bit-for-bit (and, within measurement noise,
+cycle-time-for-cycle-time) the uninstrumented run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ObsConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """All knobs of the observability layer.
+
+    Args:
+        trace: Keep the full run's cycle span trees in memory and allow
+            exporting them as JSON lines (see
+            :func:`repro.obs.export.write_trace_jsonl`).
+        metrics: Maintain the metric registry (counters, gauges,
+            histograms; exported as Prometheus text).
+        flight_recorder_cycles: Capacity ``N`` of the flight-recorder
+            ring buffer, in control cycles; ``0`` disables the recorder.
+            The last ``N`` cycle records are dumped whenever a trigger
+            trips (fault onset, failover, red-state entry) and once at
+            the end of the run.
+        trace_path: File the whole-run trace JSONL is written to
+            (``None`` = keep in memory only).
+        metrics_path: File the Prometheus text exposition is written to.
+        flight_path: File the flight-recorder dumps are written to.
+    """
+
+    trace: bool = False
+    metrics: bool = False
+    flight_recorder_cycles: int = 0
+    trace_path: str | None = None
+    metrics_path: str | None = None
+    flight_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.flight_recorder_cycles < 0:
+            raise ConfigurationError(
+                "flight_recorder_cycles must be non-negative"
+            )
+        if self.trace_path is not None and not self.trace:
+            raise ConfigurationError("trace_path requires trace=True")
+        if self.metrics_path is not None and not self.metrics:
+            raise ConfigurationError("metrics_path requires metrics=True")
+        if self.flight_path is not None and self.flight_recorder_cycles == 0:
+            raise ConfigurationError(
+                "flight_path requires flight_recorder_cycles > 0"
+            )
+
+    @property
+    def tracing(self) -> bool:
+        """Whether cycle span trees must be built at all.
+
+        The flight recorder stores serialized cycle spans, so tracing
+        machinery runs when either the whole-run trace or the ring
+        buffer is on.
+        """
+        return self.trace or self.flight_recorder_cycles > 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any instrument is switched on."""
+        return self.tracing or self.metrics
+
+    @classmethod
+    def off(cls) -> "ObsConfig":
+        """The default: everything disabled."""
+        return cls()
+
+    @classmethod
+    def full(
+        cls,
+        flight_recorder_cycles: int = 64,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+        flight_path: str | None = None,
+    ) -> "ObsConfig":
+        """Everything on — the debugging configuration."""
+        return cls(
+            trace=True,
+            metrics=True,
+            flight_recorder_cycles=flight_recorder_cycles,
+            trace_path=trace_path,
+            metrics_path=metrics_path,
+            flight_path=flight_path,
+        )

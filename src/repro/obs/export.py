@@ -1,0 +1,90 @@
+"""Exporters: trace JSONL, flight-recorder JSONL, Prometheus text.
+
+All exporters are deterministic byte-for-byte for a deterministic run:
+JSON objects keep the span/dict insertion order (no key sorting needed),
+floats serialize via ``repr`` (shortest round-trip), timestamps are sim
+time, and files are written with ``\\n`` newlines regardless of
+platform.  The golden-trace regression test stands on exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.flight import FlightDump
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "jsonl_line",
+    "trace_jsonl_lines",
+    "write_trace_jsonl",
+    "flight_jsonl_lines",
+    "write_flight_jsonl",
+    "write_metrics_prometheus",
+]
+
+
+def jsonl_line(record: dict[str, object]) -> str:
+    """One compact, deterministic JSON line (no trailing newline)."""
+    return json.dumps(record, separators=(",", ":"), allow_nan=False)
+
+
+def trace_jsonl_lines(spans: Iterable[Span]) -> list[str]:
+    """One JSON line per cycle root span."""
+    return [jsonl_line(span.to_dict()) for span in spans]
+
+
+def write_trace_jsonl(spans: Iterable[Span], path: str | Path) -> int:
+    """Write the whole-run trace as JSON lines; returns lines written."""
+    lines = trace_jsonl_lines(spans)
+    _write_lines(path, lines)
+    return len(lines)
+
+
+def flight_jsonl_lines(dumps: Iterable[FlightDump]) -> list[str]:
+    """Serialize flight-recorder dumps as JSON lines.
+
+    Each dump contributes a header line (``event: "dump"`` with the
+    trigger reason, sim time and buffered-cycle count) followed by one
+    ``event: "cycle"`` line per buffered cycle, oldest first.
+    """
+    lines: list[str] = []
+    for dump in dumps:
+        lines.append(
+            jsonl_line(
+                {
+                    "event": "dump",
+                    "reason": dump.reason,
+                    "t": dump.time,
+                    "cycles": len(dump.records),
+                }
+            )
+        )
+        for record in dump.records:
+            lines.append(jsonl_line({"event": "cycle", **record}))
+    return lines
+
+
+def write_flight_jsonl(
+    dumps: Iterable[FlightDump], path: str | Path
+) -> int:
+    """Write flight-recorder dumps as JSON lines; returns lines written."""
+    lines = flight_jsonl_lines(dumps)
+    _write_lines(path, lines)
+    return len(lines)
+
+
+def write_metrics_prometheus(
+    registry: MetricRegistry, path: str | Path
+) -> None:
+    """Write the registry's Prometheus text exposition to ``path``."""
+    Path(path).write_text(registry.to_prometheus_text(), encoding="utf-8")
+
+
+def _write_lines(path: str | Path, lines: list[str]) -> None:
+    text = "".join(line + "\n" for line in lines)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)

@@ -1,0 +1,143 @@
+"""The observability facade wired through the control loop.
+
+One :class:`Observability` object bundles the three instruments behind
+a single :class:`~repro.obs.config.ObsConfig`:
+
+* :attr:`Observability.tracer` — the per-cycle span tracer;
+* :attr:`Observability.metrics` — the metric registry;
+* :attr:`Observability.flight` — the flight-recorder ring buffer.
+
+Every instrumented subsystem takes an ``obs`` argument defaulting to
+``None`` and resolves it with :func:`resolve_obs`, which substitutes the
+shared disabled facade — so un-instrumented construction (tests,
+benchmarks, library users) costs nothing and changes nothing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.config import ObsConfig
+from repro.obs.export import (
+    write_flight_jsonl,
+    write_metrics_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightDump, FlightRecorder
+from repro.obs.metrics import NULL_REGISTRY, MetricRegistry
+from repro.obs.trace import NULL_TRACER, CycleTracer, Span
+from repro.types import Seconds
+
+__all__ = ["Observability", "resolve_obs"]
+
+
+class Observability:
+    """All observability instruments of one run, behind one config.
+
+    Args:
+        config: What to switch on; ``None`` disables everything.
+    """
+
+    def __init__(self, config: ObsConfig | None = None) -> None:
+        self.config = config if config is not None else ObsConfig()
+        cfg = self.config
+        #: Whole-run cycle span trees (populated only when ``cfg.trace``).
+        self.spans: list[Span] = []
+        if cfg.flight_recorder_cycles > 0:
+            # The ring buffers Span objects and serializes only when a
+            # dump trips — recording must stay cheap every cycle.
+            self.flight: FlightRecorder = FlightRecorder(
+                cfg.flight_recorder_cycles,
+                serializer=lambda span: span.to_dict(),  # type: ignore[attr-defined]
+            )
+        else:
+            self.flight = NULL_FLIGHT_RECORDER
+        if cfg.tracing:
+            self.tracer = CycleTracer(enabled=True)
+            if cfg.trace:
+                self.tracer.add_sink(self.spans.append)
+                if self.flight.enabled:
+                    self.tracer.add_sink(self.flight.record)
+            elif self.flight.enabled:
+                # Ring-only mode: nothing outside the ring retains the
+                # trees, so spans evicted from the ring go back to the
+                # tracer's pool and steady-state tracing allocates
+                # (almost) nothing.  Dumps are immune — they serialize
+                # at trip time, before eviction can touch their cycles.
+                flight = self.flight
+                tracer = self.tracer
+
+                def _record_and_recycle(root: Span) -> None:
+                    evicted = flight.record(root)
+                    if evicted is not None:
+                        tracer.recycle(evicted)  # type: ignore[arg-type]
+
+                self.tracer.add_sink(_record_and_recycle)
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = (
+            MetricRegistry(enabled=True) if cfg.metrics else NULL_REGISTRY
+        )
+
+    # ------------------------------------------------------------------
+    # Cheap mode flags for hot-path guards
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """Whether span trees are being built this run."""
+        return self.tracer.enabled
+
+    @property
+    def metrics_on(self) -> bool:
+        """Whether the metric registry is live this run."""
+        return self.metrics.enabled
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any instrument is live this run."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    # ------------------------------------------------------------------
+    # Flight-recorder triggers
+    # ------------------------------------------------------------------
+    def trip(self, reason: str, now: Seconds) -> FlightDump | None:
+        """Trip the flight recorder (no-op when the ring is disabled)."""
+        if not self.flight.enabled:
+            return None
+        return self.flight.trip(reason, now)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self) -> list[str]:
+        """Write every configured output file; returns the paths written."""
+        written: list[str] = []
+        cfg = self.config
+        if cfg.trace_path is not None:
+            write_trace_jsonl(self.spans, cfg.trace_path)
+            written.append(cfg.trace_path)
+        if cfg.metrics_path is not None:
+            write_metrics_prometheus(self.metrics, cfg.metrics_path)
+            written.append(cfg.metrics_path)
+        if cfg.flight_path is not None:
+            write_flight_jsonl(self.flight.dumps, cfg.flight_path)
+            written.append(cfg.flight_path)
+        return written
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared everything-off facade (no allocation)."""
+        return _NULL_OBS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Observability trace={self.config.trace} "
+            f"metrics={self.config.metrics} "
+            f"flight={self.config.flight_recorder_cycles}>"
+        )
+
+
+_NULL_OBS = Observability(ObsConfig())
+
+
+def resolve_obs(obs: "Observability | None") -> "Observability":
+    """``obs`` itself, or the shared disabled facade for ``None``."""
+    return obs if obs is not None else _NULL_OBS

@@ -1,0 +1,139 @@
+"""The flight recorder: a bounded ring of the last N cycle records.
+
+Like an aircraft flight recorder, the ring holds the most recent ``N``
+control cycles' span trees (as JSON-ready dicts).  When a trigger trips
+— fault onset, controller crash, failover, red-state entry, or the end
+of the run — the recorder snapshots the ring into a **dump**: the
+trigger's reason and sim time plus the buffered cycles, serialized as
+JSON lines by :func:`repro.obs.export.write_flight_jsonl`.
+
+The ring never exceeds its capacity (the oldest cycle is evicted on
+overflow) and dumps are cheap snapshots — the ring keeps recording
+through and after a dump, so two triggers in close succession each
+capture their own view of the recent past.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.types import Seconds
+
+__all__ = ["FlightDump", "FlightRecorder"]
+
+
+@dataclass(frozen=True)
+class FlightDump:
+    """One tripped dump: why, when, and the buffered cycle records."""
+
+    reason: str
+    time: Seconds
+    records: tuple[dict[str, object], ...]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of cycle records with snapshot-on-trigger.
+
+    Recording is the hot path (once per control cycle), so the ring
+    holds whatever object the caller hands it and serialization is
+    deferred to :meth:`trip` time — dumps are rare, cycles are not.
+
+    Args:
+        capacity: Maximum cycles held (the last N); must be positive —
+            use :data:`NULL_FLIGHT_RECORDER` (or ``ObsConfig`` with
+            ``flight_recorder_cycles=0``) to disable recording.
+        serializer: Applied to each buffered record when a dump trips
+            (e.g. ``Span.to_dict``); ``None`` stores JSON-ready dicts
+            directly.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        serializer: Callable[[object], dict[str, object]] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                "flight-recorder capacity must be >= 1 cycle"
+            )
+        self._ring: deque[object] = deque(maxlen=capacity)
+        self._capacity = int(capacity)
+        self._serializer = serializer
+        self._recorded = 0
+        self._dumps: list[FlightDump] = []
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Ring capacity in cycles."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded_total(self) -> int:
+        """Cycles ever recorded (evicted ones included)."""
+        return self._recorded
+
+    @property
+    def dumps(self) -> tuple[FlightDump, ...]:
+        """Every dump tripped so far, in trip order."""
+        return tuple(self._dumps)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, cycle_record: object) -> object | None:
+        """Append one cycle record, evicting the oldest at capacity.
+
+        Returns the evicted record (``None`` below capacity) so the
+        caller can pool it — the tracer recycles evicted span trees.
+        """
+        ring = self._ring
+        evicted: object | None = None
+        if len(ring) == self._capacity:
+            evicted = ring.popleft()
+        ring.append(cycle_record)
+        self._recorded += 1
+        return evicted
+
+    def snapshot(self) -> tuple[dict[str, object], ...]:
+        """The buffered records, serialized, oldest first.
+
+        Does not clear the ring.
+        """
+        serializer = self._serializer
+        if serializer is None:
+            return tuple(self._ring)  # type: ignore[arg-type]
+        return tuple(serializer(r) for r in self._ring)
+
+    def trip(self, reason: str, now: Seconds) -> FlightDump:
+        """Snapshot the ring into a dump tagged ``reason`` at ``now``."""
+        dump = FlightDump(reason=reason, time=float(now), records=self.snapshot())
+        self._dumps.append(dump)
+        return dump
+
+
+class _NullFlightRecorder(FlightRecorder):
+    """The shared do-nothing recorder wired when the ring is disabled."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+        self.enabled = False
+
+    def record(self, cycle_record: object) -> object | None:
+        return None
+
+    def trip(self, reason: str, now: Seconds) -> FlightDump:
+        return FlightDump(reason=reason, time=float(now), records=())
+
+
+#: The shared disabled flight recorder.
+NULL_FLIGHT_RECORDER: FlightRecorder = _NullFlightRecorder()

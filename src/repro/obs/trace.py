@@ -1,0 +1,357 @@
+"""Cycle tracing: nested spans with deterministic sim-time timestamps.
+
+Each control cycle the instrumented :class:`~repro.core.manager.
+PowerManager` opens one root ``cycle`` span and a child span per phase
+(``collect`` → ``estimate`` → ``classify`` → ``select_targets`` →
+``actuate`` → ``journal``).  Spans carry *simulated* timestamps only —
+never the host wall clock — plus explicit attributes (power, state,
+thresholds, target-set size, fencing epoch, degraded flags), so two runs
+from the same seed emit byte-identical traces.
+
+Within one cycle every span shares the cycle's sim time; ordering is
+carried by a monotone per-tracer sequence number instead of sub-cycle
+timestamps, which keeps the trace deterministic and free of wall-clock
+reads (reprolint RL102).
+
+A disabled tracer is a shared no-op: :meth:`CycleTracer.begin_cycle`
+returns the null span and :meth:`CycleTracer.span` a reusable null
+context manager, so the instrumented call sites cost one attribute check
+and a handful of no-op method calls per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Union
+
+from repro.errors import ObservabilityError
+from repro.types import Seconds
+
+__all__ = ["AttrValue", "Span", "SpanHandle", "CycleTracer", "NULL_SPAN"]
+
+#: Values a span attribute may carry (JSON scalars only, so the trace
+#: serializes canonically).
+AttrValue = Union[bool, int, float, str, None]
+
+
+class Span:
+    """One node of a cycle's span tree.
+
+    Attributes are insertion-ordered (Python dict semantics), which the
+    JSONL exporters rely on for byte-stable output.
+    """
+
+    __slots__ = ("name", "time", "seq", "attrs", "_children", "open")
+
+    def __init__(self, name: str, time: Seconds, seq: int) -> None:
+        self.name = name
+        self.time = time
+        self.seq = seq
+        self.attrs: dict[str, AttrValue] = {}
+        # Lazily created: most spans are leaves, and the tracer runs
+        # once per control cycle — every allocation counts.
+        self._children: list[Span] | None = None
+        self.open = True
+
+    @property
+    def children(self) -> list["Span"]:
+        """Child spans in open order (empty for a leaf)."""
+        return self._children if self._children is not None else []
+
+    def set(self, key: str, value: AttrValue) -> None:
+        """Attach one attribute (overwrites a previous value)."""
+        self.attrs[key] = value
+
+    def set_many(self, **attrs: AttrValue) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, object]:
+        """The span tree as JSON-ready nested dicts (deterministic order)."""
+        record: dict[str, object] = {
+            "name": self.name,
+            "t": self.time,
+            "seq": self.seq,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self._children:
+            record["children"] = [c.to_dict() for c in self._children]
+        return record
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first pre-order."""
+        yield self
+        if self._children:
+            for child in self._children:
+                yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name!r} t={self.time} seq={self.seq} "
+            f"children={len(self.children)}>"
+        )
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("", 0.0, -1)
+        self.open = False
+
+    def set(self, key: str, value: AttrValue) -> None:
+        return None
+
+    def set_many(self, **attrs: AttrValue) -> None:
+        return None
+
+
+#: The span a disabled tracer hands out everywhere.
+NULL_SPAN: Span = _NullSpan()
+
+
+class SpanHandle:
+    """Context manager produced by :meth:`CycleTracer.span`.
+
+    One shared handle per tracer, rebound on every :meth:`CycleTracer.
+    span` call — the hot path allocates nothing per span.  ``__enter__``
+    binds the span that was just opened; ``__exit__`` closes the
+    innermost open span, which under ``with`` discipline (LIFO) is
+    always the right one.  Enter a handle immediately — holding it
+    across another ``span()`` call rebinds it.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "CycleTracer | None", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(
+        self, exc_type: object, exc: object, tb: object
+    ) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        stack = tracer._stack
+        if len(stack) <= 1:
+            raise ObservabilityError(
+                "span exit with no open child span (exited twice?)"
+            )
+        child = stack.pop()
+        child.open = False
+
+
+_NULL_HANDLE = SpanHandle(None, NULL_SPAN)
+
+
+class CycleTracer:
+    """Builds one span tree per control cycle and feeds it to sinks.
+
+    Args:
+        enabled: A disabled tracer performs no work and hands out the
+            shared null span / null context manager.
+        sinks: Callables receiving each completed cycle's root span
+            (the flight recorder's ring append, the in-memory whole-run
+            trace, ...).  More can be attached with :meth:`add_sink`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sinks: tuple[Callable[[Span], None], ...] = (),
+    ) -> None:
+        self.enabled = enabled
+        self._sinks: list[Callable[[Span], None]] = list(sinks)
+        self._stack: list[Span] = []
+        self._seq = 0
+        self._cycles_traced = 0
+        self._handle = SpanHandle(self, NULL_SPAN)
+        self._free: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 between cycles)."""
+        return len(self._stack)
+
+    @property
+    def cycles_traced(self) -> int:
+        """Completed cycle span trees emitted so far."""
+        return self._cycles_traced
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Attach another consumer of completed cycle spans."""
+        self._sinks.append(sink)
+
+    def recycle(self, root: Span) -> None:
+        """Return a completed cycle tree to the allocation pool.
+
+        Steady-state tracing then allocates (almost) nothing per cycle:
+        :meth:`begin_cycle` and :meth:`span` reuse the pooled spans —
+        and their attrs dicts and children lists — instead of building
+        fresh ones, which also keeps the garbage collector quiet (no
+        per-cycle promotion churn from trees retained by the flight
+        ring).  The caller must guarantee nothing still references any
+        span in the tree; the facade only recycles trees evicted from
+        the flight-recorder ring when no whole-run trace is retained.
+        """
+        if not self.enabled:
+            return
+        pending = [root]
+        free = self._free
+        while pending:
+            span = pending.pop()
+            span.attrs.clear()
+            kids = span._children
+            if kids:
+                pending.extend(kids)
+                kids.clear()
+            free.append(span)
+
+    def _new_span(self, name: str, time: Seconds, seq: int) -> Span:
+        free = self._free
+        if free:
+            span = free.pop()
+            span.name = name
+            span.time = time
+            span.seq = seq
+            span.open = True
+            return span
+        return Span(name, time, seq)
+
+    # ------------------------------------------------------------------
+    # Building the tree
+    # ------------------------------------------------------------------
+    def begin_cycle(self, now: Seconds) -> Span:
+        """Open the root span of one control cycle.
+
+        Raises:
+            ObservabilityError: if the previous cycle was never ended.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if self._stack:
+            raise ObservabilityError(
+                "begin_cycle with a span still open; end_cycle first"
+            )
+        root = self._new_span("cycle", now, self._seq)
+        self._seq += 1
+        self._stack.append(root)
+        return root
+
+    def span(self, name: str) -> SpanHandle:
+        """Open a child span of the innermost open span (context manager)."""
+        if not self.enabled:
+            return _NULL_HANDLE
+        handle = self._handle
+        handle._span = self.open_span(name)
+        return handle
+
+    def open_span(self, name: str) -> Span:
+        """Open a child span without a context manager (hot path).
+
+        Identical to :meth:`span` but returns the :class:`Span` itself;
+        the caller closes it with :meth:`close_span`.  The instrumented
+        control loop uses this form — guarded by one ``if tracing:``
+        check — so a disabled tracer costs literally nothing there, and
+        an enabled one skips the ``with``-protocol dispatch.  Exception
+        safety comes from :meth:`abort_cycle` in the loop's handler,
+        not from ``finally`` blocks.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack
+        if not stack:
+            raise ObservabilityError(
+                f"span {name!r} opened outside a cycle; begin_cycle first"
+            )
+        child = self._new_span(name, stack[0].time, self._seq)
+        self._seq += 1
+        parent = stack[-1]
+        if parent._children is None:
+            parent._children = [child]
+        else:
+            parent._children.append(child)
+        stack.append(child)
+        return child
+
+    def close_span(self) -> None:
+        """Close the innermost open span (pair of :meth:`open_span`).
+
+        Raises:
+            ObservabilityError: if only the root (or nothing) is open.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack
+        if len(stack) <= 1:
+            raise ObservabilityError(
+                "close_span with no open child span (closed twice?)"
+            )
+        child = stack.pop()
+        child.open = False
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span``; it must be the innermost open span.
+
+        Raises:
+            ObservabilityError: on out-of-order closing.
+        """
+        if not self.enabled:
+            return
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"end_span({span.name!r}) out of order: innermost open "
+                "span differs"
+            )
+        span.open = False
+        self._stack.pop()
+
+    def abort_cycle(self) -> None:
+        """Discard the open cycle (exception unwound mid-cycle).
+
+        Closes every open span without delivering anything to sinks and
+        without counting the cycle, so the next :meth:`begin_cycle`
+        starts clean.  A no-op when no cycle is open.
+        """
+        if not self.enabled:
+            return
+        while self._stack:
+            self._stack.pop().open = False
+
+    def end_cycle(self) -> Span | None:
+        """Close the root span and deliver the tree to every sink.
+
+        Returns the completed root span (``None`` when disabled).
+
+        Raises:
+            ObservabilityError: if child spans are still open, or no
+                cycle was begun.
+        """
+        if not self.enabled:
+            return None
+        if not self._stack:
+            raise ObservabilityError("end_cycle without begin_cycle")
+        if len(self._stack) > 1:
+            names = ", ".join(s.name for s in self._stack[1:])
+            raise ObservabilityError(
+                f"end_cycle with child spans still open: {names}"
+            )
+        root = self._stack.pop()
+        root.open = False
+        self._cycles_traced += 1
+        for sink in self._sinks:
+            sink(root)
+        return root
+
+
+#: The shared disabled tracer (no allocation per run).
+NULL_TRACER = CycleTracer(enabled=False)

@@ -29,6 +29,7 @@ contract); the ablation bench compares power behaviour under both.
 from __future__ import annotations
 
 from repro.cluster.cluster import Cluster
+from repro.obs.facade import Observability, resolve_obs
 from repro.scheduler.feeder import Feeder
 from repro.scheduler.scheduler import BatchScheduler
 from repro.workload.executor import JobExecutor
@@ -41,10 +42,21 @@ class BackfillScheduler(BatchScheduler):
     """FCFS with EASY (reservation-preserving) backfill."""
 
     def __init__(
-        self, cluster: Cluster, executor: JobExecutor, feeder: Feeder
+        self,
+        cluster: Cluster,
+        executor: JobExecutor,
+        feeder: Feeder,
+        obs: Observability | None = None,
     ) -> None:
-        super().__init__(cluster, executor, feeder)
+        super().__init__(cluster, executor, feeder, obs=obs)
         self._backfilled_count = 0
+        resolved = resolve_obs(obs)
+        if resolved.metrics_on:
+            resolved.metrics.counter_func(
+                "repro_jobs_backfilled_total",
+                "Jobs started out of FIFO order by the backfill rule",
+                lambda: float(self._backfilled_count),
+            )
 
     @property
     def backfilled_count(self) -> int:

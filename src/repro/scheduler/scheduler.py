@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.errors import SchedulingError
+from repro.obs.facade import Observability, resolve_obs
 from repro.scheduler.allocator import NodeAllocator
 from repro.scheduler.feeder import Feeder
 from repro.scheduler.queue import JobQueue
@@ -44,10 +45,16 @@ class BatchScheduler:
         cluster: The machine.
         executor: Advances running jobs and writes their load.
         feeder: Supplies arrivals (see :mod:`repro.scheduler.feeder`).
+        obs: Observability facade; when its metric registry is live the
+            job-lifecycle statistics are mirrored as collected series.
     """
 
     def __init__(
-        self, cluster: Cluster, executor: JobExecutor, feeder: Feeder
+        self,
+        cluster: Cluster,
+        executor: JobExecutor,
+        feeder: Feeder,
+        obs: Observability | None = None,
     ) -> None:
         self._cluster = cluster
         self._executor = executor
@@ -57,6 +64,33 @@ class BatchScheduler:
         self._running: dict[int, Job] = {}
         self._finished: list[Job] = []
         self._started_count = 0
+        self._register_metrics(resolve_obs(obs))
+
+    def _register_metrics(self, obs: Observability) -> None:
+        """Mirror job-lifecycle statistics as collected metric series."""
+        if not obs.metrics_on:
+            return
+        reg = obs.metrics
+        reg.counter_func(
+            "repro_jobs_started_total",
+            "Jobs ever started",
+            lambda: float(self._started_count),
+        )
+        reg.counter_func(
+            "repro_jobs_finished_total",
+            "Jobs completed so far",
+            lambda: float(len(self._finished)),
+        )
+        reg.gauge_func(
+            "repro_jobs_running",
+            "Jobs currently running",
+            lambda: float(len(self._running)),
+        )
+        reg.gauge_func(
+            "repro_queue_depth",
+            "Jobs waiting in the scheduler queue",
+            lambda: float(len(self._queue)),
+        )
 
     # ------------------------------------------------------------------
     # Introspection

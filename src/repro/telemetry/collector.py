@@ -22,6 +22,7 @@ every age is zero.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,7 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.errors import TelemetryError
 from repro.faults.injector import FaultInjector
+from repro.obs.facade import Observability, resolve_obs
 from repro.telemetry.agent import AgentPool
 from repro.telemetry.cost import ManagementCostModel
 
@@ -124,6 +126,9 @@ class TelemetryCollector:
         fault_injector: Optional fault injector; when present, each
             sweep asks it which samples were lost and serves those nodes
             from the last-known-good cache.
+        obs: Observability facade; when its metric registry is live the
+            sweep statistics are mirrored as collected series and each
+            sweep's worst cache age feeds a histogram.
     """
 
     def __init__(
@@ -132,6 +137,7 @@ class TelemetryCollector:
         candidate_ids: np.ndarray,
         cost_model: ManagementCostModel | None = None,
         fault_injector: FaultInjector | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self._pool = AgentPool(state, candidate_ids)
         self._cost_model = cost_model
@@ -152,6 +158,41 @@ class TelemetryCollector:
         self._lkg_nic = state.nic_frac[ids].copy()
         self._lkg_job = state.job_id[ids].copy()
         self._lkg_time = np.full(len(ids), -np.inf)
+        self._register_metrics(resolve_obs(obs))
+
+    def _register_metrics(self, obs: Observability) -> None:
+        """Mirror sweep statistics as collected metric series.
+
+        Re-registration (a successor manager's fresh collector after
+        failover) rebinds the callbacks to the live collector.
+        """
+        self._metrics_on = obs.metrics_on
+        # Resolved once: the registry hands back the shared no-op
+        # histogram when disabled, so collect() can call observe()
+        # unconditionally under the _metrics_on guard.
+        self._age_hist = obs.metrics.histogram(
+            "repro_lkg_age_seconds",
+            "Worst last-known-good cache age per sweep, seconds",
+            buckets=(0.0, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0),
+        )
+        if not obs.metrics_on:
+            return
+        reg = obs.metrics
+        reg.counter_func(
+            "repro_telemetry_collections_total",
+            "Telemetry sweeps performed",
+            lambda: float(self._collections),
+        )
+        reg.counter_func(
+            "repro_telemetry_dropped_samples_total",
+            "Samples served from the last-known-good cache",
+            lambda: float(self._dropped_samples),
+        )
+        reg.gauge_func(
+            "repro_management_cost_seconds",
+            "Modelled management-node CPU time spent, seconds",
+            lambda: float(self._accumulated_cost_s),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -254,6 +295,15 @@ class TelemetryCollector:
         self._collections += 1
         if self._cost_model is not None:
             self._accumulated_cost_s += float(self._cost_model.cycle_cost_s(self.size))
+        if self._metrics_on and snapshot.size > 0:
+            if self._injector is None:
+                # Fault-free sweeps have age ≡ 0 by construction; skip
+                # the reduction on the hot path.
+                self._age_hist.observe(0.0)
+            else:
+                worst = float(snapshot.age.max())
+                if math.isfinite(worst):
+                    self._age_hist.observe(worst)
         return snapshot
 
     # ------------------------------------------------------------------

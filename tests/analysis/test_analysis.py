@@ -138,3 +138,39 @@ def test_bootstrap_ci_validation():
         bootstrap_ci(np.ones(3), confidence=1.5)
     with pytest.raises(MetricError):
         bootstrap_ci(np.ones(3), resamples=0)
+
+
+def test_ascii_chart_title_and_axis_labels():
+    x = np.array([0.0, 10.0])
+    out = ascii_chart(x, {"s": np.array([1.0, 2.0])}, title="my chart")
+    lines = out.splitlines()
+    assert lines[0] == "my chart"
+    assert "10" in lines[-2]  # x-axis extremes under the frame
+    assert "* s" in lines[-1]  # legend carries the marker
+
+
+def test_ascii_chart_single_point_degenerate_ranges():
+    out = ascii_chart(np.array([5.0]), {"s": np.array([3.0])})
+    assert "*" in out  # both axes had zero span and were widened
+
+
+def test_ascii_chart_marker_wraps_past_eight_series():
+    x = np.array([0.0, 1.0])
+    series = {f"s{i}": np.array([float(i), float(i)]) for i in range(9)}
+    out = ascii_chart(x, series)
+    legend = out.splitlines()[-1]
+    # Ninth series reuses the first marker.
+    assert legend.count("* ") == 2
+
+
+def test_ascii_histogram_title_and_counts():
+    out = ascii_histogram(np.array([1.0, 1.0, 2.0]), bins=2, title="hist")
+    lines = out.splitlines()
+    assert lines[0] == "hist"
+    assert lines[1].endswith(" 2")
+    assert lines[2].endswith(" 1")
+
+
+def test_ascii_histogram_identical_values():
+    out = ascii_histogram(np.full(4, 7.0), bins=3)
+    assert " 4" in out

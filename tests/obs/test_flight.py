@@ -1,0 +1,75 @@
+"""Unit tests for the flight-recorder ring buffer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import NULL_FLIGHT_RECORDER, FlightRecorder
+
+
+def _cycle(i):
+    return {"name": "cycle", "t": float(i), "seq": i}
+
+
+class TestFlightRecorder:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(0)
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(-3)
+
+    def test_ring_never_exceeds_capacity(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(10):
+            rec.record(_cycle(i))
+            assert len(rec) <= rec.capacity
+        assert rec.recorded_total == 10
+        # Oldest-first, only the last three survive.
+        assert [r["seq"] for r in rec.snapshot()] == [7, 8, 9]
+
+    def test_trip_snapshots_without_clearing(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(_cycle(0))
+        rec.record(_cycle(1))
+        dump = rec.trip("red_state_entry", now=30.0)
+        assert dump.reason == "red_state_entry"
+        assert dump.time == pytest.approx(30.0)
+        assert [r["seq"] for r in dump.records] == [0, 1]
+        # The ring keeps recording through the dump.
+        rec.record(_cycle(2))
+        assert len(rec) == 3
+        assert rec.dumps == (dump,)
+
+    def test_back_to_back_trips_see_their_own_past(self):
+        rec = FlightRecorder(capacity=2)
+        rec.record(_cycle(0))
+        first = rec.trip("meter_outage", now=10.0)
+        rec.record(_cycle(1))
+        rec.record(_cycle(2))
+        second = rec.trip("failover", now=20.0)
+        assert [r["seq"] for r in first.records] == [0]
+        assert [r["seq"] for r in second.records] == [1, 2]
+        assert [d.reason for d in rec.dumps] == ["meter_outage", "failover"]
+
+    def test_dump_records_are_immutable_snapshots(self):
+        rec = FlightRecorder(capacity=2)
+        rec.record(_cycle(0))
+        dump = rec.trip("run_end", now=0.0)
+        assert isinstance(dump.records, tuple)
+        rec.record(_cycle(1))
+        rec.record(_cycle(2))
+        assert [r["seq"] for r in dump.records] == [0]
+
+
+class TestNullFlightRecorder:
+    def test_disabled_flag(self):
+        assert NULL_FLIGHT_RECORDER.enabled is False
+
+    def test_records_nothing(self):
+        NULL_FLIGHT_RECORDER.record(_cycle(0))
+        assert len(NULL_FLIGHT_RECORDER) == 0
+        assert NULL_FLIGHT_RECORDER.recorded_total == 0
+
+    def test_trip_returns_empty_dump_and_keeps_none(self):
+        dump = NULL_FLIGHT_RECORDER.trip("whatever", now=1.0)
+        assert dump.records == ()
+        assert NULL_FLIGHT_RECORDER.dumps == ()

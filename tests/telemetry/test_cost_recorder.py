@@ -119,3 +119,41 @@ def test_cache_invalidated_on_append():
     assert len(first) == 1
     rec.record("p", 1.0, 2.0)
     assert len(rec.values("p")) == 2
+
+
+def test_cost_rejects_negative_node_counts():
+    model = ManagementCostModel()
+    with pytest.raises(ConfigurationError):
+        model.cycle_cost_s(-1)
+    with pytest.raises(ConfigurationError):
+        model.cycle_cost_s(np.array([0, 4, -2]))
+
+
+def test_cycle_cost_array_path_matches_scalars():
+    model = ManagementCostModel(fixed_ms=2.0, per_node_ms=0.5, pairwise_us=7.0)
+    sizes = np.array([0, 1, 16, 128])
+    vec = model.cycle_cost_s(sizes)
+    assert isinstance(vec, np.ndarray)
+    for i, n in enumerate(sizes):
+        assert vec[i] == pytest.approx(model.cycle_cost_s(int(n)))
+
+
+def test_saturation_size_with_all_zero_coefficients():
+    # Fixed cost alone already saturates the node: size 0.
+    model = ManagementCostModel(
+        fixed_ms=2000.0, per_node_ms=0.0, pairwise_us=0.0, cycle_period_s=1.0
+    )
+    assert model.saturation_size() == 0
+    # Nothing ever saturates: effectively infinite.
+    never = ManagementCostModel(
+        fixed_ms=1.0, per_node_ms=0.0, pairwise_us=0.0, cycle_period_s=1.0
+    )
+    assert never.saturation_size() > 10**9
+
+
+def test_saturation_size_is_tight():
+    model = ManagementCostModel()
+    n = model.saturation_size()
+    assert model.cycle_cost_s(n) >= model.cycle_period_s - 1e-9
+    if n > 0:
+        assert model.cycle_cost_s(n - 1) < model.cycle_period_s
