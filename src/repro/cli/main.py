@@ -28,10 +28,11 @@ from repro.experiments import (
     run_fig7,
 )
 from repro.experiments.ablations import policy_zoo
-from repro.faults import FaultScenario
+from repro.faults import CorruptionScenario, FaultScenario
 from repro.ha import HaConfig
 from repro.metrics import compare_runs
 from repro.obs import ObsConfig
+from repro.telemetry import IntegrityConfig
 from repro.units import MICRO, fmt_power
 
 __all__ = ["build_parser", "main"]
@@ -59,8 +60,29 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     if args.steady_green is not None:
         overrides["steady_green_cycles"] = args.steady_green
     scenario = _scenario_from_args(args)
+    corruption = _corruption_from_args(args)
+    if getattr(args, "no_faults", False):
+        # --no-faults is the explicit "paper setting" assertion; a fault
+        # or corruption scenario alongside it is a contradiction, not a
+        # precedence question.
+        if scenario.enabled:
+            raise ConfigurationError(
+                "--no-faults conflicts with the configured fault scenario "
+                f"(--faults {getattr(args, 'faults', 'none')!r} or a fault-rate "
+                "override); drop one of the two"
+            )
+        if corruption.enabled:
+            raise ConfigurationError(
+                "--no-faults conflicts with --corruption "
+                f"{getattr(args, 'corruption', 'none')!r}; drop one of the two"
+            )
     if scenario.enabled:
         overrides["faults"] = scenario
+    if corruption.enabled:
+        overrides["corruption"] = corruption
+    integrity = _integrity_from_args(args)
+    if integrity is not None:
+        overrides["integrity"] = integrity
     ha = _ha_from_args(args)
     if ha is not None:
         overrides["ha"] = ha
@@ -84,6 +106,42 @@ def _scenario_from_args(args: argparse.Namespace) -> FaultScenario:
     if getattr(args, "crash_rate", None) is not None:
         overrides["controller_crash_rate"] = args.crash_rate
     return replace(scenario, **overrides) if overrides else scenario
+
+
+def _corruption_from_args(args: argparse.Namespace) -> CorruptionScenario:
+    # CorruptionScenario.preset rejects unknown names with the list of
+    # available presets; main() turns that into a friendly exit.
+    corruption = CorruptionScenario.preset(getattr(args, "corruption", "none"))
+    onset = getattr(args, "corruption_onset", None)
+    if onset is not None:
+        if not corruption.enabled:
+            raise ConfigurationError(
+                "--corruption-onset requires --corruption PRESET"
+            )
+        corruption = replace(corruption, onset_cycle=onset)
+    return corruption
+
+
+def _integrity_from_args(args: argparse.Namespace) -> IntegrityConfig | None:
+    if not getattr(args, "quarantine", False):
+        # Trust knobs without --quarantine would be silently ignored;
+        # refuse so a run the user believes is defended actually is.
+        for flag, name in (
+            ("trust_quarantine", "--trust-quarantine"),
+            ("trust_release", "--trust-release"),
+            ("trust_recovery", "--trust-recovery"),
+        ):
+            if getattr(args, flag, None) is not None:
+                raise ConfigurationError(f"{name} requires --quarantine")
+        return None
+    overrides: dict[str, Any] = {}
+    if getattr(args, "trust_quarantine", None) is not None:
+        overrides["quarantine_trust"] = args.trust_quarantine
+    if getattr(args, "trust_release", None) is not None:
+        overrides["release_trust"] = args.trust_release
+    if getattr(args, "trust_recovery", None) is not None:
+        overrides["trust_recovery"] = args.trust_recovery
+    return IntegrityConfig(**overrides)
 
 
 def _ha_from_args(args: argparse.Namespace) -> HaConfig | None:
@@ -185,6 +243,61 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="per-cycle system-meter outage onset probability",
+    )
+    faults.add_argument(
+        "--no-faults",
+        action="store_true",
+        help=(
+            "assert the paper's fault-free setting; errors out if a "
+            "fault or corruption scenario is also configured"
+        ),
+    )
+    integrity = parser.add_argument_group("telemetry integrity")
+    integrity.add_argument(
+        "--corruption",
+        default="none",
+        metavar="PRESET",
+        help=(
+            "sensor-corruption preset (default: none; available: "
+            + ", ".join(CorruptionScenario.preset_names())
+            + ")"
+        ),
+    )
+    integrity.add_argument(
+        "--corruption-onset",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="control cycle at which corruption switches on (default: 0)",
+    )
+    integrity.add_argument(
+        "--quarantine",
+        action="store_true",
+        help=(
+            "enable the telemetry-integrity defense "
+            "(validation + trust/quarantine + meter cross-check)"
+        ),
+    )
+    integrity.add_argument(
+        "--trust-quarantine",
+        type=float,
+        default=None,
+        metavar="T",
+        help="trust below which a node is quarantined (default: 0.30)",
+    )
+    integrity.add_argument(
+        "--trust-release",
+        type=float,
+        default=None,
+        metavar="T",
+        help="trust a quarantined node must recover to (default: 0.90)",
+    )
+    integrity.add_argument(
+        "--trust-recovery",
+        type=float,
+        default=None,
+        metavar="T",
+        help="trust restored per clean fresh sample (default: 0.02)",
     )
     ha = parser.add_argument_group("controller high availability")
     ha.add_argument(
@@ -330,6 +443,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row("meter outage cycles", fs.meter_outage_cycles)
         table.add_row("estimated-power cycles", fs.estimated_power_cycles)
         table.add_row("forced-red cycles", fs.forced_red_cycles)
+        if fs.corrupted_samples or fs.corrupted_meter_readings:
+            table.add_row(
+                "corrupted samples (node/meter)",
+                f"{fs.corrupted_samples}/{fs.corrupted_meter_readings}",
+            )
+        if fs.corrupt_samples_rejected or fs.quarantine_entries:
+            table.add_row("corrupt samples rejected", fs.corrupt_samples_rejected)
+            table.add_row(
+                "quarantine entries / node-cycles",
+                f"{fs.quarantine_entries}/{fs.quarantined_node_cycles}",
+            )
+        if fs.meter_distrusted_cycles:
+            table.add_row("meter distrusted cycles", fs.meter_distrusted_cycles)
     hs = result.ha_stats
     if hs is not None:
         table.add_row("controller crashes", hs.crashes)

@@ -70,6 +70,11 @@ from repro.power.hetero import make_power_model
 from repro.power.meter import SystemPowerMeter
 from repro.telemetry.collector import TelemetryCollector, TelemetrySnapshot
 from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.integrity import (
+    IntegrityConfig,
+    MeterIntegrityMonitor,
+    TelemetryValidator,
+)
 from repro.telemetry.recorder import TimeSeriesRecorder
 from repro.types import Seconds
 
@@ -85,6 +90,11 @@ SERIES_P_HIGH = "p_high_w"
 #: (so fault-free runs keep the exact seed recorder content).
 SERIES_COVERAGE = "telemetry_coverage"
 SERIES_DEGRADED = "degraded_sensing"
+#: Telemetry-integrity series, recorded only when the integrity defense
+#: is configured (so fault-only and fault-free runs are untouched).
+SERIES_QUARANTINED = "quarantined_nodes"
+SERIES_TRUST_MIN = "trust_min"
+SERIES_METER_DISTRUSTED = "meter_distrusted"
 
 
 @dataclass(frozen=True)
@@ -106,6 +116,10 @@ class CycleReport:
     forced_red: bool = False
     #: Outcome of this cycle's DVFS command batch.
     actuation: ActuationReport | None = None
+    #: Nodes under telemetry-integrity quarantine this cycle.
+    quarantined_nodes: int = 0
+    #: Whether the integrity monitor distrusted the meter this cycle.
+    meter_distrusted: bool = False
 
     @property
     def acted(self) -> bool:
@@ -147,6 +161,14 @@ class PowerManager:
             trips it on entry into the red state.  ``None`` (the
             default) resolves to the shared disabled facade and leaves
             the control cycle bit-for-bit unchanged.
+        integrity: Telemetry-integrity knobs
+            (:mod:`repro.telemetry.integrity`).  When given, the manager
+            builds a per-node validation/trust/quarantine pipeline into
+            its collector and a meter-residual monitor in front of
+            classification, and freezes threshold learning whenever the
+            meter is distrusted or any node is quarantined.  ``None``
+            (the default) leaves the pipeline out entirely — the
+            control cycle is bit-for-bit the undefended one.
     """
 
     def __init__(
@@ -164,6 +186,7 @@ class PowerManager:
         actuator: DvfsActuator | None = None,
         journal: StateJournal | None = None,
         obs: Observability | None = None,
+        integrity: IntegrityConfig | None = None,
     ) -> None:
         self._cluster = cluster
         self._sets = sets
@@ -174,10 +197,26 @@ class PowerManager:
         self._degraded_cfg = degraded if degraded is not None else DegradedModeConfig()
         self._cost_model = cost_model
         self._obs = resolve_obs(obs)
-        self._collector = TelemetryCollector(
-            cluster.state, sets.candidates, cost_model, fault_injector, obs=obs
-        )
         self._estimator = NodePowerEstimator(make_power_model(cluster))
+        self._validator: TelemetryValidator | None = None
+        self._meter_monitor: MeterIntegrityMonitor | None = None
+        if integrity is not None:
+            self._validator = TelemetryValidator(
+                integrity,
+                self._estimator,
+                sets.candidates,
+                cluster.spec.top_level,
+                obs=obs,
+            )
+            self._meter_monitor = MeterIntegrityMonitor(integrity, obs=obs)
+        self._collector = TelemetryCollector(
+            cluster.state,
+            sets.candidates,
+            cost_model,
+            fault_injector,
+            obs=obs,
+            validator=self._validator,
+        )
         self._capping = PowerCappingAlgorithm(
             sets, cluster.spec.top_level, steady_green_cycles
         )
@@ -319,6 +358,16 @@ class PowerManager:
         return self._injector
 
     @property
+    def validator(self) -> TelemetryValidator | None:
+        """The telemetry-integrity validator (None when undefended)."""
+        return self._validator
+
+    @property
+    def meter_monitor(self) -> MeterIntegrityMonitor | None:
+        """The meter-integrity monitor (None when undefended)."""
+        return self._meter_monitor
+
+    @property
     def journal(self) -> StateJournal | None:
         """The attached state journal (None when not journaling)."""
         return self._journal
@@ -377,6 +426,8 @@ class PowerManager:
         if inj is None:
             return None
         act = self._actuator
+        val = self._validator
+        mon = self._meter_monitor
         return FaultStats(
             dropped_samples=self._collector.dropped_samples,
             meter_outages=inj.meter_outages,
@@ -388,6 +439,15 @@ class PowerManager:
             commands_abandoned=act.abandoned_commands,
             forced_red_cycles=self._forced_red_cycles,
             estimated_power_cycles=self._estimated_cycles,
+            corrupted_samples=inj.corrupted_samples,
+            corrupted_meter_readings=inj.corrupted_meter_readings,
+            corrupt_samples_rejected=0 if val is None else val.rejected_samples,
+            quarantine_entries=0 if val is None else val.quarantine_entries,
+            quarantined_node_cycles=(
+                0 if val is None else val.quarantined_node_cycles
+            ),
+            meter_distrusted_cycles=0 if mon is None else mon.distrusted_cycles,
+            meter_clamped_readings=self._meter.clamped_readings,
         )
 
     # ------------------------------------------------------------------
@@ -470,13 +530,41 @@ class PowerManager:
             }
             tracer.close_span()
 
+        quarantine_active = (
+            self._validator is not None and self._validator.any_quarantined
+        )
+        meter_distrusted = False
         if tracing:
             sp = tracer.open_span("estimate")
         if metered:
             power = self._meter.read()
             if inj is not None:
                 power = inj.perturb_meter(power)
-            self._thresholds.observe(power)
+            if self._meter_monitor is not None:
+                if quarantine_active:
+                    # With lying sensors in the aggregate the residual
+                    # can no longer testify for or against the meter, so
+                    # the monitor's streaks are frozen and the
+                    # never-underestimate rule is applied outright: act
+                    # on whichever of meter and quarantine-envelope
+                    # estimate is higher.  The envelope only inflates,
+                    # so this can over-cap but never under-cap.
+                    power = max(power, self._candidate_estimate_w(snapshot))
+                else:
+                    # Cross-check the meter against the validated
+                    # Formula (1) aggregate (the *raw* candidate sum —
+                    # the outage anchor would launder a byzantine
+                    # meter's error into the reference).
+                    power = self._meter_monitor.filter(
+                        power, self._candidate_estimate_w(snapshot), now
+                    )
+            if self._meter_monitor is not None:
+                meter_distrusted = self._meter_monitor.distrusted
+            if not meter_distrusted and not quarantine_active:
+                # P_peak observations taken from a distrusted meter or a
+                # quarantine-inflated estimate would poison the learned
+                # thresholds for every later cycle.
+                self._thresholds.observe(power)
             self._last_metered_power = power
             self._last_metered_snapshot = snapshot
             self._offset_valid = False
@@ -485,6 +573,8 @@ class PowerManager:
             self._estimated_cycles += 1
         if tracing:
             sp.attrs = {"metered": metered, "power_w": power}
+            if self._meter_monitor is not None:
+                sp.attrs["meter_distrusted"] = meter_distrusted
             tracer.close_span()
 
         if tracing:
@@ -563,6 +653,17 @@ class PowerManager:
             rec.record(
                 SERIES_DEGRADED, now, 1.0 if (forced_red or not metered) else 0.0
             )
+        quarantined_count = 0
+        if self._validator is not None:
+            quarantined_count = int(self._validator.quarantined.sum())
+            trust = self._validator.trust
+            rec.record(SERIES_QUARANTINED, now, float(quarantined_count))
+            rec.record(
+                SERIES_TRUST_MIN, now, float(trust.min()) if len(trust) else 1.0
+            )
+            rec.record(
+                SERIES_METER_DISTRUSTED, now, 1.0 if meter_distrusted else 0.0
+            )
 
         if tracing:
             sp = tracer.open_span("journal")
@@ -616,6 +717,8 @@ class PowerManager:
                 "epoch": self._epoch,
                 "recovery_hold": bool(self._recovery_pending),
             }
+            if self._validator is not None:
+                root.attrs["quarantined_nodes"] = quarantined_count
         return CycleReport(
             time=now,
             power_w=power,
@@ -627,6 +730,8 @@ class PowerManager:
             coverage=snapshot.coverage,
             forced_red=forced_red,
             actuation=actuation,
+            quarantined_nodes=quarantined_count,
+            meter_distrusted=meter_distrusted,
         )
 
     def _estimate_system_power(self, snapshot: TelemetrySnapshot) -> float:

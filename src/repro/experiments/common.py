@@ -38,6 +38,7 @@ from repro.core.states import PowerState
 from repro.core.thresholds import ThresholdController
 from repro.errors import ConfigurationError
 from repro.core.actuator import DvfsActuator
+from repro.faults.corruption import CorruptionScenario
 from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.scenario import FaultScenario
@@ -53,6 +54,7 @@ from repro.scheduler.feeder import KeepQueueFilledFeeder
 from repro.scheduler.scheduler import BatchScheduler
 from repro.sim.random import RandomSource
 from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.integrity import IntegrityConfig
 from repro.telemetry.recorder import TimeSeriesRecorder
 from repro.workload.executor import JobExecutor
 from repro.workload.generator import RandomJobGenerator
@@ -128,6 +130,13 @@ class ExperimentConfig:
     #: Degraded-mode fail-safe ladder thresholds (used only when
     #: ``faults`` injects something).
     degraded: DegradedModeConfig = field(default_factory=DegradedModeConfig)
+    #: Sensor-corruption scenario (telemetry that arrives but lies); the
+    #: default corrupts nothing and reproduces the clean run bit for bit.
+    corruption: CorruptionScenario = field(default_factory=CorruptionScenario.none)
+    #: Telemetry-integrity defense (validation + trust/quarantine +
+    #: meter cross-check); ``None`` disables it, which is the undefended
+    #: setting corruption benchmarks compare against.
+    integrity: IntegrityConfig | None = None
     #: Controller crash-recovery layer (journal + failover + fencing);
     #: disabled by default, which reproduces the single-manager run bit
     #: for bit.
@@ -248,6 +257,11 @@ class ExperimentResult:
         controlled_flags: Per-cycle flag series aligned with ``times``:
             1.0 when a manager completed the cycle, 0.0 for controller
             crash/downtime cycles (None unless HA was enabled).
+        true_power_w: Ground-truth total power aligned with ``times``
+            (None unless the run configured corruption or the integrity
+            defense); for those runs ``power_w`` is what the controller
+            *acted on*, and the gap between the two is graded by
+            :func:`repro.metrics.integrity.estimate_error_w_under_corruption`.
         observability: The run's :class:`~repro.obs.Observability`
             facade — spans, metrics and flight dumps, already exported
             to any configured paths (None unless ``config.obs`` enabled
@@ -274,6 +288,7 @@ class ExperimentResult:
     degraded_flags: np.ndarray | None = None
     ha_stats: HaStats | None = None
     controlled_flags: np.ndarray | None = None
+    true_power_w: np.ndarray | None = None
     observability: Observability | None = None
 
 
@@ -399,14 +414,19 @@ def run_experiment(
         )
         factory = PowerManager if manager_factory is None else manager_factory
         manager_kwargs: dict[str, Any] = {"obs": world.obs}
-        if config.faults.enabled:
+        if config.faults.enabled or config.corruption.enabled:
             manager_kwargs["fault_injector"] = FaultInjector(
                 config.faults,
                 world.rng,
                 num_nodes=config.num_nodes,
+                corruption=(
+                    config.corruption if config.corruption.enabled else None
+                ),
                 obs=world.obs,
             )
             manager_kwargs["degraded"] = config.degraded
+        if config.integrity is not None:
+            manager_kwargs["integrity"] = config.integrity
         if config.ha.enabled:
             # HA wiring: the actuator and journal outlive any single
             # manager incarnation (in-flight commands are in the
@@ -473,8 +493,12 @@ def run_experiment(
         thermal.settle(world.model.node_power(world.cluster.state))
         reliability = ReliabilityTracker()
     controlled: list[float] = []
+    track_truth = config.corruption.enabled or config.integrity is not None
+    truth: list[float] = []
     while world.now + config.control_period_s <= window_end + 1e-9:
         now = world.tick()
+        if track_truth:
+            truth.append(world.true_power())
         if ha_controller is not None:
             report = ha_controller.control_cycle(now)
             times.append(now)
@@ -514,10 +538,20 @@ def run_experiment(
     ]
     t_arr = np.asarray(times)
     p_arr = np.asarray(power)
+    truth_arr = np.asarray(truth) if track_truth else None
     run_label = label or (
         "uncapped" if policy is None else getattr(manager.policy, "name", "custom")
     )
-    metrics = RunMetrics.evaluate(run_label, t_arr, p_arr, finished, provision_w)
+    # Corruption runs are graded on ground truth: ``p_arr`` is whatever
+    # the (possibly lied-to) controller acted on, and a byzantine meter
+    # would otherwise grade its own lie as a perfect run.
+    metrics = RunMetrics.evaluate(
+        run_label,
+        t_arr,
+        p_arr if truth_arr is None else truth_arr,
+        finished,
+        provision_w,
+    )
     peak_temp = reliability.peak_temperature_c if reliability is not None else None
     failures = reliability.expected_failures if reliability is not None else None
 
@@ -563,6 +597,7 @@ def run_experiment(
             degraded_flags=degraded_flags,
             ha_stats=ha_stats,
             controlled_flags=controlled_flags,
+            true_power_w=np.asarray(truth) if track_truth else None,
             observability=world.obs,
         )
     return ExperimentResult(
@@ -582,5 +617,6 @@ def run_experiment(
         entered_red=False,
         peak_temperature_c=peak_temp,
         expected_failures=failures,
+        true_power_w=np.asarray(truth) if track_truth else None,
         observability=world.obs,
     )

@@ -16,9 +16,14 @@ the manager's degraded-mode fail-safe ladder.
   the manager, collector and actuator query each cycle, plus
   :class:`~repro.faults.injector.FaultStats` accounting;
 * :class:`~repro.faults.degraded.DegradedModeConfig` — thresholds of
-  the fail-safe ladder (stale-age bound, blackout detection).
+  the fail-safe ladder (stale-age bound, blackout detection);
+* :mod:`repro.faults.corruption` — sensor-corruption models: telemetry
+  that keeps arriving but is wrong (stuck-at, drift, gain error,
+  spikes, garbage, byzantine meter), defended by
+  :mod:`repro.telemetry.integrity`.
 """
 
+from repro.faults.corruption import CorruptionScenario, SensorCorruptionModel
 from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.models import (
@@ -33,11 +38,13 @@ from repro.faults.scenario import FaultScenario
 __all__ = [
     "ActuationFaultModel",
     "ControllerCrashModel",
+    "CorruptionScenario",
     "DegradedModeConfig",
     "FaultInjector",
     "FaultScenario",
     "FaultStats",
     "MeterFaultModel",
     "NodeCrashModel",
+    "SensorCorruptionModel",
     "TelemetryFaultModel",
 ]

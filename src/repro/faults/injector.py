@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import FaultInjectionError
+from repro.faults.corruption import CorruptionScenario, SensorCorruptionModel
 from repro.faults.models import (
     ActuationFaultModel,
     ControllerCrashModel,
@@ -57,6 +58,19 @@ class FaultStats:
             because of a candidate-set telemetry blackout.
         estimated_power_cycles: Cycles the manager ran on the Formula (1)
             fallback estimate instead of a metered reading.
+        corrupted_samples: Node samples altered by the sensor-corruption
+            models (:mod:`repro.faults.corruption`).
+        corrupted_meter_readings: System-meter readings altered by the
+            byzantine meter model.
+        corrupt_samples_rejected: Fresh samples the telemetry-integrity
+            pipeline rejected outright (hard validation failures).
+        quarantine_entries: Node quarantine entry events.
+        quarantined_node_cycles: Σ over cycles of the quarantined node
+            count.
+        meter_distrusted_cycles: Cycles run with the system meter
+            distrusted by the integrity monitor.
+        meter_clamped_readings: Meter readings the physical zero-watt
+            clamp had to correct (noise drew the reading negative).
     """
 
     dropped_samples: int
@@ -69,6 +83,13 @@ class FaultStats:
     commands_abandoned: int
     forced_red_cycles: int
     estimated_power_cycles: int
+    corrupted_samples: int = 0
+    corrupted_meter_readings: int = 0
+    corrupt_samples_rejected: int = 0
+    quarantine_entries: int = 0
+    quarantined_node_cycles: int = 0
+    meter_distrusted_cycles: int = 0
+    meter_clamped_readings: int = 0
 
 
 class FaultInjector:
@@ -82,6 +103,13 @@ class FaultInjector:
         obs: Observability facade; trips the flight recorder at fault
             onset (meter outage start, node crash) and mirrors the fault
             accounting as collected metric series.
+        corruption: Optional sensor-corruption scenario
+            (:mod:`repro.faults.corruption`); when enabled the injector
+            also owns a :class:`SensorCorruptionModel` on the
+            ``faults.corruption`` substream, advanced by the same cycle
+            clock, and exposes :meth:`corrupt_telemetry` for the
+            collector.  :meth:`perturb_meter` then applies the byzantine
+            meter error after the additive noise.
     """
 
     def __init__(
@@ -90,6 +118,7 @@ class FaultInjector:
         rng: RandomSource,
         num_nodes: int,
         obs: Observability | None = None,
+        corruption: CorruptionScenario | None = None,
     ) -> None:
         self.scenario = scenario
         self._telemetry = TelemetryFaultModel(
@@ -116,6 +145,11 @@ class FaultInjector:
         self._controller = ControllerCrashModel(
             rng.stream("faults.controller"), scenario.controller_crash_rate
         )
+        self._corruption: SensorCorruptionModel | None = None
+        if corruption is not None and corruption.enabled:
+            self._corruption = SensorCorruptionModel(
+                corruption, rng.stream("faults.corruption"), num_nodes
+            )
         self._cycle = -1
         self._last_now: float | None = None
         self._meter_up = True
@@ -156,6 +190,19 @@ class FaultInjector:
             "Telemetry samples lost to i.i.d. dropout (excludes offline)",
             lambda: float(self._telemetry.dropped_samples),
         )
+        # Corruption counters only exist when corruption is configured,
+        # so plain fault runs keep their exact metric surface.
+        if self._corruption is not None:
+            reg.counter_func(
+                "repro_corrupted_samples_total",
+                "Node samples altered by the sensor-corruption models",
+                lambda: float(self.corrupted_samples),
+            )
+            reg.counter_func(
+                "repro_corrupted_meter_readings_total",
+                "System-meter readings altered by the byzantine meter model",
+                lambda: float(self.corrupted_meter_readings),
+            )
 
     # ------------------------------------------------------------------
     # The cycle clock
@@ -184,6 +231,8 @@ class FaultInjector:
         self._meter_up = self._meter.step()
         self._online = self._crash.step()
         self._controller_crash_now = self._controller.step()
+        if self._corruption is not None:
+            self._corruption.begin_cycle()
         if self._trips_on:
             if meter_was_up and not self._meter_up:
                 self._obs.trip("meter_outage", now)
@@ -205,9 +254,34 @@ class FaultInjector:
         return self._meter_up
 
     def perturb_meter(self, reading_w: float) -> float:
-        """Additive sensor noise on an available meter reading."""
+        """Additive sensor noise — then any byzantine meter error — on
+        an available meter reading."""
         self._require_cycle()
-        return self._meter.perturb(reading_w)
+        reading = self._meter.perturb(reading_w)
+        if self._corruption is not None:
+            reading = self._corruption.corrupt_meter(reading)
+        return reading
+
+    def corrupt_telemetry(
+        self,
+        node_ids: np.ndarray,
+        cpu_util: np.ndarray,
+        mem_frac: np.ndarray,
+        nic_frac: np.ndarray,
+    ) -> np.ndarray:
+        """Corrupt a sweep's freshly sampled values **in place**.
+
+        Called by the collector on the raw sample arrays before its
+        dropout substitution (a dropped sample never reaches the wire,
+        corrupted or not, and the cache only ever stores what the wire
+        delivered).  Returns the mask of altered rows.
+        """
+        self._require_cycle()
+        if self._corruption is None:
+            return np.zeros(len(node_ids), dtype=bool)
+        return self._corruption.corrupt_arrays(
+            node_ids, cpu_util, mem_frac, nic_frac
+        )
 
     def telemetry_drop_mask(self, node_ids: np.ndarray) -> np.ndarray:
         """Which monitored nodes lose their sample this cycle.
@@ -288,3 +362,20 @@ class FaultInjector:
     def offline_node_cycles(self) -> int:
         """Σ over cycles of the offline node count."""
         return self._crash.offline_node_cycles
+
+    @property
+    def corruption_model(self) -> SensorCorruptionModel | None:
+        """The sensor-corruption model (None when corruption is off)."""
+        return self._corruption
+
+    @property
+    def corrupted_samples(self) -> int:
+        """Node samples altered by the corruption models so far."""
+        return 0 if self._corruption is None else self._corruption.corrupted_samples
+
+    @property
+    def corrupted_meter_readings(self) -> int:
+        """System-meter readings altered by the byzantine model so far."""
+        if self._corruption is None:
+            return 0
+        return self._corruption.corrupted_meter_readings

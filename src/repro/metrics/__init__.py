@@ -17,7 +17,10 @@ Survey metrics (§I.B, for completeness of the library):
 
 Robustness metrics (:mod:`repro.metrics.faults`, for fault-injection
 runs): cap-violation seconds, time-to-cap-restoration and the
-degraded-sensing share of the overspend.
+degraded-sensing share of the overspend.  Telemetry-integrity metrics
+(:mod:`repro.metrics.integrity`, for sensor-corruption runs):
+quarantine exposure, meter-distrust time and worst estimate error under
+corruption.
 
 :mod:`repro.metrics.summary` bundles everything into per-run
 :class:`~repro.metrics.summary.RunMetrics` and baseline-normalised
@@ -38,6 +41,12 @@ from repro.metrics.faults import (
     recovery_divergence_w,
     time_to_cap_restoration,
     violation_episodes,
+)
+from repro.metrics.integrity import (
+    estimate_error_w_under_corruption,
+    meter_distrust_seconds,
+    quarantine_node_seconds,
+    quarantine_seconds,
 )
 from repro.metrics.performance import (
     count_performance_lossless_jobs,
@@ -64,12 +73,16 @@ __all__ = [
     "controller_downtime_seconds",
     "count_performance_lossless_jobs",
     "degraded_overspend",
+    "estimate_error_w_under_corruption",
     "failover_count",
     "energy_delay_product",
     "energy_joules",
     "flops_per_watt",
     "mean_slowdown",
+    "meter_distrust_seconds",
     "peak_power",
+    "quarantine_node_seconds",
+    "quarantine_seconds",
     "per_application_performance",
     "performance_metric",
     "power_usage_effectiveness",

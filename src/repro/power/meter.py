@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.errors import ConfigurationError
+from repro.obs.facade import Observability, resolve_obs
 from repro.power.model import PowerModel
 
 __all__ = ["SystemPowerMeter"]
@@ -30,6 +31,8 @@ class SystemPowerMeter:
             accurate).
         rng: Random generator for the noise stream (required when noise
             is enabled).
+        obs: Observability facade; when its metric registry is live the
+            zero-watt clamp count is mirrored as a collected series.
     """
 
     def __init__(
@@ -38,6 +41,7 @@ class SystemPowerMeter:
         state: ClusterState,
         noise_std_fraction: float = 0.0,
         rng: np.random.Generator | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if noise_std_fraction < 0.0:
             raise ConfigurationError("noise_std_fraction must be non-negative")
@@ -49,6 +53,14 @@ class SystemPowerMeter:
         self._rng = rng
         self._last_reading: float | None = None
         self._readings = 0
+        self._clamped_readings = 0
+        facade = resolve_obs(obs)
+        if facade.metrics_on:
+            facade.metrics.counter_func(
+                "repro_meter_clamped_readings_total",
+                "Meter readings the physical zero-watt clamp corrected",
+                lambda: float(self._clamped_readings),
+            )
 
     @property
     def last_reading(self) -> float | None:
@@ -59,6 +71,18 @@ class SystemPowerMeter:
     def readings(self) -> int:
         """Number of times the meter has been read."""
         return self._readings
+
+    @property
+    def clamped_readings(self) -> int:
+        """Readings the zero-watt clamp had to correct.
+
+        A gaussian noise factor ``1 + N(0, σ)`` goes non-positive on a
+        draw of ``-1/σ`` standard deviations; physically the wattmeter
+        bottoms out at 0 W instead of reporting negative power.  Each
+        such clamp is counted — a non-trivial rate means the configured
+        noise fraction is unphysically large.
+        """
+        return self._clamped_readings
 
     def true_power(self) -> float:
         """Noise-free total power, watts (the simulator's ground truth)."""
@@ -73,7 +97,11 @@ class SystemPowerMeter:
         power = self.true_power()
         if self._noise_std > 0.0:
             assert self._rng is not None
-            power *= max(0.0, 1.0 + self._rng.normal(0.0, self._noise_std))
+            factor = 1.0 + self._rng.normal(0.0, self._noise_std)
+            if factor < 0.0:
+                factor = 0.0
+                self._clamped_readings += 1
+            power *= factor
         self._last_reading = power
         self._readings += 1
         return power

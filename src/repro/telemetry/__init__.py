@@ -14,20 +14,34 @@ sample and estimates per-node and per-job power.  We expose both views:
   central monitoring as a function of candidate-set size, the quantity
   Figure 5 plots to argue that monitoring must be restricted to a subset;
 * :class:`~repro.telemetry.recorder.TimeSeriesRecorder` — lightweight
-  append-only recording of power/metric series for post-processing.
+  append-only recording of power/metric series for post-processing;
+* :mod:`repro.telemetry.integrity` — the telemetry-integrity defense:
+  per-sample validation, per-node trust scores and quarantine, and the
+  meter-residual cross-check (counterpart of
+  :mod:`repro.faults.corruption`).
 """
 
 from repro.telemetry.agent import AgentPool, NodeSample, ProfilingAgent
 from repro.telemetry.collector import TelemetryCollector, TelemetrySnapshot
 from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.integrity import (
+    IntegrityConfig,
+    MeterIntegrityMonitor,
+    TelemetryValidator,
+    ValidationResult,
+)
 from repro.telemetry.recorder import TimeSeriesRecorder
 
 __all__ = [
     "AgentPool",
+    "IntegrityConfig",
     "ManagementCostModel",
+    "MeterIntegrityMonitor",
     "NodeSample",
     "ProfilingAgent",
     "TelemetryCollector",
     "TelemetrySnapshot",
+    "TelemetryValidator",
     "TimeSeriesRecorder",
+    "ValidationResult",
 ]

@@ -33,6 +33,7 @@ from repro.faults.injector import FaultInjector
 from repro.obs.facade import Observability, resolve_obs
 from repro.telemetry.agent import AgentPool
 from repro.telemetry.cost import ManagementCostModel
+from repro.telemetry.integrity import TelemetryValidator
 
 __all__ = ["TelemetrySnapshot", "TelemetryCollector"]
 
@@ -77,7 +78,7 @@ class TelemetrySnapshot:
         for name in ("level", "cpu_util", "mem_frac", "nic_frac", "job_id", "age"):
             if len(getattr(self, name)) != n:
                 raise TelemetryError(f"snapshot array {name} misaligned")
-        if not 0.0 <= self.coverage <= 1.0:
+        if not math.isfinite(self.coverage) or not 0.0 <= self.coverage <= 1.0:
             raise TelemetryError("snapshot coverage outside [0, 1]")
         for arr in (
             self.node_ids,
@@ -100,8 +101,15 @@ class TelemetrySnapshot:
         return self.job_id >= 0
 
     def stale_mask(self, max_age_s: float) -> np.ndarray:
-        """Mask of entries older than ``max_age_s`` seconds."""
-        return self.age > float(max_age_s)
+        """Mask of entries older than ``max_age_s`` seconds.
+
+        A non-finite age (``inf`` for never-reported or quarantined
+        entries, NaN from any upstream defect) is always stale: a NaN
+        would otherwise compare ``False`` and silently count as fresh —
+        exactly the failure mode the never-upgrade clamp exists for.
+        """
+        age = np.asarray(self.age)
+        return np.isnan(age) | (age > float(max_age_s))
 
     def index_of(self, node_id: int) -> int:
         """Position of ``node_id`` within the snapshot arrays.
@@ -125,10 +133,20 @@ class TelemetryCollector:
             ``None`` to skip accounting.
         fault_injector: Optional fault injector; when present, each
             sweep asks it which samples were lost and serves those nodes
-            from the last-known-good cache.
+            from the last-known-good cache.  When the injector carries a
+            sensor-corruption model, the surviving fresh samples are
+            corrupted *before* they reach the cache — the collector can
+            only cache what the wire delivered.
         obs: Observability facade; when its metric registry is live the
             sweep statistics are mirrored as collected series and each
             sweep's worst cache age feeds a histogram.
+        validator: Optional telemetry-integrity validator
+            (:mod:`repro.telemetry.integrity`).  Fresh samples that fail
+            its hard checks are served from the last-known-good cache
+            exactly like dropped ones (and excluded from coverage);
+            quarantined nodes' rows are replaced by the conservative
+            worst-case envelope — full utilization at the node's known
+            DVFS level, staleness pinned to ``inf``.
     """
 
     def __init__(
@@ -138,10 +156,12 @@ class TelemetryCollector:
         cost_model: ManagementCostModel | None = None,
         fault_injector: FaultInjector | None = None,
         obs: Observability | None = None,
+        validator: TelemetryValidator | None = None,
     ) -> None:
         self._pool = AgentPool(state, candidate_ids)
         self._cost_model = cost_model
         self._injector = fault_injector
+        self._validator = validator
         self._current: TelemetrySnapshot | None = None
         self._previous: TelemetrySnapshot | None = None
         self._accumulated_cost_s = 0.0
@@ -228,6 +248,11 @@ class TelemetryCollector:
         return self._dropped_samples
 
     @property
+    def validator(self) -> TelemetryValidator | None:
+        """The attached integrity validator (None when undefended)."""
+        return self._validator
+
+    @property
     def accumulated_cost_s(self) -> float:
         """Total modelled management-node CPU time spent, seconds."""
         return self._accumulated_cost_s
@@ -246,12 +271,15 @@ class TelemetryCollector:
 
         Lost samples (when a fault injector is attached) are replaced by
         the node's last-known-good row; the snapshot's ``age`` and
-        ``coverage`` report exactly which entries are substitutes.
+        ``coverage`` report exactly which entries are substitutes.  With
+        a validator attached, hard-rejected fresh samples are served the
+        same way, and quarantined nodes' rows become the conservative
+        worst-case envelope.
         """
         level, cpu, mem, nic, job = self._pool.sample_arrays(now)
         age: np.ndarray | None = None
         coverage = 1.0
-        if self._injector is not None:
+        if self._injector is not None or self._validator is not None:
             ids = self._pool.node_ids
             if len(ids) == 0:
                 # Convention: an empty candidate set has coverage 1.0
@@ -262,15 +290,35 @@ class TelemetryCollector:
                 coverage = 1.0
                 age = np.zeros(0, dtype=np.float64)
             else:
-                dropped = self._injector.telemetry_drop_mask(ids)
+                if self._injector is not None:
+                    # Corruption strikes at the sensor, before the wire
+                    # can lose the sample; what the wire then delivers
+                    # (corrupted or not) is all the collector ever sees.
+                    self._injector.corrupt_telemetry(ids, cpu, mem, nic)
+                    dropped = self._injector.telemetry_drop_mask(ids)
+                else:
+                    dropped = np.zeros(len(ids), dtype=bool)
                 fresh = ~dropped
-                if dropped.any():
-                    level[dropped] = self._lkg_level[dropped]
-                    cpu[dropped] = self._lkg_cpu[dropped]
-                    mem[dropped] = self._lkg_mem[dropped]
-                    nic[dropped] = self._lkg_nic[dropped]
-                    job[dropped] = self._lkg_job[dropped]
-                    self._dropped_samples += int(dropped.sum())
+                quarantined: np.ndarray | None = None
+                known_level: np.ndarray | None = None
+                if self._validator is not None:
+                    # The sampled level is ground truth in the simulator
+                    # — standing in for the commanded level the manager
+                    # knows from its own actuation history.
+                    known_level = level.copy()
+                    result = self._validator.validate(
+                        level, cpu, mem, nic, job, fresh
+                    )
+                    quarantined = result.quarantined
+                    fresh &= ~result.rejected
+                unusable = ~fresh
+                if unusable.any():
+                    level[unusable] = self._lkg_level[unusable]
+                    cpu[unusable] = self._lkg_cpu[unusable]
+                    mem[unusable] = self._lkg_mem[unusable]
+                    nic[unusable] = self._lkg_nic[unusable]
+                    job[unusable] = self._lkg_job[unusable]
+                    self._dropped_samples += int(unusable.sum())
                 self._lkg_level[fresh] = level[fresh]
                 self._lkg_cpu[fresh] = cpu[fresh]
                 self._lkg_mem[fresh] = mem[fresh]
@@ -279,6 +327,20 @@ class TelemetryCollector:
                 self._lkg_time[fresh] = float(now)
                 age = float(now) - self._lkg_time
                 coverage = float(fresh.mean())
+                if (
+                    quarantined is not None
+                    and known_level is not None
+                    and quarantined.any()
+                ):
+                    # Conservative envelope: full utilization at the
+                    # node's known DVFS level, so the cluster estimate
+                    # can only over-estimate; age pinned to inf so the
+                    # never-upgrade clamp holds the node down.
+                    level[quarantined] = known_level[quarantined]
+                    cpu[quarantined] = 1.0
+                    mem[quarantined] = 1.0
+                    nic[quarantined] = 1.0
+                    age[quarantined] = np.inf
         snapshot = TelemetrySnapshot(
             time=float(now),
             node_ids=self._pool.node_ids.copy(),

@@ -1,0 +1,543 @@
+"""Telemetry-integrity defense: validation, trust, and quarantine.
+
+The paper's Algorithm 1 trusts every profiling sample: Formula (1) turns
+raw per-node readings straight into the cluster estimate that drives
+green/yellow/red transitions and ``P_peak`` learning.  PR 1 hardened the
+pipeline against *missing* data; this module hardens it against data
+that keeps arriving but is **wrong** (:mod:`repro.faults.corruption`).
+
+Every fresh sample passes a four-stage validation pipeline before it may
+influence estimation:
+
+1. **garbage** — NaN/inf, negative, or far-out-of-range utilizations
+   (a utilization is physically confined to [0, 1]);
+2. **DVFS power envelope** — the Formula (1) prediction for the sample
+   at the node's known DVFS level must lie inside the physical envelope
+   ``[P_idle(l), P_max(l)]`` (the model-residual cross-check: reported
+   telemetry that predicts impossible power is lying);
+3. **rate-of-change** — a per-cycle utilization step larger than any
+   plausible workload transition;
+4. **stuck-at** — a busy node whose readings repeat *exactly* over a
+   sliding window (real utilization jitters every cycle; a frozen ADC
+   does not).  Nodes pinned at the utilization ceiling are exempt —
+   clipping at full scale is the one honest source of bit-identical
+   readings, and a sensor latched there only over-reports power.
+
+Stages 1–2 are **hard** failures: impossible on honest telemetry, so the
+sample is rejected outright (the collector serves the node's last-known
+-good row instead, and its staleness age grows).  Stages 3–4 are
+**soft**: legitimate workloads occasionally step sharply, so these only
+charge the node's *trust score*.  Hard failures charge a much larger
+penalty; clean fresh samples slowly restore trust.
+
+A node whose trust falls below the quarantine threshold is
+**quarantined**: its rows in every snapshot are replaced by the
+conservative worst-case envelope — full utilization at the node's known
+DVFS level — so the cluster estimate can only *over*-estimate
+(never-underestimate rule, the trust analogue of PR 1's
+never-upgrade-on-stale clamp), its staleness is pinned to ``inf`` so the
+degraded-mode ladder never upgrades it, and its inflated envelope power
+ranks it first for degradation (force-eligible for target selection).
+Release requires trust to recover above a hysteresis threshold and a
+minimum quarantine dwell.
+
+The :class:`MeterIntegrityMonitor` is the system-level analogue for the
+byzantine *meter*: when the metered reading diverges from the validated
+Formula (1) aggregate for several consecutive cycles, the meter is
+distrusted and classification runs on ``max(meter, estimate)`` until the
+residual closes again.  While the meter is distrusted — or any node is
+quarantined — the threshold learner ignores ``P_peak`` observations:
+thresholds learned from lying sensors would poison every later cycle.
+
+Quarantine state is deliberately **not** journaled for crash recovery
+(:mod:`repro.ha`): a restored manager re-earns trust from scratch, which
+is conservative in exactly the same direction as its recovery hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.facade import Observability, resolve_obs
+from repro.power.estimator import NodePowerEstimator
+
+__all__ = [
+    "IntegrityConfig",
+    "MeterIntegrityMonitor",
+    "TelemetryValidator",
+    "ValidationResult",
+]
+
+#: Guard against division by a vanishing estimate in residual fractions.
+_TINY_W = 1e-9
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Knobs of the validation/trust/quarantine pipeline.
+
+    The defaults are deliberately conservative in the false-positive
+    direction: on honest telemetry under the default workload jitter no
+    stage-1/2 check can fire at all, and the soft penalties are sized so
+    occasional legitimate phase steps never drag a node anywhere near
+    the quarantine threshold.
+
+    Attributes:
+        range_margin: Slack beyond [0, 1] a utilization may report
+            before stage 1 calls it impossible (sensor quantisation).
+        envelope_margin: Relative slack on the DVFS power envelope for
+            the stage-2 model-residual cross-check.
+        spike_delta: Per-cycle utilization step beyond which stage 3
+            charges a soft penalty.
+        stuck_window: Consecutive exactly-repeating busy samples before
+            stage 4 starts charging penalties.
+        stuck_epsilon: Repetition tolerance of stage 4 (bit-identical
+            readings, allowing only float-noise).
+        hard_penalty: Trust charged by a hard (stage 1–2) failure.
+        soft_penalty: Trust charged by a stage-3 spike event.
+        stuck_penalty: Trust charged per cycle a stage-4 stuck window
+            persists.
+        trust_recovery: Trust restored by one clean fresh sample.
+        quarantine_trust: Trust below which a node is quarantined.
+        release_trust: Trust a quarantined node must recover to be
+            released (hysteresis; must exceed ``quarantine_trust``).
+        min_quarantine_cycles: Minimum quarantine dwell, cycles.
+        meter_residual_fraction: Relative meter-vs-estimate residual
+            beyond which a cycle counts toward meter distrust.  Only
+            meaningful when the candidate set covers (nearly) the whole
+            machine — the aggregate estimate of a partial candidate set
+            cannot vouch for unmonitored nodes.
+        meter_distrust_cycles: Consecutive high-residual cycles before
+            the meter is distrusted.
+        meter_recovery_cycles: Consecutive low-residual cycles before a
+            distrusted meter is trusted again.
+    """
+
+    range_margin: float = 0.05
+    envelope_margin: float = 0.02
+    spike_delta: float = 0.60
+    stuck_window: int = 8
+    stuck_epsilon: float = 1e-9
+    hard_penalty: float = 0.35
+    soft_penalty: float = 0.03
+    stuck_penalty: float = 0.08
+    trust_recovery: float = 0.02
+    quarantine_trust: float = 0.30
+    release_trust: float = 0.90
+    min_quarantine_cycles: int = 30
+    meter_residual_fraction: float = 0.10
+    meter_distrust_cycles: int = 5
+    meter_recovery_cycles: int = 10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "range_margin",
+            "envelope_margin",
+            "spike_delta",
+            "stuck_epsilon",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        for name in (
+            "hard_penalty",
+            "soft_penalty",
+            "stuck_penalty",
+            "trust_recovery",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1]")
+        for name in ("quarantine_trust", "release_trust"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in (0, 1]")
+        if self.release_trust <= self.quarantine_trust:
+            raise ConfigurationError(
+                "release_trust must exceed quarantine_trust "
+                "(the hysteresis band would be empty or inverted)"
+            )
+        if self.stuck_window < 2:
+            raise ConfigurationError("stuck_window must be >= 2")
+        if self.min_quarantine_cycles < 1:
+            raise ConfigurationError("min_quarantine_cycles must be >= 1")
+        if self.meter_residual_fraction <= 0.0:
+            raise ConfigurationError("meter_residual_fraction must be > 0")
+        if self.meter_distrust_cycles < 1 or self.meter_recovery_cycles < 1:
+            raise ConfigurationError(
+                "meter distrust/recovery cycle counts must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """What the validator decided about one telemetry sweep.
+
+    Masks are aligned with the sweep's node arrays.
+
+    Attributes:
+        rejected: Fresh samples that failed a hard check this cycle;
+            the collector must serve those nodes from the last-known
+            -good cache instead.
+        quarantined: Nodes currently quarantined (after this cycle's
+            entries and releases); the collector must replace their
+            rows with the conservative envelope.
+    """
+
+    rejected: np.ndarray
+    quarantined: np.ndarray
+
+
+class TelemetryValidator:
+    """Per-node validation pipeline, trust scores, and quarantine.
+
+    One instance per collector; state arrays are aligned with the
+    collector's candidate positions (entry ``k`` describes
+    ``candidate_ids[k]``).
+
+    Args:
+        config: Pipeline knobs.
+        estimator: The Formula (1) evaluator used for the stage-2
+            envelope cross-check (shared with the manager).
+        candidate_ids: The monitored candidate set.
+        top_level: The cluster's highest DVFS level (level-range check).
+        obs: Observability facade; trust gauges and rejection counters
+            are mirrored when metrics are on, and each quarantine entry
+            trips the flight recorder.
+    """
+
+    def __init__(
+        self,
+        config: IntegrityConfig,
+        estimator: NodePowerEstimator,
+        candidate_ids: np.ndarray,
+        top_level: int,
+        obs: Observability | None = None,
+    ) -> None:
+        self.config = config
+        self._estimator = estimator
+        self._ids = np.asarray(candidate_ids, dtype=np.int64).copy()
+        self._top_level = int(top_level)
+        n = len(self._ids)
+        self._trust = np.ones(n, dtype=np.float64)
+        self._quarantined = np.zeros(n, dtype=bool)
+        self._quarantine_entry_cycle = np.full(n, -1, dtype=np.int64)
+        # Raw last fresh report per node, for the rate/stuck stages.
+        self._last_cpu = np.full(n, np.nan)
+        self._last_mem = np.full(n, np.nan)
+        self._last_nic = np.full(n, np.nan)
+        self._stuck_run = np.zeros(n, dtype=np.int64)
+        self._cycle = -1
+        self._rejected_samples = 0
+        self._quarantine_entries = 0
+        self._quarantined_node_cycles = 0
+        self._obs = resolve_obs(obs)
+        self._trips_on = self._obs.flight.enabled
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Mirror trust/quarantine state as collected metric series."""
+        obs = self._obs
+        if not obs.metrics_on:
+            return
+        reg = obs.metrics
+        reg.counter_func(
+            "repro_corrupt_samples_rejected_total",
+            "Fresh telemetry samples rejected by the hard validation stages",
+            lambda: float(self._rejected_samples),
+        )
+        reg.counter_func(
+            "repro_quarantine_entries_total",
+            "Node quarantine entries",
+            lambda: float(self._quarantine_entries),
+        )
+        reg.counter_func(
+            "repro_quarantined_node_cycles_total",
+            "Sum over cycles of the quarantined node count",
+            lambda: float(self._quarantined_node_cycles),
+        )
+        reg.gauge_func(
+            "repro_quarantined_nodes",
+            "Nodes currently quarantined",
+            lambda: float(int(self._quarantined.sum())),
+        )
+        reg.gauge_func(
+            "repro_trust_min",
+            "Lowest per-node telemetry trust score",
+            lambda: float(self._trust.min()) if len(self._trust) else 1.0,
+        )
+        reg.gauge_func(
+            "repro_trust_mean",
+            "Mean per-node telemetry trust score",
+            lambda: float(self._trust.mean()) if len(self._trust) else 1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def trust(self) -> np.ndarray:
+        """Per-node trust scores in [0, 1] (candidate-aligned copy)."""
+        return self._trust.copy()
+
+    @property
+    def quarantined(self) -> np.ndarray:
+        """Current quarantine mask (candidate-aligned copy)."""
+        return self._quarantined.copy()
+
+    @property
+    def any_quarantined(self) -> bool:
+        """Whether any node is currently quarantined."""
+        return bool(self._quarantined.any())
+
+    @property
+    def rejected_samples(self) -> int:
+        """Fresh samples rejected by the hard stages so far."""
+        return self._rejected_samples
+
+    @property
+    def quarantine_entries(self) -> int:
+        """Quarantine entry events so far."""
+        return self._quarantine_entries
+
+    @property
+    def quarantined_node_cycles(self) -> int:
+        """Σ over cycles of the quarantined node count."""
+        return self._quarantined_node_cycles
+
+    # ------------------------------------------------------------------
+    # The per-sweep pipeline
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        level: np.ndarray,
+        cpu_util: np.ndarray,
+        mem_frac: np.ndarray,
+        nic_frac: np.ndarray,
+        job_id: np.ndarray,
+        fresh: np.ndarray,
+    ) -> ValidationResult:
+        """Run one sweep's fresh samples through the pipeline.
+
+        Arrays are candidate-aligned; ``fresh`` marks rows that carry a
+        new sensor reading this cycle (cache-served rows are the
+        *collector's* substitutes, not sensor output, and are never
+        charged against a node's trust).
+
+        Returns:
+            The hard-rejection mask and the post-update quarantine mask.
+        """
+        self._cycle += 1
+        cfg = self.config
+        n = len(self._ids)
+        rejected = np.zeros(n, dtype=bool)
+        if n == 0:
+            return ValidationResult(rejected=rejected, quarantined=self.quarantined)
+
+        # Stage 1: garbage — NaN/inf or physically impossible readings.
+        # (np.isfinite is the NaN guard for every comparison below.)
+        finite = (
+            np.isfinite(cpu_util) & np.isfinite(mem_frac) & np.isfinite(nic_frac)
+        )
+        lo = -cfg.range_margin
+        hi = 1.0 + cfg.range_margin
+        in_range = finite.copy()
+        for values in (cpu_util, mem_frac, nic_frac):
+            with np.errstate(invalid="ignore"):
+                in_range &= (values >= lo) & (values <= hi)
+        bad_level = (level < 0) | (level > self._top_level)
+        hard = fresh & (~finite | ~in_range | bad_level)
+
+        # Stage 2: DVFS power-envelope cross-check.  Evaluate Formula (1)
+        # on the reported sample at the node's known level and require
+        # the prediction inside [P_idle(l), P_max(l)] — telemetry that
+        # predicts impossible power is lying even if each field alone
+        # squeaks past stage 1.
+        check = fresh & ~hard
+        if check.any():
+            lv = np.clip(np.asarray(level, dtype=np.int64), 0, self._top_level)
+            ids = self._ids
+            zeros = np.zeros(n)
+            ones = np.ones(n)
+            predicted = self._estimator.estimate_nodes(
+                lv, cpu_util, mem_frac, nic_frac, node_ids=ids
+            )
+            env_lo = self._estimator.estimate_nodes(
+                lv, zeros, zeros, zeros, node_ids=ids
+            )
+            env_hi = self._estimator.estimate_nodes(
+                lv, ones, ones, ones, node_ids=ids
+            )
+            margin = cfg.envelope_margin
+            with np.errstate(invalid="ignore"):
+                outside = (predicted < env_lo * (1.0 - margin)) | (
+                    predicted > env_hi * (1.0 + margin)
+                )
+            outside |= ~np.isfinite(predicted)
+            hard |= check & outside
+
+        # Stage 3 (soft): rate-of-change spikes vs the last fresh report.
+        have_prev = np.isfinite(self._last_cpu)
+        with np.errstate(invalid="ignore"):
+            spike = (
+                fresh
+                & ~hard
+                & have_prev
+                & (np.abs(cpu_util - self._last_cpu) > cfg.spike_delta)
+            )
+
+        # Stage 4 (soft): stuck-at — a busy node repeating its readings
+        # exactly.  Honest utilization jitters every cycle; cache-served
+        # rows are excluded (``fresh`` gate), so repeats here come from
+        # the sensor itself.
+        eps = cfg.stuck_epsilon
+        with np.errstate(invalid="ignore"):
+            same = (
+                have_prev
+                & (np.abs(cpu_util - self._last_cpu) <= eps)
+                & (np.abs(mem_frac - self._last_mem) <= eps)
+                & (np.abs(nic_frac - self._last_nic) <= eps)
+            )
+        busy = np.asarray(job_id) >= 0
+        # A busy node pinned at the utilization *ceiling* repeats
+        # honestly: load jitter above full scale clips to exactly 1.0,
+        # so saturation is the one clean state with bit-identical
+        # readings (high-cpu phases ride it for many cycles).  Exclude
+        # it from tracking — a sensor latched at full scale only
+        # over-reports power, which is already the conservative
+        # direction (and exactly what the quarantine envelope would
+        # substitute anyway).
+        with np.errstate(invalid="ignore"):
+            saturated = cpu_util >= 1.0
+        track = fresh & busy & ~saturated
+        self._stuck_run[track & same] += 1
+        self._stuck_run[track & ~same] = 0
+        self._stuck_run[fresh & ~track] = 0
+        stuck = track & (self._stuck_run >= cfg.stuck_window)
+
+        # The raw fresh report (even a rejected one) becomes the
+        # reference for the next cycle's rate/stuck stages: a stuck
+        # sensor keeps repeating, and the pipeline must keep seeing it.
+        self._last_cpu[fresh] = cpu_util[fresh]
+        self._last_mem[fresh] = mem_frac[fresh]
+        self._last_nic[fresh] = nic_frac[fresh]
+
+        # Trust update: hard failures are near-certain corruption, soft
+        # failures merely suspicious, clean fresh samples healing.
+        penalty = (
+            hard * cfg.hard_penalty
+            + spike * cfg.soft_penalty
+            + stuck * cfg.stuck_penalty
+        )
+        clean = fresh & ~hard & ~spike & ~stuck
+        self._trust = np.clip(
+            self._trust - penalty + clean * cfg.trust_recovery, 0.0, 1.0
+        )
+
+        # Quarantine state machine with hysteresis.
+        entering = ~self._quarantined & (self._trust < cfg.quarantine_trust)
+        if entering.any():
+            self._quarantined[entering] = True
+            self._quarantine_entry_cycle[entering] = self._cycle
+            self._quarantine_entries += int(entering.sum())
+            if self._trips_on:
+                self._obs.trip("quarantine_entry", float(self._cycle))
+        dwell = self._cycle - self._quarantine_entry_cycle
+        releasing = (
+            self._quarantined
+            & (dwell >= cfg.min_quarantine_cycles)
+            & (self._trust > cfg.release_trust)
+        )
+        if releasing.any():
+            self._quarantined[releasing] = False
+        self._quarantined_node_cycles += int(self._quarantined.sum())
+
+        rejected = hard
+        self._rejected_samples += int(rejected.sum())
+        return ValidationResult(rejected=rejected, quarantined=self.quarantined)
+
+
+class MeterIntegrityMonitor:
+    """Cross-checks the system meter against the Formula (1) aggregate.
+
+    The candidate aggregate is the only independent reference the
+    manager has for the meter; when they diverge persistently the meter
+    is distrusted and classification runs on ``max(meter, estimate)`` —
+    the never-underestimate rule applied at system level.  The check is
+    sharp only when the candidate set covers (nearly) the whole machine;
+    a partial candidate set needs a wider ``meter_residual_fraction``.
+
+    Args:
+        config: Shared integrity knobs (the ``meter_*`` fields).
+        obs: Observability facade; a distrust transition trips the
+            flight recorder.
+    """
+
+    def __init__(
+        self, config: IntegrityConfig, obs: Observability | None = None
+    ) -> None:
+        self.config = config
+        self._distrusted = False
+        self._bad_streak = 0
+        self._good_streak = 0
+        self._distrust_events = 0
+        self._distrusted_cycles = 0
+        self._obs = resolve_obs(obs)
+        self._trips_on = self._obs.flight.enabled
+        if self._obs.metrics_on:
+            self._obs.metrics.gauge_func(
+                "repro_meter_distrusted",
+                "Whether the system meter is currently distrusted (0/1)",
+                lambda: 1.0 if self._distrusted else 0.0,
+            )
+            self._obs.metrics.counter_func(
+                "repro_meter_distrusted_cycles_total",
+                "Cycles run with the system meter distrusted",
+                lambda: float(self._distrusted_cycles),
+            )
+
+    @property
+    def distrusted(self) -> bool:
+        """Whether the meter is currently distrusted."""
+        return self._distrusted
+
+    @property
+    def distrust_events(self) -> int:
+        """Distinct distrust episodes entered so far."""
+        return self._distrust_events
+
+    @property
+    def distrusted_cycles(self) -> int:
+        """Cycles spent with the meter distrusted so far."""
+        return self._distrusted_cycles
+
+    def filter(self, metered_w: float, estimate_w: float, now: float) -> float:
+        """Observe one metered cycle; return the power to act on.
+
+        While the meter is trusted this returns ``metered_w`` unchanged
+        (bit-identical to the undefended path); while distrusted it
+        returns ``max(metered_w, estimate_w)``.
+        """
+        cfg = self.config
+        basis = max(abs(estimate_w), _TINY_W)
+        residual = abs(metered_w - estimate_w) / basis
+        high = residual > cfg.meter_residual_fraction
+        if not self._distrusted:
+            self._bad_streak = self._bad_streak + 1 if high else 0
+            if self._bad_streak >= cfg.meter_distrust_cycles:
+                self._distrusted = True
+                self._distrust_events += 1
+                self._good_streak = 0
+                if self._trips_on:
+                    self._obs.trip("meter_distrust", now)
+        else:
+            self._good_streak = 0 if high else self._good_streak + 1
+            if self._good_streak >= cfg.meter_recovery_cycles:
+                self._distrusted = False
+                self._bad_streak = 0
+        if self._distrusted:
+            self._distrusted_cycles += 1
+            return max(metered_w, estimate_w)
+        return metered_w

@@ -1,0 +1,88 @@
+"""Tests for the CI chaos-run safety gate (tools/ci/chaos_check.py)."""
+
+import json
+
+import pytest
+
+from tools.ci.chaos_check import check, main
+
+
+def _payload(**overrides):
+    payload = {
+        "label": "bfp",
+        "overspend": 0.002,
+        "p_max_w": 8600.0,
+        "fault_stats": {
+            "corrupted_samples": 3600,
+            "corrupted_meter_readings": 599,
+            "corrupt_samples_rejected": 3275,
+            "quarantine_entries": 6,
+            "quarantined_node_cycles": 3380,
+            "meter_distrusted_cycles": 0,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_healthy_defended_run_passes():
+    assert check(_payload(), max_overspend=0.05) == []
+
+
+def test_nan_anywhere_fails():
+    failures = check(_payload(p_max_w=float("nan")), max_overspend=0.05)
+    assert any("non-finite" in f and "p_max_w" in f for f in failures)
+
+
+def test_nested_infinity_fails():
+    payload = _payload()
+    payload["fault_stats"]["quarantined_node_cycles"] = float("inf")
+    failures = check(payload, max_overspend=0.05)
+    assert any("fault_stats.quarantined_node_cycles" in f for f in failures)
+
+
+def test_overspend_beyond_bound_fails():
+    failures = check(_payload(overspend=0.2), max_overspend=0.05)
+    assert any("exceeds the safety bound" in f for f in failures)
+
+
+def test_corruption_must_have_fired():
+    payload = _payload()
+    payload["fault_stats"]["corrupted_samples"] = 0
+    payload["fault_stats"]["corrupted_meter_readings"] = 0
+    failures = check(payload, max_overspend=0.05)
+    assert any("never fired" in f for f in failures)
+
+
+def test_defense_must_have_engaged():
+    payload = _payload()
+    for key in (
+        "corrupt_samples_rejected",
+        "quarantine_entries",
+        "meter_distrusted_cycles",
+    ):
+        payload["fault_stats"][key] = 0
+    failures = check(payload, max_overspend=0.05)
+    assert any("never engaged" in f for f in failures)
+
+
+def test_missing_fault_stats_fails():
+    failures = check(_payload(fault_stats=None), max_overspend=0.05)
+    assert failures == ["fault_stats missing: run had no fault injector"]
+
+
+def test_main_roundtrip(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_payload()))
+    assert main([str(good)]) == 0
+    assert "all safety invariants hold" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_payload(overspend=0.2)))
+    assert main([str(bad), "--max-overspend", "0.05"]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("preset_overspend", [0.049, 0.0])
+def test_bound_is_inclusive(preset_overspend):
+    assert check(_payload(overspend=preset_overspend), max_overspend=0.049) == []

@@ -166,3 +166,79 @@ def test_run_fault_table_lists_fault_rows(capsys):
     out = capsys.readouterr().out
     assert "telemetry samples dropped" in out
     assert "forced-red cycles" in out
+
+
+# ----------------------------------------------------------------------
+# Telemetry corruption / integrity flags
+# ----------------------------------------------------------------------
+def test_run_with_corruption_preset_json(capsys):
+    args = [
+        "run", "--policy", "mpc", "--json",
+        "--corruption", "gain-error",
+    ] + _tiny()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["fault_stats"]
+    assert stats is not None
+    assert stats["corrupted_samples"] > 0
+
+
+def test_run_corruption_with_quarantine_table(capsys):
+    args = [
+        "run", "--policy", "mpc",
+        "--corruption", "garbage", "--quarantine",
+    ] + _tiny()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "corrupted samples" in out
+    assert "corrupt samples rejected" in out
+
+
+def test_unknown_corruption_preset_is_clean_error(capsys):
+    code = main(["run", "--policy", "mpc", "--corruption", "stuckat"] + _tiny())
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "stuck-at" in err  # the catalogue is listed for the typo
+
+
+def test_unknown_faults_preset_is_clean_error(capsys):
+    code = main(["run", "--policy", "mpc", "--faults", "heavvy"] + _tiny())
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "heavy" in err
+
+
+def test_no_faults_conflicts_with_faults_preset(capsys):
+    code = main(
+        ["run", "--policy", "mpc", "--faults", "light", "--no-faults"] + _tiny()
+    )
+    assert code == 2
+    assert "--no-faults" in capsys.readouterr().err
+
+
+def test_no_faults_conflicts_with_corruption(capsys):
+    code = main(
+        ["run", "--policy", "mpc", "--corruption", "drift", "--no-faults"]
+        + _tiny()
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--no-faults" in err and "drift" in err
+
+
+def test_trust_flags_require_quarantine(capsys):
+    code = main(
+        ["run", "--policy", "mpc", "--trust-release", "0.8"] + _tiny()
+    )
+    assert code == 2
+    assert "--quarantine" in capsys.readouterr().err
+
+
+def test_corruption_onset_requires_corruption(capsys):
+    code = main(
+        ["run", "--policy", "mpc", "--corruption-onset", "10"] + _tiny()
+    )
+    assert code == 2
+    assert "--corruption" in capsys.readouterr().err

@@ -28,6 +28,8 @@ class _FakeInjector:
         self.meter_outage_cycles = 0
         self.node_crashes = 0
         self.offline_node_cycles = 0
+        self.corrupted_samples = 0
+        self.corrupted_meter_readings = 0
 
     def begin_cycle(self, now):
         if not self.meter_up:
@@ -41,6 +43,9 @@ class _FakeInjector:
 
     def telemetry_drop_mask(self, node_ids):
         return self.drop[np.asarray(node_ids, dtype=np.int64)]
+
+    def corrupt_telemetry(self, node_ids, cpu_util, mem_frac, nic_frac):
+        return np.zeros(len(node_ids), dtype=bool)
 
     def command_outcomes(self, node_ids):
         z = np.zeros(len(node_ids), dtype=bool)

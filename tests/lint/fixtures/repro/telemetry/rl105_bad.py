@@ -1,0 +1,29 @@
+"""Bad: telemetry fields compared with no NaN guard in scope (RL105)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def classify(cpu_util: np.ndarray) -> np.ndarray:
+    # A corrupted sensor's NaN makes this silently False.
+    return cpu_util > 0.9  # rl-expect: RL105
+
+
+def is_idle(snapshot) -> bool:
+    return float(snapshot.mem_frac[0]) < 0.05  # rl-expect: RL105
+
+
+def fully_covered(coverage: float) -> bool:
+    return coverage == 1.0  # rl-expect: RL105
+
+
+def stale(age: np.ndarray, horizon_s: float) -> np.ndarray:
+    # A guard inside the nested closure does not license this compare.
+    mask = age >= horizon_s  # rl-expect: RL105
+
+    def saturated(cpu_util: np.ndarray) -> np.ndarray:
+        clean = np.nan_to_num(cpu_util, nan=1.0)
+        return clean >= 1.0  # guarded in its own scope: not flagged
+
+    return mask & saturated(age)

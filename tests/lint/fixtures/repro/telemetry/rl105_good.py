@@ -1,0 +1,37 @@
+"""Good: the same comparisons with a NaN guard in the same function."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def classify(cpu_util: np.ndarray) -> np.ndarray:
+    return np.nan_to_num(cpu_util, nan=1.0) > 0.9
+
+
+def is_idle(snapshot) -> bool:
+    value = float(snapshot.mem_frac[0])
+    return not math.isnan(value) and value < 0.05
+
+
+def fully_covered(coverage: float) -> bool:
+    if math.isnan(coverage):
+        return False
+    return coverage == 1.0
+
+
+def stale(age: np.ndarray, horizon_s: float) -> np.ndarray:
+    finite = np.isfinite(age)
+    return finite & (age >= horizon_s)
+
+
+def saturated(cpu_util: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        return cpu_util >= 1.0
+
+
+def plain_threshold(power_w: float, cap_w: float) -> bool:
+    # Non-telemetry quantities are outside RL105's scope.
+    return power_w > cap_w

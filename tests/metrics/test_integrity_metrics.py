@@ -1,0 +1,82 @@
+"""Tests for the telemetry-integrity metric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import (
+    estimate_error_w_under_corruption,
+    meter_distrust_seconds,
+    quarantine_node_seconds,
+    quarantine_seconds,
+)
+
+T = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+
+
+def test_quarantine_seconds_sample_and_hold():
+    counts = np.array([0.0, 2.0, 1.0, 0.0, 3.0])
+    # Intervals [1,2) and [2,3) have a positive left sample; the final
+    # sample opens no interval.
+    assert quarantine_seconds(T, counts) == pytest.approx(2.0)
+
+
+def test_quarantine_node_seconds_integrates_depth():
+    counts = np.array([0.0, 2.0, 1.0, 0.0, 3.0])
+    assert quarantine_node_seconds(T, counts) == pytest.approx(3.0)
+
+
+def test_quarantine_metrics_on_clean_run_are_zero():
+    zeros = np.zeros_like(T)
+    assert quarantine_seconds(T, zeros) == 0.0
+    assert quarantine_node_seconds(T, zeros) == 0.0
+
+
+def test_single_sample_trace_has_zero_duration():
+    assert quarantine_seconds(np.array([5.0]), np.array([3.0])) == 0.0
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(MetricError):
+        quarantine_seconds(T, np.array([0.0, -1.0, 0.0, 0.0, 0.0]))
+
+
+def test_meter_distrust_seconds():
+    flags = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+    assert meter_distrust_seconds(T, flags) == pytest.approx(2.0)
+
+
+def test_estimate_error_unsigned_is_worst_absolute_deviation():
+    acted = np.array([100.0, 90.0, 130.0, 100.0, 100.0])
+    true = np.full(5, 100.0)
+    assert estimate_error_w_under_corruption(T, acted, true) == pytest.approx(
+        30.0
+    )
+
+
+def test_estimate_error_signed_is_worst_underestimate():
+    acted = np.array([100.0, 90.0, 130.0, 100.0, 100.0])
+    true = np.full(5, 100.0)
+    err = estimate_error_w_under_corruption(T, acted, true, signed=True)
+    assert err == pytest.approx(-10.0)
+
+
+def test_estimate_error_respects_corruption_mask():
+    acted = np.array([50.0, 90.0, 130.0, 100.0, 100.0])
+    true = np.full(5, 100.0)
+    corrupted = np.array([0.0, 1.0, 1.0, 1.0, 1.0])  # first sample honest
+    err = estimate_error_w_under_corruption(T, acted, true, corrupted)
+    assert err == pytest.approx(30.0)
+
+
+def test_estimate_error_misalignment_and_nan_rejected():
+    with pytest.raises(MetricError):
+        estimate_error_w_under_corruption(T, np.zeros(5), np.zeros(4))
+    with pytest.raises(MetricError):
+        estimate_error_w_under_corruption(
+            T, np.full(5, np.nan), np.zeros(5)
+        )
+    with pytest.raises(MetricError):
+        estimate_error_w_under_corruption(
+            T, np.zeros(5), np.zeros(5), corrupted=np.zeros(5)
+        )

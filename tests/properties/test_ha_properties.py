@@ -89,6 +89,8 @@ class _RetryInjector:
         self.meter_outage_cycles = 0
         self.node_crashes = 0
         self.offline_node_cycles = 0
+        self.corrupted_samples = 0
+        self.corrupted_meter_readings = 0
 
     def begin_cycle(self, now):
         pass
@@ -100,6 +102,9 @@ class _RetryInjector:
         return reading_w
 
     def telemetry_drop_mask(self, node_ids):
+        return np.zeros(len(node_ids), dtype=bool)
+
+    def corrupt_telemetry(self, node_ids, cpu_util, mem_frac, nic_frac):
         return np.zeros(len(node_ids), dtype=bool)
 
     def command_outcomes(self, node_ids):

@@ -20,6 +20,9 @@ class _ScriptedDrops:
             return np.asarray(self._masks.pop(0), dtype=bool)
         return np.zeros(len(node_ids), dtype=bool)
 
+    def corrupt_telemetry(self, node_ids, cpu_util, mem_frac, nic_frac):
+        return np.zeros(len(node_ids), dtype=bool)
+
 
 def _collector(cluster, injector=None):
     sets = NodeSets(cluster)

@@ -1,0 +1,109 @@
+"""CI safety gate for chaos (sensor-corruption) smoke runs.
+
+Reads the ``--json`` payload of a defended ``repro run`` executed under
+a corruption preset and asserts the safety invariants the telemetry
+integrity defense must hold even while its sensors are lying:
+
+* the payload contains no NaN / infinity anywhere — a single poisoned
+  float in the metrics pipeline would propagate silently;
+* the corruption model actually fired (otherwise the job tests nothing);
+* the defense engaged (samples rejected, nodes quarantined, or the
+  meter distrusted — any evidence of an active response);
+* the cap-violation metric ``overspend`` (the paper's dPxT) stays under
+  an explicit bound, i.e. the corrupted run is still a controlled run.
+
+Usage::
+
+    python tools/ci/chaos_check.py chaos.json --max-overspend 0.05
+
+Exit code 0 iff every invariant holds; failures are listed on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Iterator
+
+
+def _walk(value: Any, path: str) -> Iterator[tuple[str, Any]]:
+    """Yield every (path, leaf) pair of a JSON document."""
+    if isinstance(value, dict):
+        for key, item in value.items():
+            yield from _walk(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from _walk(item, f"{path}[{index}]")
+    else:
+        yield path, value
+
+
+def check(payload: dict[str, Any], max_overspend: float) -> list[str]:
+    failures: list[str] = []
+
+    for path, leaf in _walk(payload, "$"):
+        if isinstance(leaf, float) and not math.isfinite(leaf):
+            failures.append(f"non-finite value at {path}: {leaf!r}")
+
+    stats = payload.get("fault_stats")
+    if not isinstance(stats, dict):
+        failures.append("fault_stats missing: run had no fault injector")
+        return failures
+
+    injected = stats.get("corrupted_samples", 0) + stats.get(
+        "corrupted_meter_readings", 0
+    )
+    if injected <= 0:
+        failures.append("corruption never fired (0 corrupted samples)")
+
+    engaged = (
+        stats.get("corrupt_samples_rejected", 0)
+        + stats.get("quarantine_entries", 0)
+        + stats.get("meter_distrusted_cycles", 0)
+    )
+    if engaged <= 0:
+        failures.append(
+            "defense never engaged (no rejections, quarantines or "
+            "meter distrust)"
+        )
+
+    overspend = payload.get("overspend")
+    if not isinstance(overspend, (int, float)) or not math.isfinite(
+        float(overspend)
+    ):
+        failures.append(f"overspend missing or non-finite: {overspend!r}")
+    elif float(overspend) > max_overspend:
+        failures.append(
+            f"overspend {float(overspend):.4f} exceeds the safety bound "
+            f"{max_overspend:.4f}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("payload", help="path to the repro run --json output")
+    parser.add_argument(
+        "--max-overspend",
+        type=float,
+        default=0.05,
+        help="dPxT ceiling for a defended corrupted run (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.payload, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    failures = check(payload, args.max_overspend)
+    if failures:
+        for failure in failures:
+            print(f"chaos-check: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos-check: all safety invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ from tools.reprolint.checkers.base import Checker
 from tools.reprolint.checkers.determinism import DeterminismChecker
 from tools.reprolint.checkers.fencing import FencingChecker
 from tools.reprolint.checkers.hygiene import HygieneChecker
+from tools.reprolint.checkers.nansafety import NanSafetyChecker
 from tools.reprolint.checkers.units import UnitsChecker
 from tools.reprolint.diagnostics import Rule
 
@@ -16,6 +17,7 @@ def all_checkers() -> tuple[Checker, ...]:
     """One fresh instance of every registered checker."""
     return (
         DeterminismChecker(),
+        NanSafetyChecker(),
         UnitsChecker(),
         FencingChecker(),
         HygieneChecker(),

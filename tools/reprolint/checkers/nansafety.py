@@ -1,0 +1,160 @@
+"""NaN-safety rule for telemetry arithmetic (RL105).
+
+Telemetry fields (``cpu_util``, ``mem_frac``, ``nic_frac``, ``age``,
+``coverage``) are the one place NaN legitimately enters the simulator:
+a corrupted sensor reports garbage, and IEEE-754 makes every ordering
+comparison against it silently ``False``.  A bare ``cpu_util > 0.9``
+then quietly misclassifies a poisoned node as idle — no exception, no
+log line, just a wrong branch.  This rule forces the guard to be
+visible: any function in :mod:`repro.telemetry` or :mod:`repro.power`
+that compares a telemetry field must also sanitise NaN in that same
+function (``isnan`` / ``isfinite`` / ``nan_to_num`` / ``errstate``),
+so the reader can see the poisoned-input story locally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.diagnostics import Diagnostic, Rule, Severity
+from tools.reprolint.source import ParsedModule, dotted_name
+
+#: Packages whose telemetry comparisons must carry a local NaN guard.
+_NAN_GUARDED_PACKAGES = ("repro.telemetry", "repro.power")
+
+#: Telemetry fields NaN can reach through a corrupted sensor.
+_TELEMETRY_FIELDS = frozenset(
+    {"cpu_util", "mem_frac", "nic_frac", "age", "coverage"}
+)
+
+#: Qualified callables that count as a NaN guard.
+_GUARD_CALLS = frozenset(
+    {
+        "math.isnan",
+        "math.isfinite",
+        "numpy.isnan",
+        "numpy.isfinite",
+        "numpy.nan_to_num",
+        "numpy.errstate",
+    }
+)
+
+_COMPARISON_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: Value-preserving wrappers unwrapped to find the quantity's name.
+_TRANSPARENT_CALLS = frozenset({"float", "abs", "asarray", "array", "round"})
+
+
+class NanSafetyChecker(Checker):
+    """RL105 telemetry comparison without a local NaN guard."""
+
+    rules = (
+        Rule(
+            "RL105",
+            "nan-unsafe-compare",
+            Severity.ERROR,
+            "telemetry field compared without a NaN guard in scope",
+            "NaN from a corrupted sensor makes every ordering comparison "
+            "False, silently misclassifying the node.  Guard the value "
+            "with np.isnan/np.isfinite/np.nan_to_num (or errstate) in "
+            "the same function before comparing.",
+        ),
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if not module.in_package(*_NAN_GUARDED_PACKAGES):
+            return
+        yield from self._check_scope(module, module.tree)
+
+    def _check_scope(
+        self, module: ParsedModule, scope: ast.AST
+    ) -> Iterator[Diagnostic]:
+        """Check one scope's own statements, recursing into nested ones.
+
+        A guard call protects exactly the innermost function (or module
+        body) it appears in: a guard buried in a closure does not
+        license comparisons in its enclosing function, and vice versa.
+        """
+        own_nodes = list(self._walk_scope(scope))
+        guarded = any(
+            isinstance(node, ast.Call) and self._is_guard(module, node)
+            for node in own_nodes
+        )
+        if not guarded:
+            for node in own_nodes:
+                if isinstance(node, ast.Compare):
+                    yield from self._check_compare(module, node)
+        for node in own_nodes:
+            if isinstance(node, _SCOPE_NODES):
+                yield from self._check_scope(module, node)
+
+    @staticmethod
+    def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``scope``'s nodes without descending into nested scopes
+        (the nested scope node itself is yielded, its body is not)."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, _SCOPE_NODES):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _is_guard(self, module: ParsedModule, node: ast.Call) -> bool:
+        raw = dotted_name(node.func)
+        if raw is None:
+            return False
+        qualified = module.imports.qualify(raw)
+        qualified = qualified.replace("np.", "numpy.", 1)
+        return qualified in _GUARD_CALLS
+
+    def _check_compare(
+        self, module: ParsedModule, node: ast.Compare
+    ) -> Iterator[Diagnostic]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, _COMPARISON_OPS):
+                continue
+            for side in (left, right):
+                name = self._terminal_name(side)
+                if name in _TELEMETRY_FIELDS:
+                    yield self.emit(
+                        module,
+                        node,
+                        "RL105",
+                        f"'{name}' compared without a NaN guard in this "
+                        "function; a corrupted sensor's NaN makes the "
+                        "comparison silently False — sanitise with "
+                        "np.isnan/np.isfinite/np.nan_to_num first",
+                    )
+                    break
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> str | None:
+        # Unwrap value-preserving wrappers and indexing so
+        # float(snap.cpu_util[i]) < 0.5 still reveals the field name.
+        while True:
+            if (
+                isinstance(node, ast.Call)
+                and node.args
+                and isinstance(node.func, (ast.Name, ast.Attribute))
+                and (
+                    node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else node.func.attr
+                )
+                in _TRANSPARENT_CALLS
+            ):
+                node = node.args[0]
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            else:
+                break
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
