@@ -1,0 +1,118 @@
+"""Power-delivery faults — capping against a budget that shrinks.
+
+The paper's Algorithm 1 derives `P_H`/`P_L` once and treats the
+provisioned budget as a constant of nature.  This bench drops a
+redundant utility feed mid-run (the `feed-loss` preset) and compares,
+on identical seeds:
+
+* **undefended** — the controller keeps capping against the stale
+  full-capacity thresholds while the delivery system can no longer
+  carry them; and
+* **defended** — the emergency response renegotiates the envelope,
+  forces emergency red while the draw sits above surviving capacity,
+  and walks the degradation ladder if that is not enough.
+
+Both arms are graded with ΔP×T computed against the *reduced* budget
+(the minimum surviving capacity), because after the loss that — not the
+training-time peak — is what the breakers upstream can actually carry.
+The clean baseline is graded against its own provisioned threshold: the
+normal cost of capping when the budget holds.
+
+Acceptance: the undefended overspend against the reduced budget exceeds
+3× the clean baseline, the defended arm stays below 1.5×, and the
+defended run records **zero breaker trips**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import Table
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics import accumulated_overspend
+from repro.provision import ProvisionScenario
+
+from benchmarks.conftest import print_banner
+
+_POLICY = "bfp"
+#: The feed drops after training settles, while the machine is loaded.
+_LOSS_CYCLE = 60
+
+
+def _quick() -> ExperimentConfig:
+    return ExperimentConfig.quick(seed=2012, attach_provision=True)
+
+
+def _run_arms(config: ExperimentConfig):
+    clean = run_experiment(config, _POLICY)
+    loss = ProvisionScenario.preset("feed-loss", feed_loss_at_cycle=_LOSS_CYCLE)
+    undefended = replace(
+        config,
+        provision=replace(loss, defend=False, branch_caps=False),
+    )
+    defended = replace(config, provision=loss)
+    return clean, run_experiment(undefended, _POLICY), run_experiment(defended, _POLICY)
+
+
+def test_provision_emergency_ladder(benchmark):
+    config = _quick()
+    clean, undefended, defended = benchmark.pedantic(
+        _run_arms, args=(config,), rounds=1, iterations=1
+    )
+
+    # Grade every arm against the budget that survived the loss.
+    stats_d = defended.provision_stats
+    stats_u = undefended.provision_stats
+    assert stats_d is not None and stats_u is not None
+    reduced_w = stats_d.min_capacity_w
+    assert stats_u.min_capacity_w == reduced_w  # same topology, same loss
+
+    def _vs_reduced(result):
+        return accumulated_overspend(result.times, result.power_w, reduced_w)
+
+    # The clean arm pays the normal cost of capping against the budget
+    # it was provisioned for; the fault arms are judged against what the
+    # delivery system could still carry.
+    base = clean.metrics.overspend
+    ratio_u = _vs_reduced(undefended) / base
+    ratio_d = _vs_reduced(defended) / base
+
+    print_banner("Power-delivery emergency: ΔP×T vs the reduced budget")
+    table = Table(
+        [
+            "arm",
+            "ΔP×T(reduced)",
+            "×clean",
+            "breaker trips",
+            "renegotiations",
+            "emergency red",
+            "suspended",
+        ]
+    )
+    table.add_row("clean (nominal)", f"{base:.4f}", "1.00", "-", "-", "-", "-")
+    for name, result, stats, ratio in (
+        ("undefended", undefended, stats_u, ratio_u),
+        ("defended", defended, stats_d, ratio_d),
+    ):
+        table.add_row(
+            name,
+            f"{_vs_reduced(result):.4f}",
+            f"{ratio:.2f}",
+            stats.breaker_trips,
+            stats.envelope_renegotiations,
+            stats.emergency_red_cycles,
+            stats.jobs_suspended,
+        )
+    print(table.render())
+
+    # Both arms really lost the feed.
+    assert stats_u.feed_losses >= 1 and stats_d.feed_losses >= 1
+    assert reduced_w < stats_d.design_capacity_w
+
+    # Acceptance: the ladder bounds the overspend against the shrunken
+    # budget; ignoring the loss blows straight through it.
+    assert ratio_u > 3.0, f"undefended only {ratio_u:.2f}x of clean"
+    assert ratio_d < 1.5, f"defended still {ratio_d:.2f}x of clean"
+    assert stats_d.breaker_trips == 0
+    # The undefended arm never renegotiated (it has no defense to do so).
+    assert stats_u.envelope_renegotiations == 0

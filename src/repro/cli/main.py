@@ -32,6 +32,7 @@ from repro.faults import CorruptionScenario, FaultScenario
 from repro.ha import HaConfig
 from repro.metrics import compare_runs
 from repro.obs import ObsConfig
+from repro.provision import ProvisionScenario
 from repro.telemetry import IntegrityConfig
 from repro.units import MICRO, fmt_power
 
@@ -80,6 +81,15 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["faults"] = scenario
     if corruption.enabled:
         overrides["corruption"] = corruption
+    provision, attach_provision = _provision_from_args(args)
+    if getattr(args, "no_faults", False) and provision.enabled:
+        raise ConfigurationError(
+            "--no-faults conflicts with --provision "
+            f"{getattr(args, 'provision', 'none')!r}; drop one of the two"
+        )
+    if attach_provision:
+        overrides["provision"] = provision
+        overrides["attach_provision"] = True
     integrity = _integrity_from_args(args)
     if integrity is not None:
         overrides["integrity"] = integrity
@@ -120,6 +130,49 @@ def _corruption_from_args(args: argparse.Namespace) -> CorruptionScenario:
             )
         corruption = replace(corruption, onset_cycle=onset)
     return corruption
+
+
+def _provision_from_args(
+    args: argparse.Namespace,
+) -> tuple[ProvisionScenario, bool]:
+    """The power-delivery scenario plus whether to attach the topology.
+
+    ``--provision none`` is meaningful: it attaches a healthy delivery
+    topology (proving the attachment itself changes nothing), so the
+    second element distinguishes "explicitly requested" from the
+    default.
+    """
+    raw = getattr(args, "provision", None)
+    explicit = raw is not None
+    # ProvisionScenario.preset rejects unknown names with the list of
+    # available presets; main() turns that into a friendly exit.
+    scenario = ProvisionScenario.preset(raw if explicit else "none")
+    knobs: tuple[tuple[str, str, str], ...] = (
+        ("feed_loss_at", "--feed-loss-at", "feed_loss_at_cycle"),
+        ("feed_restore_after", "--feed-restore-after", "feed_restore_after_cycles"),
+        ("cap_order_at", "--cap-order-at", "cap_order_at_cycle"),
+        ("nodes_per_rack", "--nodes-per-rack", "nodes_per_rack"),
+    )
+    overrides: dict[str, Any] = {}
+    for attr, flag, field_name in knobs:
+        value = getattr(args, attr, None)
+        if value is not None:
+            if not explicit:
+                raise ConfigurationError(f"{flag} requires --provision PRESET")
+            overrides[field_name] = value
+    if getattr(args, "no_defense", False):
+        if not explicit:
+            raise ConfigurationError("--no-defense requires --provision PRESET")
+        overrides["defend"] = False
+    if getattr(args, "no_branch_caps", False):
+        if not explicit:
+            raise ConfigurationError(
+                "--no-branch-caps requires --provision PRESET"
+            )
+        overrides["branch_caps"] = False
+    if overrides:
+        scenario = replace(scenario, **overrides)
+    return scenario, explicit
 
 
 def _integrity_from_args(args: argparse.Namespace) -> IntegrityConfig | None:
@@ -251,6 +304,59 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
             "assert the paper's fault-free setting; errors out if a "
             "fault or corruption scenario is also configured"
         ),
+    )
+    delivery = parser.add_argument_group("power delivery")
+    delivery.add_argument(
+        "--provision",
+        default=None,
+        metavar="PRESET",
+        help=(
+            "power-delivery scenario preset; 'none' attaches a healthy "
+            "topology (available: "
+            + ", ".join(ProvisionScenario.preset_names())
+            + ")"
+        ),
+    )
+    delivery.add_argument(
+        "--feed-loss-at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="managed cycle at which a utility feed drops",
+    )
+    delivery.add_argument(
+        "--feed-restore-after",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="cycles until lost feeds return (default: permanent)",
+    )
+    delivery.add_argument(
+        "--cap-order-at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="managed cycle at which an operator cap order arrives",
+    )
+    delivery.add_argument(
+        "--nodes-per-rack",
+        type=int,
+        default=None,
+        metavar="N",
+        help="nodes per branch circuit (default: 8)",
+    )
+    delivery.add_argument(
+        "--no-defense",
+        action="store_true",
+        help=(
+            "disable the emergency response (no renegotiation, no "
+            "ladder) — the undefended comparison arm"
+        ),
+    )
+    delivery.add_argument(
+        "--no-branch-caps",
+        action="store_true",
+        help="disable per-branch capping while keeping the global defense",
     )
     integrity = parser.add_argument_group("telemetry integrity")
     integrity.add_argument(
@@ -395,6 +501,11 @@ def _metrics_dict(result: ExperimentResult) -> dict[str, Any]:
         "ha_stats": (
             asdict(result.ha_stats) if result.ha_stats is not None else None
         ),
+        "provision_stats": (
+            result.provision_stats.as_dict()
+            if result.provision_stats is not None
+            else None
+        ),
         "observability": (
             {
                 "cycles_traced": result.observability.tracer.cycles_traced,
@@ -474,6 +585,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "journal records/compactions",
             f"{hs.journal_records}/{hs.journal_compactions}",
         )
+    ps = result.provision_stats
+    if ps is not None:
+        table.add_row(
+            "delivery capacity (min/design)",
+            f"{fmt_power(ps.min_capacity_w)} / {fmt_power(ps.design_capacity_w)}",
+        )
+        table.add_row(
+            "capacity events (feed/pdu/order)",
+            f"{ps.feed_losses}/{ps.pdu_failures}/{ps.cap_orders}",
+        )
+        table.add_row("breaker trips", ps.breaker_trips)
+        table.add_row(
+            "capacity lost", f"{ps.capacity_lost_w_seconds:.0f} W*s"
+        )
+        table.add_row(
+            "branch violation", f"{ps.branch_cap_violation_seconds:.1f} s"
+        )
+        if ps.envelope_renegotiations or ps.emergency_red_cycles:
+            table.add_row(
+                "renegotiations / emergency red",
+                f"{ps.envelope_renegotiations}/{ps.emergency_red_cycles}",
+            )
+        if ps.branch_cap_interventions:
+            table.add_row("branch-cap interventions", ps.branch_cap_interventions)
+        if ps.jobs_suspended or ps.jobs_killed or ps.nodes_shed:
+            table.add_row(
+                "ladder (susp/resume/kill)",
+                f"{ps.jobs_suspended}/{ps.jobs_resumed}/{ps.jobs_killed}",
+            )
+            table.add_row(
+                "nodes shed/readmitted",
+                f"{ps.nodes_shed}/{ps.nodes_readmitted}",
+            )
     o = result.observability
     if o is not None:
         if o.tracing:
@@ -595,6 +739,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The scenario families ``list-presets`` enumerates, in display order.
+_PRESET_FAMILIES: tuple[tuple[str, str, type], ...] = (
+    ("faults", "--faults", FaultScenario),
+    ("corruption", "--corruption", CorruptionScenario),
+    ("provision", "--provision", ProvisionScenario),
+)
+
+
+def _preset_catalogue() -> list[dict[str, str]]:
+    """Every scenario preset with its family, flag and one-line blurb."""
+    rows: list[dict[str, str]] = []
+    for family, flag, cls in _PRESET_FAMILIES:
+        for name in cls.preset_names():
+            factory = getattr(cls, name.replace("-", "_"))
+            doc = (factory.__doc__ or "").strip()
+            blurb = " ".join(doc.split("\n\n")[0].split()) if doc else ""
+            rows.append(
+                {
+                    "family": family,
+                    "flag": flag,
+                    "name": name,
+                    "description": blurb,
+                }
+            )
+    return rows
+
+
+def _cmd_list_presets(args: argparse.Namespace) -> int:
+    rows = _preset_catalogue()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    table = Table(["family", "preset", "description"])
+    for row in rows:
+        table.add_row(
+            f"{row['family']} ({row['flag']})", row["name"], row["description"]
+        )
+    print(table.render())
+    return 0
+
+
 def _cmd_policies(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(available_policies()))
@@ -676,6 +861,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_pol = sub.add_parser("policies", help="list selection policies")
     p_pol.add_argument("--json", action="store_true")
     p_pol.set_defaults(func=_cmd_policies)
+
+    p_lp = sub.add_parser(
+        "list-presets",
+        help="catalogue of fault, corruption and provision presets",
+    )
+    p_lp.add_argument("--json", action="store_true")
+    p_lp.set_defaults(func=_cmd_list_presets)
 
     return parser
 

@@ -118,6 +118,22 @@ class PowerCappingAlgorithm:
         self._degraded[:] = False
         self._time_g = 0
 
+    def mark_degraded(self, node_ids: np.ndarray) -> None:
+        """Record out-of-band degrades in ``A_degraded``.
+
+        The per-branch emergency capping path commands degrades outside
+        the normal decide step; marking them here lets the ordinary
+        steady-green restore lift those nodes back up once the episode
+        ends.  Non-candidate ids are ignored (privileged nodes are never
+        commanded, so they must never enter ``A_degraded``).
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if len(ids) == 0:
+            return
+        candidate = np.zeros_like(self._degraded)
+        candidate[self._sets.candidates] = True
+        self._degraded[ids[candidate[ids]]] = True
+
     def restore(self, degraded_mask: np.ndarray, time_in_green: int) -> None:
         """Adopt journaled Algorithm 1 state after a controller crash.
 

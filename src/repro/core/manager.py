@@ -27,6 +27,26 @@ manager runs a **degraded-mode fail-safe ladder** on top of Algorithm 1
 With no injector attached every rung is compiled out of the path and the
 control cycle is bit-for-bit the paper's.
 
+When a :class:`~repro.provision.runtime.ProvisionRuntime` is attached,
+the manager additionally defends the *budget side* of Algorithm 1
+against power-delivery faults (feed loss, PDU failure, breaker trips,
+operator cap orders):
+
+* **budget renegotiation** — each cycle the surviving delivery capacity
+  is pushed into :meth:`ThresholdController.set_envelope`, shrinking
+  ``P_L``/``P_H`` the instant capacity is lost (and un-clamping them on
+  recovery) while threshold *learning* stays clamped to the envelope;
+* **emergency red** — a cycle whose draw exceeds surviving capacity is
+  forced straight to red, bypassing cadence and steady-green hysteresis;
+* **per-branch capping** — racks near their (possibly derated) branch
+  rating are degraded locally through the fenced actuator;
+* **degradation ladder** — sustained over-capacity escalates through
+  job suspension to node shedding, with gradual re-admission
+  (:class:`~repro.provision.emergency.EmergencyResponse`).
+
+With a healthy scenario attached, none of this fires and the control
+cycle remains bit-for-bit the undefended one.
+
 For controller crash-recovery (:mod:`repro.ha`) the manager can share a
 caller-supplied actuator (in-flight commands live in the network, not in
 the manager process), journal every completed cycle to a
@@ -43,7 +63,8 @@ writes) are rejected wholesale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,7 +75,7 @@ from repro.core.policies.base import PolicyContext, SelectionPolicy
 from repro.core.sets import NodeSets
 from repro.core.states import PowerState, classify_power_state
 from repro.core.thresholds import ThresholdController
-from repro.errors import DegradedModeError
+from repro.errors import ConfigurationError, DegradedModeError
 from repro.faults.degraded import DegradedModeConfig
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.ha.journal import (
@@ -68,6 +89,8 @@ from repro.obs.trace import CycleTracer, Span
 from repro.power.estimator import NodePowerEstimator
 from repro.power.hetero import make_power_model
 from repro.power.meter import SystemPowerMeter
+from repro.provision.emergency import EmergencyResponse
+from repro.provision.runtime import ProvisionRuntime, ProvisionStats
 from repro.telemetry.collector import TelemetryCollector, TelemetrySnapshot
 from repro.telemetry.cost import ManagementCostModel
 from repro.telemetry.integrity import (
@@ -77,6 +100,9 @@ from repro.telemetry.integrity import (
 )
 from repro.telemetry.recorder import TimeSeriesRecorder
 from repro.types import Seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scheduler.scheduler import BatchScheduler
 
 __all__ = ["PowerManager", "CycleReport"]
 
@@ -95,6 +121,10 @@ SERIES_DEGRADED = "degraded_sensing"
 SERIES_QUARANTINED = "quarantined_nodes"
 SERIES_TRUST_MIN = "trust_min"
 SERIES_METER_DISTRUSTED = "meter_distrusted"
+#: Power-delivery series, recorded only when a provision runtime is
+#: attached (fault-free and fault-only runs keep the seed content).
+SERIES_CAPACITY = "capacity_w"
+SERIES_BRANCH_OVER = "branch_over_w"
 
 
 @dataclass(frozen=True)
@@ -120,6 +150,11 @@ class CycleReport:
     quarantined_nodes: int = 0
     #: Whether the integrity monitor distrusted the meter this cycle.
     meter_distrusted: bool = False
+    #: Surviving delivery capacity this cycle, watts (None = no
+    #: provision runtime attached).
+    capacity_w: float | None = None
+    #: Whether the capacity-emergency path forced this cycle to red.
+    emergency_red: bool = False
 
     @property
     def acted(self) -> bool:
@@ -169,6 +204,17 @@ class PowerManager:
             meter is distrusted or any node is quarantined.  ``None``
             (the default) leaves the pipeline out entirely — the
             control cycle is bit-for-bit the undefended one.
+        provision: Power-delivery runtime (:mod:`repro.provision`).
+            When given, the manager drives its capacity events each
+            cycle, renegotiates its budget against surviving capacity,
+            runs the emergency-red / branch-capping / degradation-ladder
+            defenses (if the scenario arms them), and settles true
+            branch power into the breaker physics.  ``None`` (the
+            default) leaves the whole domain out.
+        scheduler: The batch scheduler, required for the ladder's
+            suspend and shed rungs and for killing jobs on blacked-out
+            racks; optional (without it the ladder stops at the DVFS
+            floor).
     """
 
     def __init__(
@@ -187,6 +233,8 @@ class PowerManager:
         journal: StateJournal | None = None,
         obs: Observability | None = None,
         integrity: IntegrityConfig | None = None,
+        provision: ProvisionRuntime | None = None,
+        scheduler: "BatchScheduler | None" = None,
     ) -> None:
         self._cluster = cluster
         self._sets = sets
@@ -245,6 +293,18 @@ class PowerManager:
         # Observability: previous cycle's state, for the red-entry trip.
         self._last_state: PowerState | None = None
         self._last_power_w = 0.0
+        # Power-delivery fault domain (repro.provision).
+        self._provision = provision
+        self._emergency: EmergencyResponse | None = None
+        self._prov_last_settle: float | None = None
+        if provision is not None:
+            if provision.topology.num_nodes != cluster.state.num_nodes:
+                raise ConfigurationError(
+                    "provision topology does not match the cluster size"
+                )
+            cand_mask = np.zeros(cluster.state.num_nodes, dtype=bool)
+            cand_mask[sets.candidates] = True
+            self._emergency = EmergencyResponse(provision, scheduler, cand_mask)
         self._register_metrics()
 
     def _power_ratio_high(self) -> float:
@@ -313,6 +373,40 @@ class PowerManager:
             "Candidates awaiting fresh telemetry under the recovery hold",
             lambda: float(len(self._recovery_pending)),
         )
+        if self._provision is not None:
+            prov = self._provision
+            reg.counter_func(
+                "repro_breaker_trips_total",
+                "Branch breakers tripped (racks blacked out)",
+                lambda: float(prov.breaker_trips),
+            )
+            reg.counter_func(
+                "repro_capacity_lost_watt_seconds_total",
+                "Integrated (design - surviving) delivery capacity, W*s",
+                lambda: prov.capacity_lost_w_seconds,
+            )
+            reg.counter_func(
+                "repro_branch_cap_violation_seconds_total",
+                "Seconds any branch drew above its deliverable limit",
+                lambda: prov.branch_cap_violation_seconds,
+            )
+            reg.gauge_func(
+                "repro_delivery_capacity_watts",
+                "Surviving delivery capacity, watts",
+                lambda: prov.capacity_w,
+            )
+        if self._emergency is not None:
+            emr = self._emergency
+            reg.counter_func(
+                "repro_emergency_red_cycles_total",
+                "Cycles forced red by the capacity emergency path",
+                lambda: float(emr.emergency_red_cycles),
+            )
+            reg.counter_func(
+                "repro_jobs_suspended_total",
+                "Jobs suspended by the degradation ladder",
+                lambda: float(emr.jobs_suspended),
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -371,6 +465,16 @@ class PowerManager:
     def journal(self) -> StateJournal | None:
         """The attached state journal (None when not journaling)."""
         return self._journal
+
+    @property
+    def provision(self) -> ProvisionRuntime | None:
+        """The attached power-delivery runtime (None when absent)."""
+        return self._provision
+
+    @property
+    def emergency(self) -> EmergencyResponse | None:
+        """The capacity-emergency response (None without provision)."""
+        return self._emergency
 
     @property
     def fencing_epoch(self) -> int | None:
@@ -450,6 +554,32 @@ class PowerManager:
             meter_clamped_readings=self._meter.clamped_readings,
         )
 
+    def provision_report(self) -> ProvisionStats | None:
+        """Aggregate power-delivery accounting (None when no runtime).
+
+        Delivery-side counters come from the runtime; the emergency
+        response's ladder counters are folded in here because the
+        manager owns the response object.
+        """
+        prov = self._provision
+        if prov is None:
+            return None
+        stats = prov.stats()
+        emr = self._emergency
+        if emr is None:
+            return stats
+        return replace(
+            stats,
+            emergency_red_cycles=emr.emergency_red_cycles,
+            envelope_renegotiations=emr.envelope_renegotiations,
+            branch_cap_interventions=emr.branch_cap_interventions,
+            jobs_suspended=emr.jobs_suspended,
+            jobs_resumed=emr.jobs_resumed,
+            jobs_killed=emr.jobs_killed,
+            nodes_shed=emr.nodes_shed,
+            nodes_readmitted=emr.nodes_readmitted,
+        )
+
     # ------------------------------------------------------------------
     # The control cycle
     # ------------------------------------------------------------------
@@ -482,6 +612,17 @@ class PowerManager:
         inj = self._injector
         if inj is not None:
             inj.begin_cycle(now)
+        prov = self._provision
+        emr = self._emergency
+        if prov is not None:
+            prov.begin_cycle(now)
+            if emr is not None and emr.defended:
+                # Budget renegotiation: thresholds (and any later
+                # learning) are clamped to the surviving capacity's
+                # envelope the moment delivery changes, both downward on
+                # a loss and back up on recovery.
+                if self._thresholds.set_envelope(emr.envelope_w()):
+                    emr.envelope_renegotiations += 1
 
         # Stages open/close spans directly (no ``with`` dispatch) under a
         # single ``tracing`` guard; an exception unwinding mid-stage is
@@ -595,6 +736,13 @@ class PowerManager:
                 state = PowerState.RED
                 forced_red = True
                 self._forced_red_cycles += 1
+        emergency_red = False
+        if emr is not None and emr.update(now, power):
+            # Capacity emergency: draw exceeds surviving delivery
+            # capacity.  Red, now — cadence and steady-green hysteresis
+            # are for budget *management*, not for physics.
+            emergency_red = True
+            state = PowerState.RED
         if tracing:
             sp.attrs = {
                 "state": state.value,
@@ -602,6 +750,8 @@ class PowerManager:
                 "p_high_w": th.p_high,
                 "forced_red": forced_red,
             }
+            if prov is not None:
+                sp.attrs["emergency_red"] = emergency_red
             tracer.close_span()
 
         if tracing:
@@ -639,6 +789,9 @@ class PowerManager:
             }
             tracer.close_span()
 
+        if prov is not None:
+            self._provision_settle(prov, emr, now, state, decision)
+
         self._cycles += 1
         self._state_counts[state] += 1
         self._last_cycle_time = now
@@ -664,6 +817,9 @@ class PowerManager:
             rec.record(
                 SERIES_METER_DISTRUSTED, now, 1.0 if meter_distrusted else 0.0
             )
+        if prov is not None:
+            rec.record(SERIES_CAPACITY, now, prov.capacity_w)
+            rec.record(SERIES_BRANCH_OVER, now, prov.last_branch_over_w)
 
         if tracing:
             sp = tracer.open_span("journal")
@@ -719,6 +875,9 @@ class PowerManager:
             }
             if self._validator is not None:
                 root.attrs["quarantined_nodes"] = quarantined_count
+            if prov is not None:
+                root.attrs["capacity_w"] = prov.capacity_w
+                root.attrs["emergency_red"] = emergency_red
         return CycleReport(
             time=now,
             power_w=power,
@@ -732,7 +891,81 @@ class PowerManager:
             actuation=actuation,
             quarantined_nodes=quarantined_count,
             meter_distrusted=meter_distrusted,
+            capacity_w=None if prov is None else prov.capacity_w,
+            emergency_red=emergency_red,
         )
+
+    def _true_node_power_w(self) -> np.ndarray:
+        """Per-node true power from the full live cluster state, watts.
+
+        The estimator wraps the same model the meter integrates, so
+        evaluating it over the *actual* state arrays (not the telemetry
+        snapshot, which may be stale, partial or corrupted) is the
+        ground-truth branch power the breakers experience.
+        """
+        st = self._cluster.state
+        return self._estimator.estimate_nodes(
+            st.level,
+            st.cpu_util,
+            st.mem_frac,
+            st.nic_frac,
+            node_ids=np.arange(st.num_nodes, dtype=np.int64),
+        )
+
+    def _provision_settle(
+        self,
+        prov: ProvisionRuntime,
+        emr: EmergencyResponse | None,
+        now: Seconds,
+        state: PowerState,
+        decision: CappingDecision,
+    ) -> None:
+        """The delivery-side tail of one cycle: branch caps + physics.
+
+        After the global decision has been actuated, (1) per-branch
+        capping degrades candidates on racks near their deliverable
+        limit (through the fenced actuator, recorded in ``A_degraded``
+        so steady-green restores them later), (2) the cycle's true
+        branch power is settled into the breaker thermal model, and
+        (3) any breaker that tripped blacks out its rack: jobs killed,
+        nodes fenced offline and forced idle.
+        """
+        node_power = self._true_node_power_w()
+        if emr is not None and emr.branch_caps_on:
+            ids, new_levels = emr.branch_targets(
+                self._cluster.state.level, node_power
+            )
+            if len(ids) > 0:
+                self._capping.mark_degraded(ids)
+                branch_decision = CappingDecision(
+                    state,
+                    CappingAction.DEGRADE,
+                    ids,
+                    new_levels,
+                    decision.time_in_green,
+                )
+                self._actuator.apply(
+                    branch_decision,
+                    raise_ok=self._upgradable,
+                    epoch=self._epoch,
+                )
+                # Branch capping changed levels inside this interval;
+                # settle the physics against the post-cap draw.
+                node_power = self._true_node_power_w()
+        dt = (
+            0.0
+            if self._prov_last_settle is None
+            else float(now) - self._prov_last_settle
+        )
+        self._prov_last_settle = float(now)
+        tripped = prov.settle(now, dt, node_power)
+        if len(tripped) > 0 and emr is not None:
+            dark = emr.handle_trips(tripped, now)
+            if len(dark) > 0:
+                # A dark rack draws nothing: force its nodes to the
+                # floor through the fenced release path (RL301 — a
+                # blackout is still actuation, never a raw level write).
+                self._actuator.release(dark, 0, epoch=self._epoch)
 
     def _estimate_system_power(self, snapshot: TelemetrySnapshot) -> float:
         """Formula (1) fallback for total power during a meter outage.

@@ -87,7 +87,12 @@ class ThresholdController:
         self._running_peak = float(initial_peak_w)
         self._observations = 0
         self._adjustments = 0
-        self._thresholds = self._derive(self._peak)
+        #: Provisioned-capacity ceiling (None = unconstrained).  Set only
+        #: through :meth:`set_envelope` by the provision layer; clamps
+        #: what learning may derive, survives :meth:`restore_state`.
+        self._envelope: float | None = None
+        self._base_thresholds = self._derive(self._peak)
+        self._thresholds = self._base_thresholds
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -98,7 +103,8 @@ class ThresholdController:
         if not 0.0 < p_low <= p_high:
             raise ConfigurationError("need 0 < P_L <= P_H")
         controller = cls(initial_peak_w=p_high, frozen=True)
-        controller._thresholds = PowerThresholds(p_low=p_low, p_high=p_high)
+        controller._base_thresholds = PowerThresholds(p_low=p_low, p_high=p_high)
+        controller._thresholds = controller._base_thresholds
         return controller
 
     @classmethod
@@ -150,11 +156,64 @@ class ThresholdController:
         """Number of periodic adjustments performed."""
         return self._adjustments
 
+    @property
+    def envelope_w(self) -> float | None:
+        """Provisioned-capacity envelope, watts (None = unconstrained)."""
+        return self._envelope
+
     def _derive(self, peak: float) -> PowerThresholds:
         return PowerThresholds(
             p_low=(1.0 - self._margin_low) * peak,
             p_high=(1.0 - self._margin_high) * peak,
         )
+
+    def _clamped(self, thresholds: PowerThresholds) -> PowerThresholds:
+        """Apply the envelope: thresholds never exceed what the surviving
+        capacity would derive (margins applied to the envelope itself)."""
+        env = self._envelope
+        if env is None:
+            return thresholds
+        cap_low = (1.0 - self._margin_low) * env
+        cap_high = (1.0 - self._margin_high) * env
+        if thresholds.p_low <= cap_low and thresholds.p_high <= cap_high:
+            return thresholds
+        return PowerThresholds(
+            p_low=min(thresholds.p_low, cap_low),
+            p_high=min(thresholds.p_high, cap_high),
+        )
+
+    # ------------------------------------------------------------------
+    # Provisioned-capacity envelope (repro.provision)
+    # ------------------------------------------------------------------
+    def set_envelope(self, capacity_w: Watts | None) -> bool:
+        """Renegotiate the budget against surviving provisioned capacity.
+
+        The provision layer calls this when delivery capacity changes
+        (feed loss, PDU failure, operator cap order, or recovery).  The
+        envelope caps both what the *current* thresholds may be and what
+        any later learning (:meth:`observe`, :meth:`complete_training`)
+        may re-derive — a peak recorded under full capacity must not
+        widen the budget while capacity is down.  It applies to frozen
+        (admin-pinned) controllers too: physics outranks policy.
+
+        Args:
+            capacity_w: Surviving capacity, watts; ``None`` removes the
+                envelope (full capacity restored).
+
+        Returns:
+            True if the effective thresholds changed.
+        """
+        if capacity_w is not None and capacity_w <= 0:
+            raise ConfigurationError("capacity envelope must be positive")
+        new = None if capacity_w is None else float(capacity_w)
+        if new == self._envelope:
+            return False
+        self._envelope = new
+        clamped = self._clamped(self._base_thresholds)
+        if clamped == self._thresholds:
+            return False
+        self._thresholds = clamped
+        return True
 
     # ------------------------------------------------------------------
     # Observation / adjustment
@@ -193,8 +252,12 @@ class ThresholdController:
         if peak == self._peak:
             return False
         self._peak = float(peak)
-        self._thresholds = self._derive(self._peak)
+        self._base_thresholds = self._derive(self._peak)
         self._adjustments += 1
+        new = self._clamped(self._base_thresholds)
+        if new == self._thresholds:
+            return False
+        self._thresholds = new
         return True
 
     # ------------------------------------------------------------------
@@ -215,6 +278,9 @@ class ThresholdController:
             "adjustments": self._adjustments,
             "p_low_w": self._thresholds.p_low,
             "p_high_w": self._thresholds.p_high,
+            "base_p_low_w": self._base_thresholds.p_low,
+            "base_p_high_w": self._base_thresholds.p_high,
+            "envelope_w": self._envelope,
             "margin_high": self._margin_high,
             "margin_low": self._margin_low,
             "adjust_every_cycles": self._adjust_every,
@@ -226,6 +292,13 @@ class ThresholdController:
 
         ``p_low``/``p_high`` are restored verbatim rather than re-derived
         so admin-pinned (:meth:`fixed`) controllers round-trip too.
+
+        The capacity envelope is the one place the journal does *not* win
+        outright: the effective envelope is the **stricter** of the
+        journaled one and whatever this (live) controller already holds.
+        A checkpoint written under full capacity must not let a failover
+        widen thresholds past capacity that has since been lost — the
+        journal records policy, but the envelope records physics.
         """
         self._margin_high = float(state["margin_high"])
         self._margin_low = float(state["margin_low"])
@@ -235,6 +308,20 @@ class ThresholdController:
         self._running_peak = float(state["running_peak_w"])
         self._observations = int(state["observations"])
         self._adjustments = int(state["adjustments"])
-        self._thresholds = PowerThresholds(
-            p_low=float(state["p_low_w"]), p_high=float(state["p_high_w"])
+        raw_env = state.get("envelope_w")
+        journaled_env = None if raw_env is None else float(raw_env)  # type: ignore[arg-type]
+        live_env = self._envelope
+        if journaled_env is None:
+            self._envelope = live_env
+        elif live_env is None:
+            self._envelope = journaled_env
+        else:
+            self._envelope = min(live_env, journaled_env)
+        restored = PowerThresholds(
+            p_low=float(state["p_low_w"]), p_high=float(state["p_high_w"])  # type: ignore[arg-type]
         )
+        self._base_thresholds = PowerThresholds(
+            p_low=float(state.get("base_p_low_w", restored.p_low)),  # type: ignore[arg-type]
+            p_high=float(state.get("base_p_high_w", restored.p_high)),  # type: ignore[arg-type]
+        )
+        self._thresholds = self._clamped(restored)

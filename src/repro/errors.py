@@ -26,6 +26,10 @@ __all__ = [
     "ObservabilityError",
 ]
 
+#: Appended to every unknown-preset error (fault, corruption and
+#: provision scenarios alike) so users discover the catalogue command.
+PRESET_HINT = "run `repro list-presets` for the catalogue"
+
 
 class ReproError(Exception):
     """Base class of all errors raised by the :mod:`repro` library."""

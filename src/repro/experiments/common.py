@@ -49,6 +49,12 @@ from repro.power.meter import SystemPowerMeter
 from repro.power.hetero import make_power_model
 from repro.power.supply import PowerProvision
 from repro.power.thermal import ReliabilityTracker, ThermalModel
+from repro.provision import (
+    PowerTopology,
+    ProvisionRuntime,
+    ProvisionScenario,
+    ProvisionStats,
+)
 from repro.scheduler.backfill import BackfillScheduler
 from repro.scheduler.feeder import KeepQueueFilledFeeder
 from repro.scheduler.scheduler import BatchScheduler
@@ -145,6 +151,14 @@ class ExperimentConfig:
     #: registry, flight recorder.  Off by default; enabling it never
     #: changes any capping decision, only records them.
     obs: ObsConfig = field(default_factory=ObsConfig)
+    #: Power-delivery fault scenario (:mod:`repro.provision`); the
+    #: default configures a healthy delivery path and — unless
+    #: ``attach_provision`` forces the topology on — attaches nothing,
+    #: reproducing the seed run bit for bit.
+    provision: ProvisionScenario = field(default_factory=ProvisionScenario.none)
+    #: Attach the delivery topology/runtime even when the scenario is
+    #: healthy (used to prove the healthy attach changes no decision).
+    attach_provision: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -266,6 +280,9 @@ class ExperimentResult:
             facade — spans, metrics and flight dumps, already exported
             to any configured paths (None unless ``config.obs`` enabled
             something).
+        provision_stats: Power-delivery accounting — capacity events,
+            breaker trips, emergency-ladder actions (None unless the
+            run attached a provision runtime).
     """
 
     label: str
@@ -290,6 +307,7 @@ class ExperimentResult:
     controlled_flags: np.ndarray | None = None
     true_power_w: np.ndarray | None = None
     observability: Observability | None = None
+    provision_stats: ProvisionStats | None = None
 
 
 class _World:
@@ -427,6 +445,24 @@ def run_experiment(
             manager_kwargs["degraded"] = config.degraded
         if config.integrity is not None:
             manager_kwargs["integrity"] = config.integrity
+        if config.provision.enabled or config.attach_provision:
+            topology = PowerTopology.for_cluster(
+                world.cluster,
+                nodes_per_rack=config.provision.nodes_per_rack,
+                feeds=config.provision.feeds,
+                feed_headroom=config.provision.feed_headroom,
+                rack_headroom=config.provision.rack_headroom,
+            )
+            # §II.D, branch edition: a rack that overloads its breaker
+            # even fully throttled can never be defended.
+            topology.check_assumptions(world.cluster)
+            manager_kwargs["provision"] = ProvisionRuntime(
+                topology,
+                config.provision,
+                rng=world.rng,
+                obs=world.obs,
+            )
+            manager_kwargs["scheduler"] = world.scheduler
         if config.ha.enabled:
             # HA wiring: the actuator and journal outlive any single
             # manager incarnation (in-flight commands are in the
@@ -599,6 +635,7 @@ def run_experiment(
             controlled_flags=controlled_flags,
             true_power_w=np.asarray(truth) if track_truth else None,
             observability=world.obs,
+            provision_stats=manager.provision_report(),
         )
     return ExperimentResult(
         label=run_label,

@@ -44,7 +44,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import FaultInjectionError
+from repro.errors import PRESET_HINT, FaultInjectionError
 
 __all__ = ["CorruptionScenario", "SensorCorruptionModel"]
 
@@ -255,7 +255,8 @@ class CorruptionScenario:
         except KeyError:
             raise FaultInjectionError(
                 f"unknown corruption preset {name!r}; available "
-                f"presets: {', '.join(cls.preset_names())}"
+                f"presets: {', '.join(cls.preset_names())} "
+                f"({PRESET_HINT})"
             ) from None
         return factory(**overrides)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import FaultInjectionError
+from repro.errors import PRESET_HINT, FaultInjectionError
 
 __all__ = ["FaultScenario"]
 
@@ -190,7 +190,8 @@ class FaultScenario:
         except KeyError:
             raise FaultInjectionError(
                 f"unknown fault scenario preset {name!r}; available "
-                f"presets: {', '.join(cls.preset_names())}"
+                f"presets: {', '.join(cls.preset_names())} "
+                f"({PRESET_HINT})"
             ) from None
         return factory(**overrides)
 

@@ -20,7 +20,10 @@ runs): cap-violation seconds, time-to-cap-restoration and the
 degraded-sensing share of the overspend.  Telemetry-integrity metrics
 (:mod:`repro.metrics.integrity`, for sensor-corruption runs):
 quarantine exposure, meter-distrust time and worst estimate error under
-corruption.
+corruption.  Power-delivery metrics (:mod:`repro.metrics.provision`,
+for provision-attached runs): capacity-shortfall ``ΔP×T`` against the
+*surviving* capacity, time over capacity, recovery time and the
+branch-overload integral.
 
 :mod:`repro.metrics.summary` bundles everything into per-run
 :class:`~repro.metrics.summary.RunMetrics` and baseline-normalised
@@ -54,6 +57,12 @@ from repro.metrics.performance import (
     performance_metric,
     per_application_performance,
 )
+from repro.metrics.provision import (
+    branch_overload_w_seconds,
+    capacity_recovery_seconds,
+    capacity_shortfall_w_seconds,
+    time_over_capacity,
+)
 from repro.metrics.power import (
     accumulated_overspend,
     average_power,
@@ -68,7 +77,10 @@ __all__ = [
     "RunMetrics",
     "accumulated_overspend",
     "average_power",
+    "branch_overload_w_seconds",
     "cap_violation_seconds",
+    "capacity_recovery_seconds",
+    "capacity_shortfall_w_seconds",
     "compare_runs",
     "controller_downtime_seconds",
     "count_performance_lossless_jobs",
@@ -88,6 +100,7 @@ __all__ = [
     "power_usage_effectiveness",
     "recovery_divergence_w",
     "time_fraction_above",
+    "time_over_capacity",
     "time_to_cap_restoration",
     "total_cost_of_ownership",
     "violation_episodes",

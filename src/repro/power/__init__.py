@@ -24,12 +24,14 @@ from repro.power.meter import SystemPowerMeter
 from repro.power.model import PowerModel
 from repro.power.supply import PowerProvision
 from repro.power.thermal import (
+    BreakerThermalModel,
     ReliabilityTracker,
     ThermalModel,
     failure_rate_multiplier,
 )
 
 __all__ = [
+    "BreakerThermalModel",
     "CalibrationSample",
     "FittedPowerTables",
     "HeterogeneousPowerModel",

@@ -27,6 +27,7 @@ from repro.types import Seconds
 
 __all__ = [
     "ThermalModel",
+    "BreakerThermalModel",
     "failure_rate_multiplier",
     "ReliabilityTracker",
 ]
@@ -105,6 +106,136 @@ class ThermalModel:
     def reset(self) -> None:
         """Return every node to ambient."""
         self.temperature_c[:] = self.ambient_c
+
+
+class BreakerThermalModel:
+    """Thermal-magnetic breaker trip model for a set of branch circuits.
+
+    A molded-case breaker does not open the instant current exceeds its
+    rating — a bimetal element heats with sustained overload and trips
+    once enough ``I²t`` has accumulated.  This model captures that with a
+    dimensionless **trip integral** ``u ∈ [0, 1]`` per branch:
+
+    * **overload** (``P > rated``): ``u`` rises at rate
+      ``(P/rated − 1) / trip_time_s`` — a 2× overload trips after
+      ``trip_time_s`` seconds; milder overloads take proportionally
+      longer (the inverse-time characteristic);
+    * **hysteresis band** (``cooldown_fraction·rated ≤ P ≤ rated``): the
+      element neither heats nor cools — exactly-rated load *holds* the
+      integral where it is;
+    * **cool-down** (``P < cooldown_fraction·rated``): ``u`` decays at
+      ``1 / cool_time_s`` toward zero.
+
+    Reaching ``u ≥ 1`` **latches** the breaker open (the branch is dark)
+    until an explicit :meth:`reset` — re-closing a breaker is an operator
+    action, never an automatic one.
+
+    Args:
+        rated_w: Per-branch continuous power rating, watts, shape (B,).
+        trip_time_s: Seconds of sustained 2× overload that trip.
+        cool_time_s: Seconds of deep cool-down that drain a full integral.
+        cooldown_fraction: Lower edge of the no-heat/no-cool band, as a
+            fraction of the rating.
+    """
+
+    def __init__(
+        self,
+        rated_w: np.ndarray,
+        trip_time_s: Seconds = 60.0,
+        cool_time_s: Seconds = 300.0,
+        cooldown_fraction: float = 0.9,
+    ) -> None:
+        rated = np.asarray(rated_w, dtype=np.float64)
+        if rated.ndim != 1 or rated.size < 1:
+            raise ConfigurationError("rated_w must be a 1-D array of branches")
+        if np.any(rated <= 0):
+            raise ConfigurationError("breaker ratings must be positive")
+        if trip_time_s <= 0:
+            raise ConfigurationError("trip_time_s must be positive")
+        if cool_time_s <= 0:
+            raise ConfigurationError("cool_time_s must be positive")
+        if not 0.0 < cooldown_fraction <= 1.0:
+            raise ConfigurationError("cooldown_fraction must be in (0, 1]")
+        self._rated = rated.copy()
+        self._rated.setflags(write=False)
+        self._trip_time = float(trip_time_s)
+        self._cool_time = float(cool_time_s)
+        self._cool_frac = float(cooldown_fraction)
+        self._integral = np.zeros(rated.size, dtype=np.float64)
+        self._tripped = np.zeros(rated.size, dtype=bool)
+        self._trip_count = 0
+
+    @property
+    def num_branches(self) -> int:
+        """Number of modelled branch circuits."""
+        return len(self._rated)
+
+    @property
+    def rated_w(self) -> np.ndarray:
+        """Per-branch continuous rating, watts (read-only)."""
+        return self._rated
+
+    @property
+    def trip_integral(self) -> np.ndarray:
+        """Current per-branch trip integral ``u`` (copy)."""
+        return self._integral.copy()
+
+    @property
+    def tripped(self) -> np.ndarray:
+        """Boolean mask of latched-open branches (copy)."""
+        return self._tripped.copy()
+
+    @property
+    def trip_count(self) -> int:
+        """Cumulative number of trip events."""
+        return self._trip_count
+
+    def step(self, power_w: np.ndarray, dt: Seconds) -> np.ndarray:
+        """Advance the trip integrals by ``dt`` seconds of branch load.
+
+        Args:
+            power_w: Per-branch power draw over the interval, shape (B,).
+            dt: Interval length, seconds.
+
+        Returns:
+            Boolean mask of branches that tripped *during this step*
+            (already-open branches never re-trip).
+        """
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        p = np.asarray(power_w, dtype=np.float64)
+        if p.shape != self._integral.shape:
+            raise ConfigurationError("branch power array shape mismatch")
+        ratio = p / self._rated
+        closed = ~self._tripped
+        heating = closed & (ratio > 1.0)
+        cooling = closed & (ratio < self._cool_frac)
+        self._integral[heating] += (ratio[heating] - 1.0) * (dt / self._trip_time)
+        self._integral[cooling] = np.maximum(
+            self._integral[cooling] - dt / self._cool_time, 0.0
+        )
+        new_trips = closed & (self._integral >= 1.0)
+        if np.any(new_trips):
+            self._tripped |= new_trips
+            self._integral[new_trips] = 1.0
+            self._trip_count += int(new_trips.sum())
+        return new_trips
+
+    def reset(self, branch_ids: np.ndarray | None = None) -> None:
+        """Re-close breakers (operator action): clear latch and integral.
+
+        Args:
+            branch_ids: Branches to re-close; all when omitted.
+        """
+        if branch_ids is None:
+            self._tripped[:] = False
+            self._integral[:] = 0.0
+            return
+        ids = np.asarray(branch_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= len(self._rated)):
+            raise ConfigurationError("branch id out of range in reset")
+        self._tripped[ids] = False
+        self._integral[ids] = 0.0
 
 
 def failure_rate_multiplier(

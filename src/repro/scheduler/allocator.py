@@ -35,8 +35,16 @@ class NodeAllocator:
         """Whether the request fits an *empty* cluster at all."""
         return self.nodes_needed(nprocs) <= self._cluster.num_nodes
 
-    def try_allocate(self, nprocs: int) -> np.ndarray | None:
+    def try_allocate(
+        self, nprocs: int, blocked: np.ndarray | None = None
+    ) -> np.ndarray | None:
         """Idle nodes for the request, or ``None`` if it must wait.
+
+        Args:
+            nprocs: One-per-core process count to place.
+            blocked: Optional boolean mask of nodes that must not be
+                allocated even though idle (offline/shed/blacked-out —
+                see :meth:`repro.scheduler.scheduler.BatchScheduler.take_offline`).
 
         Raises:
             AllocationError: if the request exceeds the whole cluster
@@ -49,7 +57,13 @@ class NodeAllocator:
                 f"request for {nprocs} processes needs {needed} nodes; "
                 f"cluster has {self._cluster.num_nodes}"
             )
-        idle = self._cluster.state.idle_nodes()
+        if blocked is None:
+            idle = self._cluster.state.idle_nodes()
+        else:
+            mask = self._cluster.state.idle_mask() & ~np.asarray(
+                blocked, dtype=bool
+            )
+            idle = np.flatnonzero(mask).astype(np.int64)
         if len(idle) < needed:
             return None
         return idle[:needed]

@@ -20,6 +20,14 @@ Ordering within one tick matters and is fixed as:
 Strict FCFS (no backfill) matches the paper's minimal launcher; a head
 job too big for the currently idle nodes blocks the queue until
 completions free enough nodes.
+
+The power-emergency ladder (:mod:`repro.provision.emergency`) drives the
+extra transitions: :meth:`BatchScheduler.suspend_job` /
+:meth:`~BatchScheduler.resume_job` freeze and thaw a running job in
+place, :meth:`~BatchScheduler.kill_job` terminates one whose rack
+blacked out, and :meth:`~BatchScheduler.take_offline` /
+:meth:`~BatchScheduler.bring_online` fence nodes out of (and back into)
+the allocation pool without touching the cluster state.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
 from repro.errors import SchedulingError
 from repro.obs.facade import Observability, resolve_obs
 from repro.scheduler.allocator import NodeAllocator
@@ -63,7 +72,11 @@ class BatchScheduler:
         self._queue = JobQueue()
         self._running: dict[int, Job] = {}
         self._finished: list[Job] = []
+        self._killed: list[Job] = []
         self._started_count = 0
+        self._suspend_count = 0
+        self._resume_count = 0
+        self._offline = np.zeros(cluster.num_nodes, dtype=bool)
         self._register_metrics(resolve_obs(obs))
 
     def _register_metrics(self, obs: Observability) -> None:
@@ -91,6 +104,16 @@ class BatchScheduler:
             "Jobs waiting in the scheduler queue",
             lambda: float(len(self._queue)),
         )
+        reg.gauge_func(
+            "repro_jobs_suspended",
+            "Jobs currently suspended by the power-emergency ladder",
+            lambda: float(len(self.suspended_jobs)),
+        )
+        reg.gauge_func(
+            "repro_nodes_offline",
+            "Nodes fenced out of the allocation pool",
+            lambda: float(self._offline.sum()),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -102,8 +125,15 @@ class BatchScheduler:
 
     @property
     def running_jobs(self) -> list[Job]:
-        """Currently running jobs (insertion order)."""
+        """Currently active (running or suspended) jobs, insertion order."""
         return list(self._running.values())
+
+    @property
+    def suspended_jobs(self) -> list[Job]:
+        """Currently suspended jobs, insertion order."""
+        return [
+            j for j in self._running.values() if j.state is JobState.SUSPENDED
+        ]
 
     @property
     def finished_jobs(self) -> list[Job]:
@@ -111,9 +141,34 @@ class BatchScheduler:
         return list(self._finished)
 
     @property
+    def killed_jobs(self) -> list[Job]:
+        """Jobs terminated by blackouts, in kill order."""
+        return list(self._killed)
+
+    @property
     def started_count(self) -> int:
         """Number of jobs ever started."""
         return self._started_count
+
+    @property
+    def suspend_count(self) -> int:
+        """Number of suspend transitions performed."""
+        return self._suspend_count
+
+    @property
+    def resume_count(self) -> int:
+        """Number of resume transitions performed."""
+        return self._resume_count
+
+    @property
+    def offline_mask(self) -> np.ndarray:
+        """Boolean mask of nodes fenced out of the allocation pool (copy)."""
+        return self._offline.copy()
+
+    @property
+    def cluster_state(self) -> ClusterState:
+        """The live cluster state the scheduler allocates over."""
+        return self._cluster.state
 
     def job_nodes(self, job_id: int) -> np.ndarray:
         """Nodes of a running job.
@@ -177,9 +232,10 @@ class BatchScheduler:
         return finished_now
 
     def _start_fcfs(self, now: float) -> None:
+        blocked = self._offline if self._offline.any() else None
         while self._queue:
             head = self._queue.peek()
-            nodes = self._allocator.try_allocate(head.nprocs)
+            nodes = self._allocator.try_allocate(head.nprocs, blocked=blocked)
             if nodes is None:
                 break  # strict FCFS: the head blocks the queue
             job = self._queue.pop()
@@ -196,5 +252,66 @@ class BatchScheduler:
     # Job-state transitions for power management
     # ------------------------------------------------------------------
     def all_jobs(self) -> list[Job]:
-        """Every job known: queued + running + finished."""
-        return list(self._queue) + list(self._running.values()) + self._finished
+        """Every job known: queued + active + finished + killed."""
+        return (
+            list(self._queue)
+            + list(self._running.values())
+            + self._finished
+            + self._killed
+        )
+
+    # ------------------------------------------------------------------
+    # Power-emergency transitions (repro.provision.emergency)
+    # ------------------------------------------------------------------
+    def suspend_job(self, job_id: int, now: float) -> None:
+        """Suspend a running job in place: progress freezes, its nodes'
+        load drops to idle, but the nodes stay assigned (the job resumes
+        where it stopped, on the same nodes).
+
+        Raises:
+            SchedulingError: if the job is not active.
+        """
+        job = self.running_job(job_id)
+        job.suspend(now)
+        self._cluster.state.set_load(job.nodes, 0.0, 0.0, 0.0)
+        self._suspend_count += 1
+
+    def resume_job(self, job_id: int, now: float) -> bool:
+        """Resume a suspended job; the executor re-applies its load on
+        the next tick.  Returns False (no-op) if the job is gone or its
+        nodes are fenced offline — e.g. the rack blacked out while it
+        was suspended."""
+        job = self._running.get(job_id)
+        if job is None or job.state is not JobState.SUSPENDED:
+            return False
+        if bool(self._offline[job.nodes].any()):
+            return False
+        job.resume(now)
+        self._resume_count += 1
+        return True
+
+    def kill_job(self, job_id: int, now: float) -> None:
+        """Terminate an active job (its rack blacked out) and release
+        its nodes; the job never counts as finished.
+
+        Raises:
+            SchedulingError: if the job is not active.
+        """
+        job = self.running_job(job_id)
+        job.kill(now)
+        self._cluster.state.release_job(job.nodes)
+        del self._running[job.job_id]
+        self._killed.append(job)
+
+    def take_offline(self, node_ids: np.ndarray, now: float) -> None:
+        """Fence nodes out of the allocation pool (shed or blacked out).
+
+        Purely a scheduler-side fence: the cluster state is untouched,
+        already-assigned jobs keep their nodes (blackout victims are
+        killed separately by the emergency response).
+        """
+        self._offline[np.asarray(node_ids, dtype=np.int64)] = True
+
+    def bring_online(self, node_ids: np.ndarray) -> None:
+        """Re-admit fenced nodes into the allocation pool."""
+        self._offline[np.asarray(node_ids, dtype=np.int64)] = False

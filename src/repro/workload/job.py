@@ -1,6 +1,10 @@
 """Job lifecycle state.
 
-A :class:`Job` moves through ``PENDING → RUNNING → FINISHED``.  Besides
+A :class:`Job` moves through ``PENDING → RUNNING → FINISHED``; the
+power-emergency ladder adds two side exits — ``RUNNING ⇄ SUSPENDED``
+(checkpointed in place, nodes idle but still held) and
+``RUNNING/SUSPENDED → KILLED`` (the job's rack blacked out; terminal,
+excluded from finished-job metrics).  Besides
 identity (application, process count) it records the timestamps and the
 progress bookkeeping the metrics need afterwards:
 
@@ -30,7 +34,9 @@ class JobState(enum.Enum):
 
     PENDING = "pending"
     RUNNING = "running"
+    SUSPENDED = "suspended"
     FINISHED = "finished"
+    KILLED = "killed"
 
 
 @dataclass
@@ -139,6 +145,40 @@ class Job:
         if time < self.start_time:
             raise WorkloadError(f"job {self.job_id} finished before starting")
         self.state = JobState.FINISHED
+        self.finish_time = float(time)
+
+    def suspend(self, time: float) -> None:
+        """Transition RUNNING → SUSPENDED (checkpoint in place).
+
+        Progress freezes (the executor skips non-running jobs) but the
+        job keeps its nodes; wall-clock spent suspended shows up in the
+        actual runtime once the job resumes and finishes.
+        """
+        if self.state is not JobState.RUNNING:
+            raise WorkloadError(
+                f"job {self.job_id} suspended while {self.state.value}"
+            )
+        self.state = JobState.SUSPENDED
+
+    def resume(self, time: float) -> None:
+        """Transition SUSPENDED → RUNNING."""
+        if self.state is not JobState.SUSPENDED:
+            raise WorkloadError(
+                f"job {self.job_id} resumed while {self.state.value}"
+            )
+        self.state = JobState.RUNNING
+
+    def kill(self, time: float) -> None:
+        """Transition RUNNING/SUSPENDED → KILLED (terminal).
+
+        The power-emergency path uses this when the job's rack blacks
+        out; the job never counts as finished.
+        """
+        if self.state not in (JobState.RUNNING, JobState.SUSPENDED):
+            raise WorkloadError(
+                f"job {self.job_id} killed while {self.state.value}"
+            )
+        self.state = JobState.KILLED
         self.finish_time = float(time)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from tools.ci.chaos_check import check, main
+from tools.ci.chaos_check import check, check_provision, main
 
 
 def _payload(**overrides):
@@ -86,3 +86,127 @@ def test_main_roundtrip(tmp_path, capsys):
 @pytest.mark.parametrize("preset_overspend", [0.049, 0.0])
 def test_bound_is_inclusive(preset_overspend):
     assert check(_payload(overspend=preset_overspend), max_overspend=0.049) == []
+
+
+# ----------------------------------------------------------------------
+# Provision mode (--mode provision)
+# ----------------------------------------------------------------------
+def _provision_payload(**overrides):
+    stats = {
+        "design_capacity_w": 10000.0,
+        "min_capacity_w": 4000.0,
+        "feed_losses": 1,
+        "feed_restores": 1,
+        "pdu_failures": 0,
+        "cap_orders": 0,
+        "breaker_trips": 0,
+        "capacity_lost_w_seconds": 120000.0,
+        "branch_cap_violation_seconds": 0.0,
+        "envelope_renegotiations": 2,
+        "emergency_red_cycles": 5,
+        "branch_cap_interventions": 0,
+        "jobs_suspended": 0,
+        "jobs_resumed": 0,
+        "jobs_killed": 0,
+        "nodes_shed": 0,
+        "nodes_readmitted": 0,
+    }
+    stats.update(overrides.pop("stats", {}))
+    payload = {
+        "label": "bfp",
+        "overspend": 0.01,
+        "p_high_w": 8000.0,
+        "provision_stats": stats,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_provision_defended_run_passes():
+    assert check_provision(_provision_payload(), max_overspend=0.05) == []
+
+
+def test_provision_stats_missing_fails():
+    failures = check_provision(
+        _provision_payload(provision_stats=None), max_overspend=0.05
+    )
+    assert failures == ["provision_stats missing: run had no delivery topology"]
+
+
+def test_provision_scenario_must_have_bitten():
+    quiet = {
+        "feed_losses": 0,
+        "feed_restores": 0,
+        "envelope_renegotiations": 0,
+        "emergency_red_cycles": 0,
+        "min_capacity_w": 10000.0,
+    }
+    failures = check_provision(
+        _provision_payload(stats=quiet), max_overspend=0.05
+    )
+    assert any("never bit" in f for f in failures)
+
+
+def test_provision_branch_pressure_counts_as_biting():
+    stats = {
+        "feed_losses": 0,
+        "feed_restores": 0,
+        "branch_cap_violation_seconds": 3.0,
+        "min_capacity_w": 10000.0,
+    }
+    failures = check_provision(
+        _provision_payload(stats=stats), max_overspend=0.05
+    )
+    assert not any("never bit" in f for f in failures)
+
+
+def test_provision_defense_must_engage_when_capacity_below_p_high():
+    stats = {"envelope_renegotiations": 0, "emergency_red_cycles": 0}
+    failures = check_provision(
+        _provision_payload(stats=stats), max_overspend=0.05
+    )
+    assert any("never engaged" in f for f in failures)
+
+
+def test_provision_quiet_defense_excused_when_benign():
+    # A shallow cap order that never dips below P_H needs no response.
+    stats = {
+        "cap_orders": 1,
+        "min_capacity_w": 9000.0,  # >= p_high_w 8000
+        "envelope_renegotiations": 0,
+        "emergency_red_cycles": 0,
+    }
+    failures = check_provision(
+        _provision_payload(stats=stats), max_overspend=0.05
+    )
+    assert failures == []
+
+
+def test_provision_breaker_trip_fails():
+    failures = check_provision(
+        _provision_payload(stats={"breaker_trips": 1}), max_overspend=0.05
+    )
+    assert any("tripped" in f for f in failures)
+
+
+def test_provision_non_finite_and_overspend_gates_apply():
+    failures = check_provision(
+        _provision_payload(
+            overspend=0.2, stats={"capacity_lost_w_seconds": float("nan")}
+        ),
+        max_overspend=0.05,
+    )
+    assert any("non-finite" in f for f in failures)
+    assert any("exceeds the safety bound" in f for f in failures)
+
+
+def test_main_provision_mode(tmp_path, capsys):
+    good = tmp_path / "prov.json"
+    good.write_text(json.dumps(_provision_payload()))
+    assert main([str(good), "--mode", "provision"]) == 0
+    capsys.readouterr()
+
+    bad = tmp_path / "prov_bad.json"
+    bad.write_text(json.dumps(_provision_payload(stats={"breaker_trips": 2})))
+    assert main([str(bad), "--mode", "provision"]) == 1
+    assert "FAIL" in capsys.readouterr().err

@@ -242,3 +242,90 @@ def test_corruption_onset_requires_corruption(capsys):
     )
     assert code == 2
     assert "--corruption" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Power delivery (--provision) and the preset catalogue
+# ----------------------------------------------------------------------
+def test_list_presets_table(capsys):
+    assert main(["list-presets"]) == 0
+    out = capsys.readouterr().out
+    for family in ("faults", "corruption", "provision"):
+        assert family in out
+    assert "feed-loss" in out
+    assert "grid-storm" in out
+
+
+def test_list_presets_json(capsys):
+    assert main(["list-presets", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    families = {row["family"] for row in rows}
+    assert families == {"faults", "corruption", "provision"}
+    provision = {r["name"] for r in rows if r["family"] == "provision"}
+    assert {"none", "feed-loss", "pdu-failure"} <= provision
+    assert all(row["description"] for row in rows)
+
+
+def test_run_with_provision_feed_loss(capsys):
+    args = ["run", "--policy", "bfp", "--provision", "feed-loss", "--json"]
+    assert main(args + _tiny()) == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["provision_stats"]
+    assert stats["feed_losses"] >= 1
+    assert stats["breaker_trips"] == 0
+    assert stats["min_capacity_w"] < stats["design_capacity_w"]
+
+
+def test_run_with_provision_table_section(capsys):
+    args = ["run", "--policy", "bfp", "--provision", "feed-loss"]
+    assert main(args + _tiny()) == 0
+    out = capsys.readouterr().out
+    assert "delivery capacity" in out
+    assert "breaker trips" in out
+
+
+def test_provision_none_attaches_healthy_topology(capsys):
+    args = ["run", "--policy", "bfp", "--provision", "none", "--json"]
+    assert main(args + _tiny()) == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["provision_stats"]
+    assert stats["feed_losses"] == 0
+    assert stats["min_capacity_w"] == stats["design_capacity_w"]
+
+
+def test_no_provision_flag_reports_no_stats(capsys):
+    assert main(["run", "--policy", "bfp", "--json"] + _tiny()) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["provision_stats"] is None
+
+
+def test_unknown_provision_preset_points_at_catalogue(capsys):
+    code = main(
+        ["run", "--policy", "bfp", "--provision", "feedloss"] + _tiny()
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "feed-loss" in err
+    assert "list-presets" in err
+
+
+def test_unknown_faults_preset_points_at_catalogue(capsys):
+    code = main(["run", "--policy", "mpc", "--faults", "heavvy"] + _tiny())
+    assert code == 2
+    assert "list-presets" in capsys.readouterr().err
+
+
+def test_provision_knobs_require_preset(capsys):
+    code = main(["run", "--policy", "bfp", "--feed-loss-at", "5"] + _tiny())
+    assert code == 2
+    assert "--provision" in capsys.readouterr().err
+
+
+def test_no_faults_conflicts_with_provision(capsys):
+    code = main(
+        ["run", "--policy", "bfp", "--provision", "feed-loss", "--no-faults"]
+        + _tiny()
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--no-faults" in err and "feed-loss" in err

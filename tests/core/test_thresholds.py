@@ -113,3 +113,88 @@ def test_invalid_construction():
         ThresholdController(initial_peak_w=0.0)
     with pytest.raises(ConfigurationError):
         ThresholdController(1000.0, adjust_every_cycles=0)
+
+
+# ----------------------------------------------------------------------
+# Provisioned-capacity envelope (repro.provision renegotiation)
+# ----------------------------------------------------------------------
+def test_envelope_clamps_current_thresholds():
+    c = ThresholdController(initial_peak_w=10000.0)
+    changed = c.set_envelope(5000.0)
+    assert changed
+    assert c.p_high == pytest.approx(0.93 * 5000.0)
+    assert c.p_low == pytest.approx(0.84 * 5000.0)
+    assert c.envelope_w == 5000.0
+
+
+def test_envelope_noop_when_capacity_is_ample():
+    c = ThresholdController(initial_peak_w=1000.0)
+    assert c.set_envelope(50000.0) is False
+    assert c.p_high == pytest.approx(930.0)
+
+
+def test_envelope_release_restores_learned_thresholds():
+    c = ThresholdController(initial_peak_w=10000.0)
+    c.set_envelope(5000.0)
+    assert c.set_envelope(None) is True
+    assert c.p_high == pytest.approx(9300.0)
+    assert c.envelope_w is None
+
+
+def test_envelope_validation_and_idempotence():
+    c = ThresholdController(initial_peak_w=1000.0)
+    with pytest.raises(ConfigurationError):
+        c.set_envelope(0.0)
+    c.set_envelope(500.0)
+    assert c.set_envelope(500.0) is False  # unchanged: no churn
+
+
+def test_relearning_never_widens_past_envelope():
+    c = ThresholdController(initial_peak_w=1000.0, adjust_every_cycles=1)
+    c.set_envelope(800.0)
+    # A big new peak would re-derive wider thresholds, but the envelope
+    # must keep the effective budget pinned to surviving capacity.
+    c.observe(5000.0)
+    assert c.p_high == pytest.approx(0.93 * 800.0)
+    assert c.p_low == pytest.approx(0.84 * 800.0)
+    # Capacity back: the learned (wider) thresholds reappear at once.
+    c.set_envelope(None)
+    assert c.p_high == pytest.approx(0.93 * 5000.0)
+
+
+def test_envelope_clamps_frozen_controllers_too():
+    c = ThresholdController.fixed(p_low=840.0, p_high=930.0)
+    c.set_envelope(500.0)
+    assert c.p_high == pytest.approx(0.93 * 500.0)
+    c.set_envelope(None)
+    assert c.p_high == pytest.approx(930.0)
+
+
+def test_restore_state_keeps_stricter_live_envelope():
+    # Failover regression: the journal was written under full capacity,
+    # but a feed was lost before the standby finished restoring.  The
+    # live (shrunken) envelope must win over the journaled one.
+    primary = ThresholdController(initial_peak_w=10000.0)
+    checkpoint = primary.state_dict()  # envelope_w is None here
+    standby = ThresholdController(initial_peak_w=10000.0)
+    standby.set_envelope(4000.0)  # feed loss observed before restore
+    standby.restore_state(checkpoint)
+    assert standby.envelope_w == 4000.0
+    assert standby.p_high == pytest.approx(0.93 * 4000.0)
+    # Re-learning after the restore stays inside the envelope as well.
+    standby.observe(20000.0)
+    assert standby.p_high == pytest.approx(0.93 * 4000.0)
+
+
+def test_restore_state_takes_min_of_both_envelopes():
+    primary = ThresholdController(initial_peak_w=10000.0)
+    primary.set_envelope(6000.0)
+    checkpoint = primary.state_dict()
+    standby = ThresholdController(initial_peak_w=10000.0)
+    standby.set_envelope(4000.0)
+    standby.restore_state(checkpoint)
+    assert standby.envelope_w == 4000.0  # stricter of 6000 vs 4000
+    loose = ThresholdController(initial_peak_w=10000.0)
+    loose.restore_state(checkpoint)
+    assert loose.envelope_w == 6000.0  # journaled envelope still applies
+    assert loose.p_high == pytest.approx(0.93 * 6000.0)

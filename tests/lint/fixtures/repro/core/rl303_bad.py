@@ -1,0 +1,23 @@
+"""Bad: control code mutating budget state behind the provisioner's back."""
+
+from __future__ import annotations
+
+from repro.types import Watts
+
+
+class SneakyManager:
+    def __init__(self, thresholds: object, runtime: object) -> None:
+        self._thresholds = thresholds
+        self._runtime = runtime
+
+    def widen(self, new_high_w: Watts) -> None:
+        self._thresholds.p_high_w = new_high_w  # rl-expect: RL303
+
+    def restore_capacity(self) -> None:
+        self._runtime.capacity_w = self._runtime.design_capacity_w  # rl-expect: RL303
+
+    def nudge(self, delta_w: Watts) -> None:
+        self._thresholds.p_low += delta_w  # rl-expect: RL303
+
+    def uprate_branch(self, rack: int, rating_w: Watts) -> None:
+        self._runtime.branch_limits_w[rack] = rating_w  # rl-expect: RL303

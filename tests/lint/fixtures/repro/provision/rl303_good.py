@@ -1,0 +1,28 @@
+"""Good: the provisioning layer (repro.provision) owns budget state."""
+
+from __future__ import annotations
+
+from repro.types import Watts
+
+
+class DeliveryRuntime:
+    def __init__(self, design_capacity_w: Watts) -> None:
+        self.design_capacity_w = design_capacity_w
+        self.capacity_w = design_capacity_w
+
+    def lose_feed(self, surviving_w: Watts) -> None:
+        self.capacity_w = surviving_w
+
+    def restore(self) -> None:
+        self.capacity_w = self.design_capacity_w
+
+
+class ControlCode:
+    """Control code renegotiates through the sanctioned entry point."""
+
+    def __init__(self, thresholds: object) -> None:
+        self._thresholds = thresholds
+
+    def renegotiate(self, envelope_w: Watts) -> bool:
+        changed: bool = self._thresholds.set_envelope(envelope_w)
+        return changed

@@ -1,0 +1,98 @@
+"""Unit tests for the power-delivery (capacity) metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import (
+    branch_overload_w_seconds,
+    capacity_recovery_seconds,
+    capacity_shortfall_w_seconds,
+    time_over_capacity,
+)
+
+
+def _series():
+    t = np.array([0.0, 10.0, 20.0, 30.0, 40.0])
+    p = np.array([500.0, 900.0, 900.0, 600.0, 400.0])
+    c = np.array([1000.0, 800.0, 800.0, 800.0, 1000.0])
+    return t, p, c
+
+
+def test_shortfall_integrates_only_the_excess():
+    t, p, c = _series()
+    # Over by 100 W for the two intervals starting at t=10 and t=20.
+    assert capacity_shortfall_w_seconds(t, p, c) == pytest.approx(2000.0)
+
+
+def test_shortfall_zero_when_always_inside():
+    t, p, c = _series()
+    assert capacity_shortfall_w_seconds(t, np.full_like(p, 100.0), c) == 0.0
+
+
+def test_time_over_capacity_counts_left_samples():
+    t, p, c = _series()
+    assert time_over_capacity(t, p, c) == pytest.approx(20.0)
+
+
+def test_recovery_seconds_until_inside_the_band():
+    t, p, c = _series()
+    # First over at t=10; first sample at or below 0.95*C is t=30
+    # (600 <= 760).
+    assert capacity_recovery_seconds(t, p, c) == pytest.approx(20.0)
+
+
+def test_recovery_none_when_never_over():
+    t, p, c = _series()
+    assert capacity_recovery_seconds(t, np.full_like(p, 10.0), c) is None
+
+
+def test_recovery_inf_when_never_recovered():
+    t = np.array([0.0, 10.0, 20.0])
+    p = np.array([900.0, 900.0, 900.0])
+    c = np.array([800.0, 800.0, 800.0])
+    assert capacity_recovery_seconds(t, p, c) == float("inf")
+
+
+def test_recovery_fraction_validation():
+    t, p, c = _series()
+    with pytest.raises(MetricError):
+        capacity_recovery_seconds(t, p, c, recover_fraction=0.0)
+
+
+def test_branch_overload_integral():
+    t = np.array([0.0, 10.0, 20.0, 30.0])
+    over = np.array([0.0, 50.0, 20.0, 0.0])
+    assert branch_overload_w_seconds(t, over) == pytest.approx(700.0)
+
+
+def test_single_sample_series_integrate_to_zero():
+    one = np.array([0.0])
+    assert capacity_shortfall_w_seconds(one, one, np.array([10.0])) == 0.0
+    assert branch_overload_w_seconds(one, one) == 0.0
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        (np.array([]), np.array([]), np.array([])),
+        (np.array([0.0, 1.0]), np.array([1.0]), np.array([1.0, 1.0])),
+        (np.array([1.0, 0.0]), np.array([1.0, 1.0]), np.array([1.0, 1.0])),
+        (
+            np.array([0.0, 1.0]),
+            np.array([1.0, float("nan")]),
+            np.array([1.0, 1.0]),
+        ),
+        (np.array([0.0, 1.0]), np.array([1.0, -1.0]), np.array([1.0, 1.0])),
+        (np.array([0.0, 1.0]), np.array([1.0, 1.0]), np.array([1.0])),
+        (
+            np.array([0.0, 1.0]),
+            np.array([1.0, 1.0]),
+            np.array([1.0, float("inf")]),
+        ),
+    ],
+)
+def test_malformed_series_rejected(bad):
+    t, p, c = bad
+    with pytest.raises(MetricError):
+        capacity_shortfall_w_seconds(t, p, c)

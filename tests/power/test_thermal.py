@@ -112,3 +112,117 @@ def test_reliability_validation():
     with pytest.raises(ConfigurationError):
         tracker.accumulate(np.array([50.0]), 0.0)
     assert tracker.mean_rate_multiplier() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Branch breakers: trip-integral edge cases
+# ----------------------------------------------------------------------
+def _breaker(**overrides):
+    from repro.power import BreakerThermalModel
+
+    kwargs = dict(
+        rated_w=np.array([100.0, 100.0]),
+        trip_time_s=60.0,
+        cool_time_s=300.0,
+        cooldown_fraction=0.9,
+    )
+    kwargs.update(overrides)
+    return BreakerThermalModel(**kwargs)
+
+
+def test_breaker_exactly_rated_load_holds_the_integral():
+    brk = _breaker()
+    # Preheat branch 0 to u = 0.5 with a 2x overload for 30 s.
+    brk.step(np.array([200.0, 0.0]), 30.0)
+    assert brk.trip_integral[0] == pytest.approx(0.5)
+    # Exactly-rated load sits in the hysteresis band: no heat, no cool.
+    for _ in range(10):
+        brk.step(np.array([100.0, 100.0]), 60.0)
+    np.testing.assert_allclose(brk.trip_integral, [0.5, 0.0])
+    assert not brk.tripped.any()
+
+
+def test_breaker_no_cooling_inside_hysteresis_band():
+    brk = _breaker()
+    brk.step(np.array([200.0, 200.0]), 30.0)
+    # 90 W = cooldown_fraction * rated: the band is inclusive at its
+    # lower edge, so the integral still holds.
+    brk.step(np.array([90.0, 95.0]), 600.0)
+    np.testing.assert_allclose(brk.trip_integral, [0.5, 0.5])
+
+
+def test_breaker_cools_below_the_band():
+    brk = _breaker()
+    brk.step(np.array([200.0, 200.0]), 30.0)
+    brk.step(np.array([50.0, 50.0]), 150.0)  # half of cool_time_s
+    np.testing.assert_allclose(brk.trip_integral, [0.0, 0.0])
+    # Cooling clamps at zero rather than going negative.
+    brk.step(np.array([0.0, 0.0]), 10_000.0)
+    np.testing.assert_allclose(brk.trip_integral, [0.0, 0.0])
+
+
+def test_breaker_inverse_time_characteristic():
+    # A 2x overload trips in trip_time_s; a 1.5x overload needs twice
+    # that exposure.
+    fast = _breaker(rated_w=np.array([100.0]))
+    slow = _breaker(rated_w=np.array([100.0]))
+    assert fast.step(np.array([200.0]), 60.0).any()
+    assert not slow.step(np.array([150.0]), 60.0).any()
+    assert slow.step(np.array([150.0]), 60.0).any()
+
+
+def test_breaker_latches_open_and_never_retrips():
+    brk = _breaker(rated_w=np.array([100.0]))
+    first = brk.step(np.array([300.0]), 60.0)
+    assert first.any() and brk.trip_count == 1
+    assert brk.trip_integral[0] == 1.0  # clamped at the latch
+    # Further overload on an open breaker: no re-trip, no extra heat.
+    again = brk.step(np.array([300.0]), 60.0)
+    assert not again.any()
+    assert brk.trip_count == 1
+    assert brk.trip_integral[0] == 1.0
+    # Nor does a cold interval drain a latched breaker.
+    brk.step(np.array([0.0]), 10_000.0)
+    assert brk.tripped[0]
+
+
+def test_breaker_reset_subset_and_all():
+    brk = _breaker()
+    brk.step(np.array([300.0, 300.0]), 60.0)
+    assert brk.tripped.all()
+    brk.reset(np.array([1]))
+    np.testing.assert_array_equal(brk.tripped, [True, False])
+    assert brk.trip_integral[1] == 0.0
+    brk.reset()
+    assert not brk.tripped.any()
+    assert brk.trip_count == 2  # counter is cumulative across resets
+
+
+def test_breaker_reset_rejects_out_of_range_ids():
+    brk = _breaker()
+    with pytest.raises(ConfigurationError):
+        brk.reset(np.array([5]))
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"rated_w": np.array([[100.0]])},
+        {"rated_w": np.array([100.0, -1.0])},
+        {"trip_time_s": 0.0},
+        {"cool_time_s": -1.0},
+        {"cooldown_fraction": 0.0},
+        {"cooldown_fraction": 1.5},
+    ],
+)
+def test_breaker_invalid_config_rejected(overrides):
+    with pytest.raises(ConfigurationError):
+        _breaker(**overrides)
+
+
+def test_breaker_step_validation():
+    brk = _breaker()
+    with pytest.raises(ConfigurationError):
+        brk.step(np.array([0.0, 0.0]), 0.0)
+    with pytest.raises(ConfigurationError):
+        brk.step(np.array([0.0]), 1.0)

@@ -1,0 +1,64 @@
+"""Property tests for the power-delivery fault domain.
+
+Two guarantees pin the design:
+
+* **No-op on healthy delivery** — attaching the provisioning topology
+  (breakers armed, emergency response watching) to a run whose power
+  delivery never falters is *bit-identical* to the seed run: the
+  delivery layer observes, but touches nothing.
+* **No breaker ever trips while defended** — whenever a feed is lost,
+  the emergency response (renegotiated envelope, forced red, ladder)
+  keeps every branch circuit closed, whatever cycle the loss lands on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.provision import ProvisionScenario
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5, deadline=None)
+def test_healthy_provisioning_is_bit_identical(seed):
+    baseline = run_experiment(ExperimentConfig.quick(num_nodes=32, seed=seed), "bfp")
+    provisioned = run_experiment(
+        ExperimentConfig.quick(num_nodes=32, seed=seed, attach_provision=True),
+        "bfp",
+    )
+    np.testing.assert_array_equal(baseline.times, provisioned.times)
+    np.testing.assert_array_equal(baseline.power_w, provisioned.power_w)
+    assert baseline.metrics.overspend == provisioned.metrics.overspend
+    assert baseline.p_low_w == provisioned.p_low_w
+    assert baseline.p_high_w == provisioned.p_high_w
+    assert len(baseline.finished_jobs) == len(provisioned.finished_jobs)
+    # The topology watched the whole run and saw nothing.
+    stats = provisioned.provision_stats
+    assert stats is not None
+    assert stats.feed_losses == 0
+    assert stats.breaker_trips == 0
+    assert stats.min_capacity_w == stats.design_capacity_w
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=5, deadline=None)
+def test_defended_feed_loss_never_trips_a_breaker(seed, loss_cycle):
+    scenario = ProvisionScenario.preset(
+        "feed-loss", feed_loss_at_cycle=loss_cycle
+    )
+    result = run_experiment(
+        ExperimentConfig.quick(num_nodes=32, seed=seed, provision=scenario),
+        "bfp",
+    )
+    stats = result.provision_stats
+    assert stats is not None
+    assert stats.feed_losses >= 1
+    assert stats.breaker_trips == 0
+    assert stats.min_capacity_w < stats.design_capacity_w
+    # The defense demonstrably acted: either the budget was renegotiated
+    # or the loss landed below the draw and forced emergency red.
+    assert stats.envelope_renegotiations + stats.emergency_red_cycles > 0

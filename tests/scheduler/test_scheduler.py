@@ -149,3 +149,93 @@ def test_multiple_jobs_coexist(small_cluster):
     # Jobs own disjoint node sets.
     owned = np.concatenate([sched.job_nodes(i) for i in range(4)])
     assert len(np.unique(owned)) == 12
+
+
+# ----------------------------------------------------------------------
+# Power-emergency transitions (driven by repro.provision.emergency)
+# ----------------------------------------------------------------------
+def test_suspend_freezes_job_and_zeroes_load(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0, nprocs=24)])
+    sched.tick(1.0, 1.0)
+    sched.tick(2.0, 1.0)  # executor applies the load one tick after start
+    nodes = sched.job_nodes(0)
+    assert small_cluster.state.cpu_util[nodes].sum() > 0.0
+    sched.suspend_job(0, 3.0)
+    job = sched.running_job(0)
+    assert job.state is JobState.SUSPENDED
+    assert sched.suspend_count == 1
+    assert [j.job_id for j in sched.suspended_jobs] == [0]
+    # Load dropped to idle, but the nodes stay assigned to the job.
+    assert small_cluster.state.cpu_util[nodes].sum() == 0.0
+    np.testing.assert_array_equal(small_cluster.state.job_id[nodes], 0)
+    before = job.progress_s
+    sched.tick(4.0, 1.0)
+    assert sched.running_job(0).progress_s == before  # progress frozen
+
+
+def test_resume_restores_running_and_reapplies_load(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0, nprocs=24)])
+    sched.tick(1.0, 1.0)
+    sched.suspend_job(0, 2.0)
+    assert sched.resume_job(0, 3.0) is True
+    assert sched.running_job(0).state is JobState.RUNNING
+    assert sched.resume_count == 1
+    before = sched.running_job(0).progress_s
+    sched.tick(4.0, 1.0)
+    assert sched.running_job(0).progress_s > before
+
+
+def test_resume_is_noop_for_missing_or_running_jobs(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0)])
+    sched.tick(1.0, 1.0)
+    assert sched.resume_job(42, 2.0) is False  # no such job
+    assert sched.resume_job(0, 2.0) is False  # not suspended
+    assert sched.resume_count == 0
+
+
+def test_resume_refused_while_nodes_fenced_offline(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0)])
+    sched.tick(1.0, 1.0)
+    sched.suspend_job(0, 2.0)
+    sched.take_offline(sched.job_nodes(0), 3.0)
+    assert sched.resume_job(0, 4.0) is False
+    sched.bring_online(sched.job_nodes(0))
+    assert sched.resume_job(0, 5.0) is True
+
+
+def test_kill_releases_nodes_without_finishing(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0, nprocs=24)])
+    sched.tick(1.0, 1.0)
+    nodes = sched.job_nodes(0)
+    sched.kill_job(0, 2.0)
+    assert [j.job_id for j in sched.killed_jobs] == [0]
+    assert sched.finished_jobs == []
+    assert small_cluster.state.idle_mask()[nodes].all()
+    with pytest.raises(SchedulingError):
+        sched.running_job(0)
+
+
+def test_suspend_and_kill_require_active_job(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [])
+    with pytest.raises(SchedulingError):
+        sched.suspend_job(7, 1.0)
+    with pytest.raises(SchedulingError):
+        sched.kill_job(7, 1.0)
+
+
+def test_offline_nodes_are_fenced_out_of_allocation(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [_job(0, nprocs=15 * 12)])
+    sched.take_offline(np.arange(4), 0.0)
+    sched.tick(1.0, 1.0)
+    # 15 nodes needed, only 12 admissible: the job must wait.
+    assert sched.started_count == 0
+    sched.bring_online(np.arange(4))
+    sched.tick(2.0, 1.0)
+    assert sched.started_count == 1
+
+
+def test_offline_mask_is_a_copy(small_cluster):
+    sched = _scheduler_with_jobs(small_cluster, [])
+    mask = sched.offline_mask
+    mask[:] = True
+    assert not sched.offline_mask.any()

@@ -1,8 +1,10 @@
-"""CI safety gate for chaos (sensor-corruption) smoke runs.
+"""CI safety gate for chaos smoke runs (corruption and provision).
 
 Reads the ``--json`` payload of a defended ``repro run`` executed under
-a corruption preset and asserts the safety invariants the telemetry
-integrity defense must hold even while its sensors are lying:
+a chaos preset and asserts the safety invariants the corresponding
+defense must hold while things are failing.
+
+``--mode corruption`` (default, sensor corruption + integrity defense):
 
 * the payload contains no NaN / infinity anywhere — a single poisoned
   float in the metrics pipeline would propagate silently;
@@ -12,9 +14,21 @@ integrity defense must hold even while its sensors are lying:
 * the cap-violation metric ``overspend`` (the paper's dPxT) stays under
   an explicit bound, i.e. the corrupted run is still a controlled run.
 
+``--mode provision`` (power-delivery faults + emergency response):
+
+* no NaN / infinity anywhere, as above;
+* the power-side scenario actually bit (capacity was lost, a branch was
+  pressed against its rating, or the ladder fired);
+* the defense engaged (envelope renegotiated, emergency red entered,
+  branch caps applied or jobs suspended);
+* **zero breaker trips** — a defended run must never let a branch
+  circuit open;
+* ``overspend`` stays under the same explicit bound.
+
 Usage::
 
     python tools/ci/chaos_check.py chaos.json --max-overspend 0.05
+    python tools/ci/chaos_check.py prov.json --mode provision
 
 Exit code 0 iff every invariant holds; failures are listed on stderr.
 """
@@ -40,12 +54,32 @@ def _walk(value: Any, path: str) -> Iterator[tuple[str, Any]]:
         yield path, value
 
 
-def check(payload: dict[str, Any], max_overspend: float) -> list[str]:
-    failures: list[str] = []
+def _finite_failures(payload: dict[str, Any]) -> list[str]:
+    return [
+        f"non-finite value at {path}: {leaf!r}"
+        for path, leaf in _walk(payload, "$")
+        if isinstance(leaf, float) and not math.isfinite(leaf)
+    ]
 
-    for path, leaf in _walk(payload, "$"):
-        if isinstance(leaf, float) and not math.isfinite(leaf):
-            failures.append(f"non-finite value at {path}: {leaf!r}")
+
+def _overspend_failures(
+    payload: dict[str, Any], max_overspend: float
+) -> list[str]:
+    overspend = payload.get("overspend")
+    if not isinstance(overspend, (int, float)) or not math.isfinite(
+        float(overspend)
+    ):
+        return [f"overspend missing or non-finite: {overspend!r}"]
+    if float(overspend) > max_overspend:
+        return [
+            f"overspend {float(overspend):.4f} exceeds the safety bound "
+            f"{max_overspend:.4f}"
+        ]
+    return []
+
+
+def check(payload: dict[str, Any], max_overspend: float) -> list[str]:
+    failures: list[str] = _finite_failures(payload)
 
     stats = payload.get("fault_stats")
     if not isinstance(stats, dict):
@@ -69,16 +103,66 @@ def check(payload: dict[str, Any], max_overspend: float) -> list[str]:
             "meter distrust)"
         )
 
-    overspend = payload.get("overspend")
-    if not isinstance(overspend, (int, float)) or not math.isfinite(
-        float(overspend)
-    ):
-        failures.append(f"overspend missing or non-finite: {overspend!r}")
-    elif float(overspend) > max_overspend:
+    failures.extend(_overspend_failures(payload, max_overspend))
+    return failures
+
+
+def check_provision(
+    payload: dict[str, Any], max_overspend: float
+) -> list[str]:
+    failures: list[str] = _finite_failures(payload)
+
+    stats = payload.get("provision_stats")
+    if not isinstance(stats, dict):
         failures.append(
-            f"overspend {float(overspend):.4f} exceeds the safety bound "
-            f"{max_overspend:.4f}"
+            "provision_stats missing: run had no delivery topology"
         )
+        return failures
+
+    bit = (
+        stats.get("feed_losses", 0)
+        + stats.get("pdu_failures", 0)
+        + stats.get("cap_orders", 0)
+        + stats.get("branch_cap_interventions", 0)
+    )
+    if bit <= 0 and stats.get("branch_cap_violation_seconds", 0.0) <= 0.0:
+        failures.append(
+            "provision scenario never bit (no capacity events, no "
+            "branch pressure)"
+        )
+
+    engaged = (
+        stats.get("envelope_renegotiations", 0)
+        + stats.get("emergency_red_cycles", 0)
+        + stats.get("branch_cap_interventions", 0)
+        + stats.get("jobs_suspended", 0)
+    )
+    # A quiet defense is only acceptable when the surviving capacity
+    # never dipped below the threshold the controller was already
+    # enforcing (e.g. a shallow cap order above P_H needs no response).
+    min_capacity = stats.get("min_capacity_w", float("nan"))
+    p_high = payload.get("p_high_w", float("nan"))
+    benign = (
+        isinstance(min_capacity, (int, float))
+        and isinstance(p_high, (int, float))
+        and math.isfinite(float(min_capacity))
+        and math.isfinite(float(p_high))
+        and float(min_capacity) >= float(p_high)
+    )
+    if engaged <= 0 and not benign:
+        failures.append(
+            "defense never engaged (no renegotiation, emergency red, "
+            "branch caps or suspensions) while capacity sat below P_H"
+        )
+
+    trips = stats.get("breaker_trips", 0)
+    if not isinstance(trips, int) or trips != 0:
+        failures.append(
+            f"defended run tripped {trips!r} breaker(s); the emergency "
+            "response must keep every branch circuit closed"
+        )
+
+    failures.extend(_overspend_failures(payload, max_overspend))
     return failures
 
 
@@ -91,12 +175,19 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="dPxT ceiling for a defended corrupted run (default 0.05)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("corruption", "provision"),
+        default="corruption",
+        help="which defense's invariants to assert (default: corruption)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.payload, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
 
-    failures = check(payload, args.max_overspend)
+    checker = check if args.mode == "corruption" else check_provision
+    failures = checker(payload, args.max_overspend)
     if failures:
         for failure in failures:
             print(f"chaos-check: FAIL: {failure}", file=sys.stderr)

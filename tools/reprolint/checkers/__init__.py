@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from tools.reprolint.checkers.base import Checker
+from tools.reprolint.checkers.budget import BudgetChecker
 from tools.reprolint.checkers.determinism import DeterminismChecker
 from tools.reprolint.checkers.fencing import FencingChecker
 from tools.reprolint.checkers.hygiene import HygieneChecker
@@ -20,6 +21,7 @@ def all_checkers() -> tuple[Checker, ...]:
         NanSafetyChecker(),
         UnitsChecker(),
         FencingChecker(),
+        BudgetChecker(),
         HygieneChecker(),
     )
 

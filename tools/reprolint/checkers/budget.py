@@ -1,0 +1,93 @@
+"""Budget-custody rules (RL3xx, continued).
+
+The provisioning layer owns the power budget: surviving delivery
+capacity lives in :class:`repro.provision.runtime.ProvisionRuntime` and
+the only sanctioned way thresholds follow it is
+:meth:`repro.core.thresholds.ThresholdController.set_envelope`.  A raw
+write to budget state anywhere else — control code poking ``p_high`` or
+``capacity_w`` directly — bypasses envelope clamping, renegotiation
+accounting and the journaled threshold state, silently splitting the
+controller's view of the budget from the delivery path's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.diagnostics import Diagnostic, Rule, Severity
+from tools.reprolint.source import ParsedModule
+
+#: Where budget/capacity state may legitimately be mutated: the
+#: provisioning package (delivery capacity, branch limits, cap orders)
+#: and the threshold controller (envelope-clamped re-learning).
+BUDGET_WRITER_MODULES = ("repro.provision", "repro.core.thresholds")
+
+#: Everything else under repro.* is control code for this rule.
+_CONTROL_PACKAGES = ("repro",)
+
+#: Attribute names that hold budget/capacity state.  Covers the
+#: threshold pair in both naming conventions, the delivery capacities
+#: and the per-branch ratings.
+_BUDGET_ATTRS = {
+    "p_high",
+    "p_low",
+    "p_high_w",
+    "p_low_w",
+    "capacity_w",
+    "design_capacity_w",
+    "envelope_w",
+    "rated_w",
+    "branch_limits_w",
+}
+
+
+class BudgetChecker(Checker):
+    """RL303: budget state written outside the provisioning entry points."""
+
+    rules = (
+        Rule(
+            "RL303",
+            "budget-custody",
+            Severity.ERROR,
+            "budget/capacity state written outside repro.provision",
+            "Only the provisioning layer (repro.provision) and the "
+            "envelope-clamped ThresholdController may mutate budget or "
+            "capacity state; anything else must renegotiate through "
+            "set_envelope() so clamping and accounting stay coherent.",
+        ),
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if not module.in_package(*_CONTROL_PACKAGES):
+            return
+        if module.in_package(*BUDGET_WRITER_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self._budget_attr(target)
+                if attr is not None:
+                    yield self.emit(
+                        module,
+                        node,
+                        "RL303",
+                        f"direct write to budget state .{attr} outside "
+                        "repro.provision; renegotiate through "
+                        "ThresholdController.set_envelope() or a "
+                        "ProvisionRuntime event instead",
+                    )
+
+    @staticmethod
+    def _budget_attr(target: ast.expr) -> str | None:
+        # ``obj.capacity_w = …`` or ``obj.branch_limits_w[ids] = …``
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr in _BUDGET_ATTRS:
+            return target.attr
+        return None
