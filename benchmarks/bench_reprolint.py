@@ -1,0 +1,62 @@
+"""Whole-program lint cost: cold extraction vs warm summary cache.
+
+The RL5xx pass builds a project model — per-file symbolic summaries
+(AST parse plus abstract interpretation) — then resolves the trust-
+boundary policies over it.  Extraction is file-local and cacheable;
+resolution is cheap and always runs.  Summaries are cached in one JSON
+file keyed by each file's SHA-256, so a warm run only re-reads bytes,
+re-hashes, and decodes the stored summaries.  This bench pins the
+contract that makes the flow pass usable as a pre-commit/CI stage: a
+warm whole-program pass over the full simulator must be at least 3x
+faster than a cold one.
+
+Run with ``pytest benchmarks/bench_reprolint.py -s`` for the timings.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_banner
+from tools.reprolint.checkers.flow import FlowAnalyzer
+from tools.reprolint.project import ProjectModel
+from tools.reprolint.runner import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def _timed_pass(files: list[Path], cache: Path) -> tuple[float, ProjectModel]:
+    """One whole-program pass: build (or load) summaries, run RL5xx."""
+    start = time.perf_counter()
+    project, errors = ProjectModel.build(files, cache_path=cache)
+    diagnostics = FlowAnalyzer().analyze(project)
+    elapsed = time.perf_counter() - start
+    assert errors == []
+    assert diagnostics == [], [d.format_text() for d in diagnostics]
+    return elapsed, project
+
+
+def test_warm_cache_is_at_least_3x_faster(tmp_path: Path) -> None:
+    files = iter_python_files([SRC_REPRO])
+    cache = tmp_path / "summaries.json"
+
+    cold_s, cold = _timed_pass(files, cache)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(files)
+
+    warm_s, warm = _timed_pass(files, cache)
+    assert warm.cache_hits == len(files)
+    assert warm.cache_misses == 0
+
+    print_banner("reprolint whole-program pass: cold vs warm summary cache")
+    print(f"files checked : {len(files)}")
+    print(f"cold (extract): {cold_s * 1e3:8.1f} ms")
+    print(f"warm (cached) : {warm_s * 1e3:8.1f} ms")
+    print(f"speedup       : {cold_s / warm_s:8.1f}x")
+
+    assert warm_s * 3 <= cold_s, (
+        f"warm cache run ({warm_s:.3f}s) is not >=3x faster than cold "
+        f"({cold_s:.3f}s); the summary cache has stopped paying for itself"
+    )

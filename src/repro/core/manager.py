@@ -97,6 +97,7 @@ from repro.telemetry.integrity import (
     IntegrityConfig,
     MeterIntegrityMonitor,
     TelemetryValidator,
+    screen_metered_power,
 )
 from repro.telemetry.recorder import TimeSeriesRecorder
 from repro.types import Seconds
@@ -282,6 +283,7 @@ class PowerManager:
         self._blackout_streak = 0
         self._forced_red_cycles = 0
         self._estimated_cycles = 0
+        self._aux_fenced_batches = 0
         self._last_metered_power: float | None = None
         self._last_metered_snapshot: TelemetrySnapshot | None = None
         self._offset_w = 0.0
@@ -357,6 +359,11 @@ class PowerManager:
             "repro_estimated_power_cycles_total",
             "Cycles run on the Formula (1) fallback estimate",
             lambda: float(self._estimated_cycles),
+        )
+        reg.counter_func(
+            "repro_aux_fenced_batches_total",
+            "Out-of-band actuation batches rejected by epoch fencing",
+            lambda: float(self._aux_fenced_batches),
         )
         reg.gauge_func(
             "repro_time_in_green",
@@ -515,6 +522,11 @@ class PowerManager:
     def estimated_power_cycles(self) -> int:
         """Cycles run on the Formula (1) fallback estimate."""
         return self._estimated_cycles
+
+    @property
+    def aux_fenced_batches(self) -> int:
+        """Out-of-band actuation batches rejected by epoch fencing."""
+        return self._aux_fenced_batches
 
     def state_count(self, state: PowerState) -> int:
         """Number of cycles classified as ``state``."""
@@ -678,30 +690,24 @@ class PowerManager:
         if tracing:
             sp = tracer.open_span("estimate")
         if metered:
-            power = self._meter.read()
+            raw_power = self._meter.read()
             if inj is not None:
-                power = inj.perturb_meter(power)
-            if self._meter_monitor is not None:
-                if quarantine_active:
-                    # With lying sensors in the aggregate the residual
-                    # can no longer testify for or against the meter, so
-                    # the monitor's streaks are frozen and the
-                    # never-underestimate rule is applied outright: act
-                    # on whichever of meter and quarantine-envelope
-                    # estimate is higher.  The envelope only inflates,
-                    # so this can over-cap but never under-cap.
-                    power = max(power, self._candidate_estimate_w(snapshot))
-                else:
-                    # Cross-check the meter against the validated
-                    # Formula (1) aggregate (the *raw* candidate sum —
-                    # the outage anchor would launder a byzantine
-                    # meter's error into the reference).
-                    power = self._meter_monitor.filter(
-                        power, self._candidate_estimate_w(snapshot), now
-                    )
-            if self._meter_monitor is not None:
-                meter_distrusted = self._meter_monitor.distrusted
-            if not meter_distrusted and not quarantine_active:
+                raw_power = inj.perturb_meter(raw_power)
+            # All raw meter readings pass the integrity layer's single
+            # trusted egress before they may drive learning or control
+            # (the cross-check uses the *raw* Formula (1) candidate sum
+            # — the outage anchor would launder a byzantine meter's
+            # error into the reference).
+            screened = screen_metered_power(
+                self._meter_monitor,
+                raw_power,
+                lambda: self._candidate_estimate_w(snapshot),
+                quarantine_active,
+                now,
+            )
+            power = screened.power_w
+            meter_distrusted = screened.meter_distrusted
+            if screened.learnable:
                 # P_peak observations taken from a distrusted meter or a
                 # quarantine-inflated estimate would poison the learned
                 # thresholds for every later cycle.
@@ -912,6 +918,18 @@ class PowerManager:
             node_ids=np.arange(st.num_nodes, dtype=np.int64),
         )
 
+    def _note_aux_actuation(self, fenced: bool) -> None:
+        """Status check for out-of-band actuation (RL502).
+
+        Branch caps, blackout releases and the end-of-run restore all
+        bypass the main per-cycle actuation span, so their outcome must
+        be accounted here: a fully fenced batch means a successor owns
+        the machine, and this incarnation's telemetry records the
+        refusal instead of silently pretending the command landed.
+        """
+        if fenced:
+            self._aux_fenced_batches += 1
+
     def _provision_settle(
         self,
         prov: ProvisionRuntime,
@@ -944,10 +962,13 @@ class PowerManager:
                     new_levels,
                     decision.time_in_green,
                 )
-                self._actuator.apply(
+                branch_report = self._actuator.apply(
                     branch_decision,
                     raise_ok=self._upgradable,
                     epoch=self._epoch,
+                )
+                self._note_aux_actuation(
+                    branch_report.fenced == branch_report.commands
                 )
                 # Branch capping changed levels inside this interval;
                 # settle the physics against the post-cap draw.
@@ -965,7 +986,8 @@ class PowerManager:
                 # A dark rack draws nothing: force its nodes to the
                 # floor through the fenced release path (RL301 — a
                 # blackout is still actuation, never a raw level write).
-                self._actuator.release(dark, 0, epoch=self._epoch)
+                written = self._actuator.release(dark, 0, epoch=self._epoch)
+                self._note_aux_actuation(written == 0)
 
     def _estimate_system_power(self, snapshot: TelemetrySnapshot) -> float:
         """Formula (1) fallback for total power during a meter outage.
@@ -1061,9 +1083,10 @@ class PowerManager:
         # Through the actuator's fenced release path, never a direct
         # state write: a deposed manager must not touch the machine
         # even to "clean up" (RL301).
-        self._actuator.release(
+        written = self._actuator.release(
             candidates, self._cluster.spec.top_level, epoch=self._epoch
         )
+        self._note_aux_actuation(written == 0)
         self._capping.reset()
         self._blackout_streak = 0
         self._upgradable = None

@@ -56,6 +56,7 @@ is conservative in exactly the same direction as its recovery hold.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,12 +64,15 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.obs.facade import Observability, resolve_obs
 from repro.power.estimator import NodePowerEstimator
+from repro.types import Seconds, Watts
 
 __all__ = [
     "IntegrityConfig",
     "MeterIntegrityMonitor",
+    "ScreenedPower",
     "TelemetryValidator",
     "ValidationResult",
+    "screen_metered_power",
 ]
 
 #: Guard against division by a vanishing estimate in residual fractions.
@@ -541,3 +545,69 @@ class MeterIntegrityMonitor:
             self._distrusted_cycles += 1
             return max(metered_w, estimate_w)
         return metered_w
+
+
+@dataclass(frozen=True)
+class ScreenedPower:
+    """Outcome of screening one metered reading through the integrity layer.
+
+    Attributes:
+        power_w: The power the manager may act on this cycle.
+        meter_distrusted: Whether the meter monitor currently distrusts
+            the system meter.
+        learnable: Whether the reading may feed ``P_peak`` learning —
+            false while the meter is distrusted or any node is
+            quarantined, since thresholds learned from lying sensors
+            would poison every later cycle.
+    """
+
+    power_w: Watts
+    meter_distrusted: bool
+    learnable: bool
+
+
+def screen_metered_power(
+    monitor: MeterIntegrityMonitor | None,
+    metered_w: Watts,
+    estimate_w: Callable[[], Watts],
+    quarantine_active: bool,
+    now: Seconds,
+) -> ScreenedPower:
+    """Screen one raw metered reading before it may drive control.
+
+    This is the single trusted egress for system-meter readings (lint
+    rule RL501): the manager hands the raw reading in and acts only on
+    what comes out.  While the meter is trusted and nothing is
+    quarantined the reading passes through bit-identically; with lying
+    sensors in the aggregate the residual cross-check is meaningless, so
+    the never-underestimate rule applies outright — act on whichever of
+    meter and quarantine-inflated estimate is higher.
+
+    Args:
+        monitor: The meter's residual cross-check, or ``None`` when the
+            run is undefended (no validator configured).
+        metered_w: The raw (possibly byzantine) metered reading.
+        estimate_w: Lazy Formula (1) candidate aggregate; only evaluated
+            when a monitor is attached, so undefended runs skip the
+            estimator sweep entirely.
+        quarantine_active: Whether any node is currently quarantined.
+        now: Simulated time, seconds.
+    """
+    power = metered_w
+    distrusted = False
+    if monitor is not None:
+        if quarantine_active:
+            # With lying sensors in the aggregate the residual can no
+            # longer testify for or against the meter: the monitor's
+            # streaks are frozen and the never-underestimate rule is
+            # applied outright.  The envelope only inflates, so this can
+            # over-cap but never under-cap.
+            power = max(power, estimate_w())
+        else:
+            power = monitor.filter(power, estimate_w(), now)
+        distrusted = monitor.distrusted
+    return ScreenedPower(
+        power_w=power,
+        meter_distrusted=distrusted,
+        learnable=not distrusted and not quarantine_active,
+    )

@@ -1,0 +1,97 @@
+"""Tests for the CI lint-budget gate (tools/ci/lint_budget.py)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tools.ci.lint_budget import check_budget, main, write_baseline
+
+
+def _stats(**rule_counts) -> dict:
+    return {
+        "paths": ["src/repro"],
+        "files_checked": 10,
+        "parse_errors": 0,
+        "rule_counts": {"RL101": 0, "RL501": 0, **rule_counts},
+        "cache": {"hits": 0, "misses": 10},
+    }
+
+
+def _baseline(**rule_counts) -> dict:
+    return {"rule_counts": {"RL101": 0, "RL501": 0, **rule_counts}}
+
+
+def test_within_budget_passes() -> None:
+    failures, hints = check_budget(_stats(), _baseline())
+    assert failures == []
+    assert hints == []
+
+
+def test_regression_fails() -> None:
+    failures, _ = check_budget(_stats(RL501=2), _baseline())
+    assert len(failures) == 1
+    assert "RL501" in failures[0]
+    assert "budget is 0" in failures[0]
+
+
+def test_unknown_rule_defaults_to_zero_budget() -> None:
+    failures, _ = check_budget(_stats(RL999=1), _baseline())
+    assert any("RL999" in f for f in failures)
+
+
+def test_improvement_is_a_ratchet_hint_not_a_failure() -> None:
+    failures, hints = check_budget(_stats(RL203=1), _baseline(RL203=5))
+    assert failures == []
+    assert any("RL203" in h and "ratchet" in h for h in hints)
+
+
+def test_parse_errors_always_fail() -> None:
+    stats = _stats()
+    stats["parse_errors"] = 2
+    failures, _ = check_budget(stats, _baseline())
+    assert any("parse" in f for f in failures)
+
+
+def test_missing_rule_counts_fails() -> None:
+    failures, _ = check_budget({"parse_errors": 0}, _baseline())
+    assert any("rule_counts" in f for f in failures)
+
+
+def test_main_exit_codes(tmp_path: Path, capsys) -> None:
+    stats_path = tmp_path / "stats.json"
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(_baseline()), encoding="utf-8")
+
+    stats_path.write_text(json.dumps(_stats()), encoding="utf-8")
+    assert main([str(stats_path), "--baseline", str(baseline_path)]) == 0
+    assert "within baseline" in capsys.readouterr().out
+
+    stats_path.write_text(json.dumps(_stats(RL501=3)), encoding="utf-8")
+    assert main([str(stats_path), "--baseline", str(baseline_path)]) == 1
+    assert "RL501" in capsys.readouterr().err
+
+
+def test_write_baseline_round_trip(tmp_path: Path) -> None:
+    out = tmp_path / "baseline.json"
+    write_baseline(_stats(RL203=4), out)
+    stored = json.loads(out.read_text(encoding="utf-8"))
+    assert stored == {
+        "rule_counts": {"RL101": 0, "RL203": 4, "RL501": 0}
+    }
+    failures, _ = check_budget(_stats(RL203=4), stored)
+    assert failures == []
+
+
+def test_checked_in_baseline_is_all_zero() -> None:
+    """The repo's own budget: every rule at zero — the tree is clean and
+    must stay clean; improvements can only tighten, never loosen."""
+    repo_root = Path(__file__).resolve().parents[2]
+    baseline = json.loads(
+        (repo_root / "tools" / "ci" / "lint_baseline.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    counts = baseline["rule_counts"]
+    assert counts and all(count == 0 for count in counts.values())
+    assert {"RL501", "RL502", "RL503", "RL504"} <= set(counts)

@@ -1,0 +1,21 @@
+"""RL501: raw telemetry reaches threshold learning across modules."""
+
+from repro.core.thresholds import ThresholdController
+from repro.f501b.sensors import read_total
+from repro.power.meter import SystemPowerMeter
+
+
+def train_direct(meter: SystemPowerMeter, ctl: ThresholdController) -> None:
+    power = read_total(meter)
+    ctl.observe(power)  # rl-expect: RL501
+
+
+def feed(ctl: ThresholdController, value: float) -> None:
+    # Not flagged here: `value` is a parameter, so this function becomes
+    # a sink and the violation anchors at the caller that passes raw
+    # telemetry in.
+    ctl.observe(value)
+
+
+def train_indirect(meter: SystemPowerMeter, ctl: ThresholdController) -> None:
+    feed(ctl, meter.read())  # rl-expect: RL501

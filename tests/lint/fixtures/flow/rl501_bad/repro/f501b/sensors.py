@@ -1,0 +1,7 @@
+"""Helper module: returns the raw meter reading unscreened."""
+
+from repro.power.meter import SystemPowerMeter
+
+
+def read_total(meter: SystemPowerMeter) -> float:
+    return meter.read()

@@ -1,0 +1,18 @@
+"""RL501 good twin: readings cross the integrity layer before learning."""
+
+from repro.core.thresholds import ThresholdController
+from repro.f501g.sensors import screened_total
+from repro.power.meter import SystemPowerMeter
+
+
+def train(meter: SystemPowerMeter, ctl: ThresholdController) -> None:
+    power = screened_total(meter, now=1.0)
+    ctl.observe(power)
+
+
+def feed(ctl: ThresholdController, value: float) -> None:
+    ctl.observe(value)
+
+
+def train_indirect(meter: SystemPowerMeter, ctl: ThresholdController) -> None:
+    feed(ctl, screened_total(meter, now=2.0))

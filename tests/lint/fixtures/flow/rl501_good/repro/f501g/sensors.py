@@ -1,0 +1,10 @@
+"""Helper module: screens the meter reading through the integrity layer."""
+
+from repro.power.meter import SystemPowerMeter
+from repro.telemetry.integrity import screen_metered_power
+
+
+def screened_total(meter: SystemPowerMeter, now: float) -> float:
+    raw = meter.read()
+    screened = screen_metered_power(None, raw, lambda: raw, False, now)
+    return screened.power_w

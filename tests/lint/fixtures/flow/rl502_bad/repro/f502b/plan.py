@@ -1,0 +1,7 @@
+"""Helper module: target lists for the actuation fixtures."""
+
+import numpy as np
+
+
+def floor_ids(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)

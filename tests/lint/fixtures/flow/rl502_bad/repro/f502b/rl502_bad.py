@@ -1,0 +1,12 @@
+"""RL502: actuation outcomes discarded across modules."""
+
+from repro.core.actuator import DvfsActuator
+from repro.f502b.plan import floor_ids
+
+
+def cap(actuator: DvfsActuator, decision) -> None:
+    actuator.apply(decision)  # rl-expect: RL502
+
+
+def blackout(actuator: DvfsActuator, n: int) -> None:
+    actuator.release(floor_ids(n), 0)  # rl-expect: RL502

@@ -1,0 +1,16 @@
+"""RL502 good twin: every actuation result reaches a status check."""
+
+from repro.core.actuator import DvfsActuator
+from repro.f502g.plan import floor_ids
+
+
+def cap(actuator: DvfsActuator, decision) -> int:
+    report = actuator.apply(decision)
+    if report.fenced:
+        return 0
+    return report.effective
+
+
+def blackout(actuator: DvfsActuator, n: int) -> int:
+    written = actuator.release(floor_ids(n), 0)
+    return written

@@ -1,0 +1,7 @@
+"""Helper module in a foreign custody domain: draws from a handed-in stream."""
+
+import numpy as np
+
+
+def sample_noise(stream: np.random.Generator) -> float:
+    return float(stream.normal(0.0, 1.0))

@@ -1,0 +1,12 @@
+"""RL503: substreams drawn and handed off outside their custody domain."""
+
+from repro.f503b.metering import sample_noise
+from repro.sim.random import RandomSource
+
+
+def wire(source: RandomSource) -> float:
+    noise = source.stream("meter.noise")
+    jobs = source.stream("workload.jobs")
+    first = float(jobs.normal(0.0, 1.0))  # rl-expect: RL503
+    second = sample_noise(noise)  # rl-expect: RL503
+    return first + second

@@ -1,0 +1,7 @@
+"""Helper module inside the workload custody domain."""
+
+import numpy as np
+
+
+def next_arrival(stream: np.random.Generator) -> float:
+    return float(stream.exponential(1.0))

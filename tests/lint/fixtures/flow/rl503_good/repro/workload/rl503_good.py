@@ -1,0 +1,11 @@
+"""RL503 good twin: the workload substream stays in its domain."""
+
+from repro.sim.random import RandomSource
+from repro.workload.arrivals import next_arrival
+
+
+def wire(source: RandomSource) -> float:
+    jobs = source.stream("workload.jobs")
+    first = float(jobs.exponential(1.0))
+    second = next_arrival(jobs)
+    return first + second

@@ -1,0 +1,13 @@
+"""RL504: sim-clock and host-clock values mixed across modules."""
+
+from repro.f504b.clocks import host_stamp, sim_now
+from repro.sim.engine import SimulationEngine
+
+
+def drift(engine: SimulationEngine) -> float:
+    started = host_stamp()
+    return sim_now(engine) - started  # rl-expect: RL504
+
+
+def overdue(engine: SimulationEngine) -> bool:
+    return sim_now(engine) > host_stamp()  # rl-expect: RL504

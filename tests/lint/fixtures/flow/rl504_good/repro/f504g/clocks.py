@@ -1,0 +1,13 @@
+"""Helper module: one function per timeline."""
+
+import time
+
+from repro.sim.engine import SimulationEngine
+
+
+def host_stamp() -> float:
+    return time.perf_counter()
+
+
+def sim_now(engine: SimulationEngine) -> float:
+    return engine.now

@@ -1,0 +1,13 @@
+"""RL504 good twin: each timeline is only ever compared with itself."""
+
+from repro.f504g.clocks import host_stamp, sim_now
+from repro.sim.engine import SimulationEngine
+
+
+def sim_elapsed(engine: SimulationEngine, start_sim: float) -> float:
+    return sim_now(engine) - start_sim
+
+
+def wall_elapsed() -> float:
+    started = host_stamp()
+    return host_stamp() - started

@@ -1,5 +1,11 @@
 """The fixture corpus: every rule must flag its bad snippet at exactly
-the marked lines, and must stay silent on the good twin."""
+the marked lines, and must stay silent on the good twin.
+
+Per-file rules (RL1xx–RL4xx) have single-file fixtures linted in
+isolation; whole-program rules (RL5xx) have multi-file package fixtures
+under ``fixtures/flow/`` exercised through the full pipeline in
+``test_flow_fixtures.py``.
+"""
 
 from __future__ import annotations
 
@@ -9,16 +15,21 @@ import pytest
 
 from tests.lint.conftest import FIXTURES, expected_findings
 from tools.reprolint.checkers import all_rules
-from tools.reprolint.runner import lint_paths
+from tools.reprolint.runner import lint_paths, run
 
-BAD_FIXTURES = sorted(FIXTURES.rglob("*_bad.py"))
-GOOD_FIXTURES = sorted(FIXTURES.rglob("*_good.py"))
+FLOW = FIXTURES / "flow"
+
+ALL_BAD = sorted(FIXTURES.rglob("*_bad.py"))
+ALL_GOOD = sorted(FIXTURES.rglob("*_good.py"))
+#: Single-file fixtures, linted per file; flow fixtures need the project.
+BAD_FIXTURES = [p for p in ALL_BAD if FLOW not in p.parents]
+GOOD_FIXTURES = [p for p in ALL_GOOD if FLOW not in p.parents]
 
 
 def test_corpus_is_complete() -> None:
     """Every rule in the catalogue has one bad and one good fixture."""
-    bad_rules = {p.stem.split("_")[0].upper() for p in BAD_FIXTURES}
-    good_rules = {p.stem.split("_")[0].upper() for p in GOOD_FIXTURES}
+    bad_rules = {p.stem.split("_")[0].upper() for p in ALL_BAD}
+    good_rules = {p.stem.split("_")[0].upper() for p in ALL_GOOD}
     catalogue = {rule.rule_id for rule in all_rules()}
     assert catalogue <= bad_rules, catalogue - bad_rules
     assert catalogue <= good_rules | {"SUPPRESSED"}, catalogue - good_rules
@@ -45,8 +56,13 @@ def test_good_fixture_is_clean(path) -> None:
 
 
 def test_whole_corpus_fails_the_gate() -> None:
-    """Linting the corpus root is nonzero: the bad files dominate."""
-    diagnostics, _ = lint_paths([FIXTURES])
-    assert diagnostics, "corpus unexpectedly clean"
-    flagged_rules = {d.rule_id for d in diagnostics}
+    """Linting the corpus root is nonzero: the bad files dominate.
+
+    The full pipeline (per-file *and* whole-program flow) over the
+    entire corpus must produce every rule in the catalogue — no rule's
+    bad fixture can silently stop firing.
+    """
+    result = run([FIXTURES])
+    assert result.diagnostics, "corpus unexpectedly clean"
+    flagged_rules = {d.rule_id for d in result.diagnostics}
     assert flagged_rules == {rule.rule_id for rule in all_rules()}

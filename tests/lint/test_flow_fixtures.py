@@ -1,0 +1,99 @@
+"""Whole-program (RL5xx) fixture corpus.
+
+Each ``fixtures/flow/rl5xx_{bad,good}`` directory is a small multi-file
+package: sources, sanitizers, sinks and stream handoffs deliberately
+split across modules so a finding only exists when the analyzer follows
+the project's call graph.  Bad packages must flag exactly the
+``# rl-expect`` lines; good twins must be clean under the full pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from tests.lint.conftest import FIXTURES, expected_findings
+from tools.reprolint.runner import run
+
+FLOW = FIXTURES / "flow"
+BAD_DIRS = sorted(p for p in FLOW.iterdir() if p.name.endswith("_bad"))
+GOOD_DIRS = sorted(p for p in FLOW.iterdir() if p.name.endswith("_good"))
+
+
+def _expected_in_tree(root: Path) -> Counter:
+    expected: Counter = Counter()
+    for path in sorted(root.rglob("*.py")):
+        for line, rule_id in expected_findings(path):
+            expected[(str(path), line, rule_id)] += 1
+    return expected
+
+
+def test_corpus_has_all_flow_rules() -> None:
+    assert {p.name for p in BAD_DIRS} == {
+        "rl501_bad",
+        "rl502_bad",
+        "rl503_bad",
+        "rl504_bad",
+    }
+    assert {p.name for p in GOOD_DIRS} == {
+        "rl501_good",
+        "rl502_good",
+        "rl503_good",
+        "rl504_good",
+    }
+
+
+@pytest.mark.parametrize("root", BAD_DIRS, ids=lambda p: p.name)
+def test_bad_package_flags_exactly_the_marked_lines(root: Path) -> None:
+    expected = _expected_in_tree(root)
+    assert expected, f"{root} has no # rl-expect markers"
+    rule_id = root.name.split("_")[0].upper()
+    assert {key[2] for key in expected} == {rule_id}
+    result = run([root], select=[rule_id])
+    assert result.parse_errors == []
+    found = Counter(
+        (d.path, d.line, d.rule_id) for d in result.diagnostics
+    )
+    assert found == expected, (
+        f"{root}: expected {sorted(expected.items())}, "
+        f"found {sorted(found.items())}"
+    )
+
+
+@pytest.mark.parametrize("root", BAD_DIRS, ids=lambda p: p.name)
+def test_bad_package_is_clean_per_file(root: Path) -> None:
+    """The violation only exists whole-program: per-file passes see nothing."""
+    result = run([root], flow=False)
+    assert result.parse_errors == []
+    assert result.diagnostics == [], [
+        d.format_text() for d in result.diagnostics
+    ]
+
+
+@pytest.mark.parametrize("root", GOOD_DIRS, ids=lambda p: p.name)
+def test_good_package_is_clean(root: Path) -> None:
+    result = run([root])
+    assert result.parse_errors == []
+    assert result.diagnostics == [], [
+        d.format_text() for d in result.diagnostics
+    ]
+
+
+def test_flow_corpus_linted_together_is_stable() -> None:
+    """One project model over every flow package at once: the bad
+    packages' findings survive and the good packages stay silent —
+    packages are namespaced so summaries cannot cross-contaminate."""
+    result = run([FLOW])
+    assert result.parse_errors == []
+    flagged_paths = {Path(d.path).parts for d in result.diagnostics}
+    for parts in flagged_paths:
+        assert any(seg.endswith("_bad") for seg in parts), parts
+    expected = Counter()
+    for root in BAD_DIRS:
+        expected += _expected_in_tree(root)
+    found = Counter(
+        (d.path, d.line, d.rule_id) for d in result.diagnostics
+    )
+    assert found == expected

@@ -1,0 +1,61 @@
+"""Self-test against the real tree: the analyzer guards the actual
+manager wiring, not just synthetic fixtures.
+
+A scratch copy of ``src/repro`` is linted clean, then a deliberate
+validator bypass — a raw meter reading fed straight into threshold
+learning — is seeded into the copy and must be caught by RL501.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from tests.lint.conftest import SRC_REPRO
+from tools.reprolint.runner import run
+
+_BYPASS = '''\
+"""Deliberately rogue wiring used by the lint self-test."""
+
+from repro.core.thresholds import ThresholdController
+from repro.power.meter import SystemPowerMeter
+
+
+def sneak_training(meter: SystemPowerMeter, learner: ThresholdController) -> None:
+    learner.observe(meter.read())
+'''
+
+
+@pytest.fixture(scope="module")
+def scratch_repro(tmp_path_factory) -> Path:
+    root = tmp_path_factory.mktemp("selftest") / "repro"
+    shutil.copytree(
+        SRC_REPRO, root, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    return root
+
+
+def test_scratch_copy_is_flow_clean(scratch_repro: Path) -> None:
+    result = run([scratch_repro], select=["RL501", "RL502", "RL503", "RL504"])
+    assert result.parse_errors == []
+    assert result.diagnostics == [], [
+        d.format_text() for d in result.diagnostics
+    ]
+
+
+def test_seeded_validator_bypass_is_caught(scratch_repro: Path) -> None:
+    rogue = scratch_repro / "core" / "bypass.py"
+    rogue.write_text(_BYPASS, encoding="utf-8")
+    try:
+        result = run([scratch_repro], select=["RL501"])
+    finally:
+        rogue.unlink()
+    findings = [
+        d for d in result.diagnostics if d.rule_id == "RL501"
+    ]
+    assert len(findings) == 1
+    assert findings[0].path == str(rogue)
+    assert findings[0].line == 8
+    assert "ThresholdController.observe" in findings[0].message

@@ -1,0 +1,180 @@
+"""Full-pipeline behaviour: annotation escaping, suppression accounting,
+statistics artifacts and the whole-program CLI switches."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.lint.conftest import FIXTURES
+from tools.reprolint.cli import EXIT_CLEAN, EXIT_DIAGNOSTICS, main
+from tools.reprolint.diagnostics import Diagnostic, Severity
+from tools.reprolint.runner import USELESS_SUPPRESSION_ID, run
+
+FLOW = FIXTURES / "flow"
+
+
+# ----------------------------------------------------------------------
+# --format=github: workflow-command escaping
+# ----------------------------------------------------------------------
+def test_github_format_escapes_message_payload() -> None:
+    diag = Diagnostic(
+        path="src/x.py",
+        line=3,
+        column=1,
+        rule_id="RL999",
+        severity=Severity.ERROR,
+        message="evil\n::error file=forged.py::injected %25 trick",
+    )
+    line = diag.format_github()
+    # One physical line: workflow commands are parsed per line, so the
+    # payload cannot start a second annotation without a raw newline.
+    assert "\n" not in line
+    assert "\r" not in line
+    assert line.startswith("::error file=src/x.py,")
+    assert "%0A" in line
+    # Raw '%' is escaped first, so '%25' in the input cannot collapse
+    # back into an escape sequence on the runner's side.
+    assert "%2525" in line
+
+
+def test_github_format_escapes_path_properties() -> None:
+    diag = Diagnostic(
+        path="odd,name:file.py",
+        line=1,
+        column=1,
+        rule_id="RL101",
+        severity=Severity.WARNING,
+        message="m",
+    )
+    line = diag.format_github()
+    assert line.startswith("::warning file=odd%2Cname%3Afile.py,")
+    # Properties survive round-tripping: no raw ',' or ':' in the value.
+    assert "odd,name" not in line
+    assert "name:file" not in line
+
+
+# ----------------------------------------------------------------------
+# --warn-unused-suppressions (RL901)
+# ----------------------------------------------------------------------
+def test_unused_line_suppression_is_reported(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "CAP = 40.0  # reprolint: disable=RL203\n", encoding="utf-8"
+    )
+    result = run([target], warn_unused=True)
+    assert [d.rule_id for d in result.diagnostics] == [USELESS_SUPPRESSION_ID]
+    assert result.diagnostics[0].line == 1
+    assert "RL203" in result.diagnostics[0].message
+
+
+def test_used_suppression_is_not_reported(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "CAP = 40e3  # reprolint: disable=RL203\n", encoding="utf-8"
+    )
+    result = run([target], warn_unused=True)
+    assert result.diagnostics == []
+
+
+def test_unused_file_suppression_is_reported_at_line_one(
+    tmp_path: Path,
+) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# reprolint: disable-file=RL101\nCAP = 1.0\n", encoding="utf-8"
+    )
+    result = run([target], warn_unused=True)
+    assert [(d.rule_id, d.line) for d in result.diagnostics] == [
+        (USELESS_SUPPRESSION_ID, 1)
+    ]
+
+
+def test_suppression_outside_selection_is_not_judged(tmp_path: Path) -> None:
+    """A narrow --select must not flag suppressions for rules it never ran."""
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "CAP = 40.0  # reprolint: disable=RL203\n", encoding="utf-8"
+    )
+    result = run([target], select=["RL101"], warn_unused=True)
+    assert result.diagnostics == []
+
+
+def test_unused_star_suppression_is_reported(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "CAP = 1.0  # reprolint: disable=all\n", encoding="utf-8"
+    )
+    result = run([target], warn_unused=True)
+    assert [d.rule_id for d in result.diagnostics] == [USELESS_SUPPRESSION_ID]
+    assert "any rule" in result.diagnostics[0].message
+
+
+def test_warn_unused_flag_via_cli(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "CAP = 40.0  # reprolint: disable=RL203\n", encoding="utf-8"
+    )
+    assert main([str(target)]) == EXIT_CLEAN
+    capsys.readouterr()
+    assert main([str(target), "--warn-unused-suppressions"]) == (
+        EXIT_DIAGNOSTICS
+    )
+    assert USELESS_SUPPRESSION_ID in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# --statistics-json artifact
+# ----------------------------------------------------------------------
+def test_statistics_json_artifact(tmp_path: Path, capsys) -> None:
+    stats = tmp_path / "stats.json"
+    code = main(
+        [
+            str(FLOW / "rl501_bad"),
+            "--select=RL5",
+            f"--statistics-json={stats}",
+        ]
+    )
+    capsys.readouterr()
+    assert code == EXIT_DIAGNOSTICS
+    payload = json.loads(stats.read_text(encoding="utf-8"))
+    assert payload["rule_counts"]["RL501"] == 2
+    # Selected-but-clean rules appear explicitly as zero, so a budget
+    # check can tell "ran and found nothing" from "did not run".
+    assert payload["rule_counts"]["RL502"] == 0
+    assert payload["files_checked"] == 2
+    assert payload["parse_errors"] == 0
+    assert set(payload["cache"]) == {"hits", "misses"}
+
+
+# ----------------------------------------------------------------------
+# Whole-program CLI switches
+# ----------------------------------------------------------------------
+def test_select_prefix_expands_to_family(capsys) -> None:
+    assert main([str(FLOW / "rl501_bad"), "--select=RL5"]) == (
+        EXIT_DIAGNOSTICS
+    )
+    out = capsys.readouterr().out
+    assert "RL501" in out
+
+
+def test_no_flow_skips_whole_program_rules(capsys) -> None:
+    assert main([str(FLOW / "rl501_bad"), "--no-flow"]) == EXIT_CLEAN
+    capsys.readouterr()
+
+
+def test_flow_cache_round_trip(tmp_path: Path, capsys) -> None:
+    cache = tmp_path / "cache.json"
+    target = str(FLOW / "rl504_bad")
+    stats_cold = tmp_path / "cold.json"
+    stats_warm = tmp_path / "warm.json"
+    main([target, f"--flow-cache={cache}", f"--statistics-json={stats_cold}"])
+    main([target, f"--flow-cache={cache}", f"--statistics-json={stats_warm}"])
+    capsys.readouterr()
+    cold = json.loads(stats_cold.read_text(encoding="utf-8"))
+    warm = json.loads(stats_warm.read_text(encoding="utf-8"))
+    assert cold["cache"] == {"hits": 0, "misses": 2}
+    assert warm["cache"] == {"hits": 2, "misses": 0}
+    # Cached and fresh summaries produce identical findings.
+    assert warm["rule_counts"] == cold["rule_counts"]
+    assert warm["rule_counts"]["RL504"] == 2

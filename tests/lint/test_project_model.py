@@ -1,0 +1,200 @@
+"""Project model: import graph, re-export resolution, summary cache."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from tools.reprolint.project import CACHE_VERSION, ProjectModel, file_hash
+
+
+def _write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def _tree(root: Path) -> list[Path]:
+    """A small project with a cycle, relative imports and re-exports."""
+    files = [
+        _write(
+            root,
+            "repro/alpha.py",
+            """
+            from repro.beta import pong
+
+
+            def ping(n: int) -> int:
+                return pong(n)
+            """,
+        ),
+        _write(
+            root,
+            "repro/beta.py",
+            """
+            import repro.alpha
+
+
+            def pong(n: int) -> int:
+                return n
+
+
+            def echo(n: int) -> int:
+                return repro.alpha.ping(n)
+            """,
+        ),
+        _write(
+            root,
+            "repro/pkg/__init__.py",
+            """
+            from .mid import Thing
+            """,
+        ),
+        _write(
+            root,
+            "repro/pkg/mid.py",
+            """
+            from .impl import Thing
+
+            __all__ = ["Thing"]
+            """,
+        ),
+        _write(
+            root,
+            "repro/pkg/impl.py",
+            """
+            class Thing:
+                def go(self) -> int:
+                    return 1
+
+
+            def helper() -> int:
+                return 2
+            """,
+        ),
+        _write(
+            root,
+            "repro/pkg/use.py",
+            """
+            from .impl import helper
+
+
+            def call() -> int:
+                return helper()
+            """,
+        ),
+    ]
+    return sorted(files)
+
+
+def test_import_graph_has_cycle_and_relative_edges(tmp_path: Path) -> None:
+    project, errors = ProjectModel.build(_tree(tmp_path))
+    assert errors == []
+    graph = project.import_graph()
+    # The alpha ↔ beta cycle is represented, not collapsed or dropped.
+    assert "repro.beta" in graph["repro.alpha"]
+    assert "repro.alpha" in graph["repro.beta"]
+    # `from .impl import helper` resolves against the module's package.
+    assert "repro.pkg.impl" in graph["repro.pkg.use"]
+    # A package __init__ is a module named for the package itself.
+    assert "repro.pkg.mid" in graph["repro.pkg"]
+
+
+def test_canonical_follows_reexport_chain(tmp_path: Path) -> None:
+    project, _ = ProjectModel.build(_tree(tmp_path))
+    # Two hops: pkg/__init__ → pkg.mid → pkg.impl, then stop at the def.
+    assert (
+        project.canonical("repro.pkg.Thing.go") == "repro.pkg.impl.Thing.go"
+    )
+    assert project.canonical("repro.pkg.mid.Thing") == "repro.pkg.impl.Thing"
+    # Names defined in place and names outside the project pass through.
+    assert project.canonical("repro.pkg.impl.Thing") == "repro.pkg.impl.Thing"
+    assert project.canonical("numpy.random.default_rng") == (
+        "numpy.random.default_rng"
+    )
+
+
+def test_function_ir_resolves_methods_and_constructors(
+    tmp_path: Path,
+) -> None:
+    project, _ = ProjectModel.build(_tree(tmp_path))
+    assert project.function_ir("repro.pkg.impl.Thing.go") is not None
+    assert project.function_ir("repro.pkg.impl.helper") is not None
+    assert project.function_ir("repro.pkg.impl.nope") is None
+    assert project.function_ir("not.in.project") is None
+
+
+def test_cache_warm_run_skips_extraction(tmp_path: Path) -> None:
+    files = _tree(tmp_path / "proj")
+    cache = tmp_path / "cache.json"
+    cold, _ = ProjectModel.build(files, cache_path=cache)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(files)
+    assert cache.exists()
+
+    warm, _ = ProjectModel.build(files, cache_path=cache)
+    assert warm.cache_hits == len(files)
+    assert warm.cache_misses == 0
+    # Decoded summaries are equivalent to freshly extracted ones.
+    assert warm.canonical("repro.pkg.Thing.go") == "repro.pkg.impl.Thing.go"
+    assert warm.function_ir("repro.beta.pong") is not None
+    assert warm.import_graph() == cold.import_graph()
+
+
+def test_cache_invalidates_only_the_changed_file(tmp_path: Path) -> None:
+    files = _tree(tmp_path / "proj")
+    cache = tmp_path / "cache.json"
+    ProjectModel.build(files, cache_path=cache)
+
+    beta = tmp_path / "proj" / "repro" / "beta.py"
+    beta.write_text(
+        beta.read_text(encoding="utf-8")
+        + "\n\ndef extra(n: int) -> int:\n    return n + 1\n",
+        encoding="utf-8",
+    )
+    project, _ = ProjectModel.build(files, cache_path=cache)
+    assert project.cache_misses == 1
+    assert project.cache_hits == len(files) - 1
+    # The re-extracted summary reflects the new content...
+    assert project.function_ir("repro.beta.extra") is not None
+    # ...and the rewritten cache carries the new hash.
+    stored = json.loads(cache.read_text(encoding="utf-8"))
+    assert stored["files"][str(beta)]["hash"] == file_hash(beta.read_bytes())
+
+
+def test_cache_version_mismatch_discards_wholesale(tmp_path: Path) -> None:
+    files = _tree(tmp_path / "proj")
+    cache = tmp_path / "cache.json"
+    ProjectModel.build(files, cache_path=cache)
+    stored = json.loads(cache.read_text(encoding="utf-8"))
+    stored["version"] = CACHE_VERSION - 1
+    cache.write_text(json.dumps(stored), encoding="utf-8")
+
+    project, _ = ProjectModel.build(files, cache_path=cache)
+    assert project.cache_hits == 0
+    assert project.cache_misses == len(files)
+
+
+def test_corrupt_cache_is_ignored_not_fatal(tmp_path: Path) -> None:
+    files = _tree(tmp_path / "proj")
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json", encoding="utf-8")
+    project, errors = ProjectModel.build(files, cache_path=cache)
+    assert errors == []
+    assert project.cache_misses == len(files)
+    # The bad cache was replaced by a well-formed one.
+    assert json.loads(cache.read_text())["version"] == CACHE_VERSION
+
+
+def test_parse_errors_are_reported_not_fatal(tmp_path: Path) -> None:
+    files = _tree(tmp_path / "proj")
+    broken = _write(
+        tmp_path / "proj", "repro/broken.py", "def oops(:\n    pass\n"
+    )
+    project, errors = ProjectModel.build(sorted(files + [broken]))
+    assert len(errors) == 1
+    assert "broken.py" in errors[0]
+    assert project.module("repro.alpha") is not None
+    assert project.module("repro.broken") is None

@@ -7,14 +7,32 @@ machine-enforced for all future changes to ``src/repro``.
 
 from __future__ import annotations
 
+import re
+
 from tests.lint.conftest import REPO_ROOT, SRC_REPRO
-from tools.reprolint.runner import lint_paths
+from tools.reprolint.runner import lint_paths, run
 
 
 def test_src_repro_lints_clean() -> None:
-    diagnostics, parse_errors = lint_paths([SRC_REPRO])
-    assert parse_errors == []
-    assert diagnostics == [], "\n".join(d.format_text() for d in diagnostics)
+    """Full pipeline — per-file rules, whole-program flow (RL5xx) and
+    suppression-usage accounting — over the shipped package."""
+    result = run([SRC_REPRO], warn_unused=True)
+    assert result.parse_errors == []
+    assert result.diagnostics == [], "\n".join(
+        d.format_text() for d in result.diagnostics
+    )
+
+
+def test_src_repro_has_no_flow_suppressions() -> None:
+    """Zero ``disable=RL5xx`` comments anywhere in src/: real flow
+    violations were fixed at the source, not waved through."""
+    pattern = re.compile(r"reprolint:\s*disable[^=]*=\s*[^#\n]*RL5")
+    offenders = [
+        str(path)
+        for path in sorted(SRC_REPRO.rglob("*.py"))
+        if pattern.search(path.read_text(encoding="utf-8"))
+    ]
+    assert offenders == []
 
 
 def test_reprolint_lints_itself_clean() -> None:

@@ -1,0 +1,119 @@
+"""CI lint-budget gate: per-rule violation counts never ratchet up.
+
+Reads the ``--statistics-json`` artifact of a reprolint run and compares
+it against the checked-in baseline (``tools/ci/lint_baseline.json``).
+Every rule's count must be **monotone non-increasing**: at or below its
+baseline entry, with unknown rules implicitly budgeted at zero.  A rule
+that improves prints a ratchet hint — lower the baseline in the same PR
+so the gain is locked in.
+
+Parse errors in the lint run always fail the gate: a file the analyzer
+could not read is a file whose violations were not counted.
+
+Usage::
+
+    python tools/ci/lint_budget.py lint-stats.json
+    python tools/ci/lint_budget.py lint-stats.json --baseline other.json
+    python tools/ci/lint_budget.py lint-stats.json --write-baseline
+
+Exit code 0 iff every rule is within budget; regressions are listed on
+stderr, one line each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "lint_baseline.json"
+
+
+def check_budget(
+    stats: dict[str, Any], baseline: dict[str, Any]
+) -> tuple[list[str], list[str]]:
+    """``(failures, ratchet_hints)`` for one stats/baseline pair."""
+    failures: list[str] = []
+    hints: list[str] = []
+
+    parse_errors = stats.get("parse_errors", 0)
+    if parse_errors:
+        failures.append(
+            f"{parse_errors} file(s) failed to parse: their violations "
+            "were never counted"
+        )
+
+    counts = stats.get("rule_counts")
+    if not isinstance(counts, dict):
+        failures.append("statistics payload has no rule_counts table")
+        return failures, hints
+
+    budget = baseline.get("rule_counts", {})
+    for rule_id in sorted(counts):
+        count = int(counts[rule_id])
+        allowed = int(budget.get(rule_id, 0))
+        if count > allowed:
+            failures.append(
+                f"{rule_id}: {count} violation(s), budget is {allowed} — "
+                "fix the regression (never raise the baseline)"
+            )
+        elif count < allowed:
+            hints.append(
+                f"{rule_id}: {count} < budget {allowed} — ratchet the "
+                "baseline down to lock in the improvement"
+            )
+    return failures, hints
+
+
+def write_baseline(stats: dict[str, Any], path: Path) -> None:
+    """Regenerate the baseline from a statistics artifact."""
+    counts = {
+        rule_id: int(count)
+        for rule_id, count in stats.get("rule_counts", {}).items()
+    }
+    path.write_text(
+        json.dumps({"rule_counts": counts}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("stats", help="reprolint --statistics-json artifact")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="checked-in per-rule budget (default: tools/ci/lint_baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the artifact instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    stats = json.loads(Path(args.stats).read_text(encoding="utf-8"))
+    if args.write_baseline:
+        write_baseline(stats, Path(args.baseline))
+        print(f"baseline written: {args.baseline}")
+        return 0
+
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    failures, hints = check_budget(stats, baseline)
+    for hint in hints:
+        print(f"note: {hint}")
+    if failures:
+        for failure in failures:
+            print(f"lint budget: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"lint budget ok: {len(stats.get('rule_counts', {}))} rule(s) "
+        "within baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,12 +6,13 @@ from tools.reprolint.checkers.base import Checker
 from tools.reprolint.checkers.budget import BudgetChecker
 from tools.reprolint.checkers.determinism import DeterminismChecker
 from tools.reprolint.checkers.fencing import FencingChecker
+from tools.reprolint.checkers.flow import FlowAnalyzer
 from tools.reprolint.checkers.hygiene import HygieneChecker
 from tools.reprolint.checkers.nansafety import NanSafetyChecker
 from tools.reprolint.checkers.units import UnitsChecker
 from tools.reprolint.diagnostics import Rule
 
-__all__ = ["Checker", "all_checkers", "all_rules"]
+__all__ = ["Checker", "FlowAnalyzer", "all_checkers", "all_rules"]
 
 
 def all_checkers() -> tuple[Checker, ...]:
@@ -27,8 +28,13 @@ def all_checkers() -> tuple[Checker, ...]:
 
 
 def all_rules() -> tuple[Rule, ...]:
-    """The full rule catalogue, ordered by rule id."""
+    """The full rule catalogue, ordered by rule id.
+
+    Includes the whole-program flow rules (RL5xx), which run on the
+    project model rather than per file (:class:`FlowAnalyzer`).
+    """
     rules: list[Rule] = []
     for checker in all_checkers():
         rules.extend(checker.rules)
+    rules.extend(FlowAnalyzer.rules)
     return tuple(sorted(rules))

@@ -6,11 +6,12 @@ import argparse
 import json
 import sys
 from collections import Counter
+from pathlib import Path
 from typing import Sequence
 
 from tools.reprolint.checkers import all_rules
 from tools.reprolint.diagnostics import Severity
-from tools.reprolint.runner import lint_paths
+from tools.reprolint.runner import run
 
 #: Exit codes: clean / diagnostics found / usage or parse error.
 EXIT_CLEAN = 0
@@ -24,7 +25,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-invariant static analysis for the repro simulator: "
             "determinism (RL1xx), SI-unit discipline (RL2xx), actuation "
-            "fencing (RL3xx) and hygiene (RL4xx) rules."
+            "fencing (RL3xx), hygiene (RL4xx) and whole-program trust-"
+            "boundary flow (RL5xx) rules."
         ),
     )
     parser.add_argument(
@@ -37,19 +39,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select", metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids or id prefixes to run "
+            "(e.g. RL501 or RL5; default: all)"
+        ),
     )
     parser.add_argument(
         "--ignore", metavar="RULES",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule ids or id prefixes to skip",
     )
     parser.add_argument(
         "--fail-on", choices=("warning", "error", "never"), default="warning",
         help="minimum severity that causes a nonzero exit (default: any)",
     )
     parser.add_argument(
+        "--no-flow", action="store_true",
+        help="skip the whole-program flow pass (per-file rules only)",
+    )
+    parser.add_argument(
+        "--flow-cache", metavar="PATH",
+        help=(
+            "JSON summary-cache file for the whole-program pass, keyed "
+            "by file hash; warm runs skip extraction for unchanged files"
+        ),
+    )
+    parser.add_argument(
+        "--warn-unused-suppressions", action="store_true",
+        help=(
+            "report '# reprolint: disable' comments that suppress "
+            "nothing as RL901 warnings"
+        ),
+    )
+    parser.add_argument(
         "--statistics", action="store_true",
         help="print a per-rule violation count after the diagnostics",
+    )
+    parser.add_argument(
+        "--statistics-json", metavar="PATH",
+        help=(
+            "write per-rule counts and cache statistics as JSON to PATH "
+            "(the CI lint-budget artifact)"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -67,12 +97,21 @@ def _resolve_selection(args: argparse.Namespace) -> list[str] | None:
     known = {rule.rule_id for rule in all_rules()}
 
     def parse(raw: str, flag: str) -> set[str]:
-        ids = {part.strip().upper() for part in raw.split(",") if part.strip()}
-        unknown = ids - known
-        if unknown:
-            raise SystemExit(
-                f"error: unknown rule id(s) in {flag}: {', '.join(sorted(unknown))}"
-            )
+        ids: set[str] = set()
+        for part in raw.split(","):
+            token = part.strip().upper()
+            if not token:
+                continue
+            if token in known:
+                ids.add(token)
+                continue
+            # Prefixes select whole families: RL5 → RL501..RL504.
+            matches = {r for r in known if r.startswith(token)}
+            if not matches:
+                raise SystemExit(
+                    f"error: unknown rule id(s) in {flag}: {token}"
+                )
+            ids |= matches
         return ids
 
     selected = known if args.select is None else parse(args.select, "--select")
@@ -92,7 +131,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(exc, file=sys.stderr)
         return EXIT_ERROR
 
-    diagnostics, parse_errors = lint_paths(args.paths, select=select)
+    result = run(
+        args.paths,
+        select=select,
+        flow=not args.no_flow,
+        flow_cache=None if args.flow_cache is None else Path(args.flow_cache),
+        warn_unused=args.warn_unused_suppressions,
+    )
+    diagnostics = result.diagnostics
+    parse_errors = result.parse_errors
 
     if args.format == "json":
         print(json.dumps([d.as_dict() for d in diagnostics], indent=2))
@@ -105,11 +152,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     for err in parse_errors:
         print(f"parse error: {err}", file=sys.stderr)
 
+    counts = Counter(d.rule_id for d in diagnostics)
     if args.statistics and diagnostics:
-        counts = Counter(d.rule_id for d in diagnostics)
         print()
         for rule_id, count in sorted(counts.items()):
             print(f"{rule_id}: {count}")
+    if args.statistics_json is not None:
+        rule_counts = {rule_id: 0 for rule_id in (select or [])}
+        rule_counts.update(dict(counts))
+        payload = {
+            "paths": list(args.paths),
+            "files_checked": result.files_checked,
+            "parse_errors": len(parse_errors),
+            "rule_counts": rule_counts,
+            "cache": {
+                "hits": result.cache_hits,
+                "misses": result.cache_misses,
+            },
+        }
+        Path(args.statistics_json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     if args.format != "json" and not diagnostics and not parse_errors:
         print(f"reprolint: clean ({', '.join(args.paths)})", file=sys.stderr)
 

@@ -1,0 +1,709 @@
+"""File-local taint extraction: AST → symbolic :class:`ModuleIR`.
+
+This is the intraprocedural half of the whole-program engine.  For every
+function (and the module body) it runs a small abstract interpreter over
+the statement list:
+
+* **Environment** — each local name maps to an abstract :data:`Value`
+  (a frozenset of provenance atoms, see :mod:`tools.reprolint.summaries`).
+* **Assignment kills**, augmented assignment and subscript stores union
+  (weak update), attribute stores on ``self`` feed a per-class
+  attribute-taint table that is iterated to a fixpoint across methods.
+* **Branches merge** by union (may-analysis); loop bodies run twice so
+  loop-carried taint propagates.
+* **Calls** become ``("call", qualname, args)`` atoms.  Receivers are
+  typed file-locally from parameter annotations, constructor calls and
+  ``self`` attribute assignments, so ``self._meter.read()`` resolves to
+  ``repro.power.meter.SystemPowerMeter.read`` without ever looking at
+  another file — which is what keeps extraction cacheable per file hash.
+
+Nothing here knows which calls are taint sources or sinks; extraction
+records provenance mechanically and the flow policy interprets it
+(:mod:`tools.reprolint.checkers.flow`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.source import ImportMap, ParsedModule, dotted_name
+from tools.reprolint.summaries import (
+    EMPTY,
+    MAX_ATOM_DEPTH,
+    CallRecord,
+    FunctionIR,
+    MixRecord,
+    ModuleIR,
+    Value,
+    atom_depth,
+    flatten_atoms,
+    interesting,
+)
+
+#: How many rounds the per-class attribute-taint fixpoint may take.
+_ATTR_ROUNDS = 3
+
+#: How many passes a loop body gets (propagates loop-carried taint once).
+_LOOP_PASSES = 2
+
+
+def _union(*values: Value) -> Value:
+    out: frozenset = EMPTY
+    for value in values:
+        out = out | value
+    return out
+
+
+# ----------------------------------------------------------------------
+# File-local type resolution
+# ----------------------------------------------------------------------
+def _annotation_type(node: ast.expr | None, imports: ImportMap) -> str | None:
+    """Qualified class name named by an annotation, if recognisable.
+
+    Handles ``X``, ``mod.X``, ``X | None``, ``Optional[X]`` and string
+    annotations; returns ``None`` for anything fancier.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            resolved = _annotation_type(side, imports)
+            if resolved is not None:
+                return resolved
+        return None
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        if base is not None and base.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_type(node.slice, imports)
+        return None
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    dotted = dotted_name(node)
+    if dotted is None or dotted in ("None",):
+        return None
+    return imports.qualify(dotted)
+
+
+def _looks_like_class(qualified: str) -> bool:
+    last = qualified.rsplit(".", 1)[-1].lstrip("_")
+    return bool(last) and last[0].isupper()
+
+
+class _ClassInfo:
+    """Per-class attribute types and (fixpointed) attribute taint."""
+
+    def __init__(self, qualname: str) -> None:
+        self.qualname = qualname
+        self.attr_types: dict[str, str] = {}
+        self.attr_taint: dict[str, Value] = {}
+
+
+class _ModuleContext:
+    """Shared extraction state for one file."""
+
+    def __init__(self, pm: ParsedModule) -> None:
+        self.module = pm.module_name
+        self.imports = pm.imports
+        self.consts: dict[str, str] = {}
+        self.toplevel: set[str] = set()
+        self.classes: dict[str, _ClassInfo] = {}
+        for node in pm.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.toplevel.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                self.toplevel.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.toplevel.add(target.id)
+                        if isinstance(node.value, ast.Constant) and isinstance(
+                            node.value.value, str
+                        ):
+                            self.consts[target.id] = node.value.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self.toplevel.add(node.target.id)
+                if isinstance(node.value, ast.Constant) and isinstance(
+                    node.value.value, str
+                ):
+                    self.consts[node.target.id] = node.value.value
+
+    def qualify_local(self, name: str) -> str:
+        """Qualified name for a bare name used in this module."""
+        qualified = self.imports.qualify(name)
+        if qualified == name and name in self.toplevel:
+            return f"{self.module}.{name}"
+        return qualified
+
+
+# ----------------------------------------------------------------------
+# The abstract interpreter
+# ----------------------------------------------------------------------
+class _Interp:
+    """One pass over one function body (or the module body)."""
+
+    def __init__(
+        self,
+        ctx: _ModuleContext,
+        cls: _ClassInfo | None,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | None,
+    ) -> None:
+        self.ctx = ctx
+        self.cls = cls
+        self.env: dict[str, Value] = {}
+        self.types: dict[str, str] = {}
+        self.self_name: str | None = None
+        self.returns: Value = EMPTY
+        self.calls: list[CallRecord] = []
+        self.mixes: list[MixRecord] = []
+        self.attr_writes: dict[str, Value] = {}
+        self.loads: set[str] = set()
+        self._deferred_use: list[tuple[int, str]] = []
+        if func is not None:
+            args = func.args
+            ordered = list(args.posonlyargs) + list(args.args)
+            start = 0
+            if cls is not None and ordered and not _is_static(func):
+                self.self_name = ordered[0].arg
+                start = 1
+            index = 0
+            for arg in ordered[start:]:
+                self.env[arg.arg] = frozenset({("param", index)})
+                hint = _annotation_type(arg.annotation, ctx.imports)
+                if hint is not None:
+                    self.types[arg.arg] = hint
+                index += 1
+            for arg in list(args.kwonlyargs):
+                self.env[arg.arg] = frozenset({("param", index)})
+                hint = _annotation_type(arg.annotation, ctx.imports)
+                if hint is not None:
+                    self.types[arg.arg] = hint
+                index += 1
+
+    # -- finishing ------------------------------------------------------
+    def finish(self, name: str) -> FunctionIR:
+        if self._deferred_use:
+            calls = list(self.calls)
+            for idx, var in self._deferred_use:
+                if var in self.loads:
+                    record = calls[idx]
+                    calls[idx] = CallRecord(
+                        line=record.line,
+                        col=record.col,
+                        qualname=record.qualname,
+                        args=record.args,
+                        result_used=True,
+                        recv_type=record.recv_type,
+                    )
+            self.calls = calls
+        return FunctionIR(
+            name=name,
+            returns=self.returns,
+            calls=tuple(self.calls),
+            mixes=tuple(self.mixes),
+        )
+
+    # -- statements -----------------------------------------------------
+    def exec_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, result_used=False)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, assign_targets=stmt.targets)
+            for target in stmt.targets:
+                self.assign(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, assign_targets=[stmt.target])
+                self.assign(stmt.target, value)
+            if isinstance(stmt.target, ast.Name):
+                hint = _annotation_type(stmt.annotation, self.ctx.imports)
+                if hint is not None:
+                    self.types[stmt.target.id] = hint
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prior = self.env.get(stmt.target.id, EMPTY)
+                self.env[stmt.target.id] = prior | value
+            else:
+                self.assign(stmt.target, value, weak=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns = self.returns | self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self._branch([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self.eval(stmt.iter)
+            self.assign(stmt.target, iter_value)
+            for _ in range(_LOOP_PASSES):
+                self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            for _ in range(_LOOP_PASSES):
+                self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            branches = [stmt.body + stmt.orelse]
+            for handler in stmt.handlers:
+                branches.append(handler.body)
+            self._branch(branches)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, value)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+            if stmt.msg is not None:
+                self.eval(stmt.msg)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject)
+            self._branch([case.body for case in stmt.cases])
+        # Nested defs, classes, imports, pass/break/continue: no dataflow.
+
+    def _branch(self, bodies: list[list[ast.stmt]]) -> None:
+        base_env = dict(self.env)
+        merged: dict[str, Value] = {}
+        for body in bodies:
+            self.env = dict(base_env)
+            self.exec_body(body)
+            for name, value in self.env.items():
+                merged[name] = merged.get(name, EMPTY) | value
+        # A branch may be skipped entirely: keep pre-branch bindings too.
+        for name, value in base_env.items():
+            merged[name] = merged.get(name, EMPTY) | value
+        self.env = merged
+
+    def assign(self, target: ast.expr, value: Value, weak: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if weak:
+                self.env[target.id] = self.env.get(target.id, EMPTY) | value
+            else:
+                self.env[target.id] = value
+            hint = self._value_type(value)
+            if hint is not None:
+                self.types[target.id] = hint
+        elif isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == self.self_name:
+                prior = self.attr_writes.get(target.attr, EMPTY)
+                self.attr_writes[target.attr] = prior | value
+            else:
+                self.eval(base)
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.slice)
+            if isinstance(target.value, ast.Name):
+                prior = self.env.get(target.value.id, EMPTY)
+                self.env[target.value.id] = prior | value
+            else:
+                self.assign(target.value, value, weak=True)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, value, weak=weak)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, value, weak=weak)
+
+    def _value_type(self, value: Value) -> str | None:
+        """Type assigned by ``x = ClassName(...)`` (constructor calls)."""
+        for atom in value:
+            if (
+                atom[0] == "call"
+                and "." in atom[1]
+                and not atom[1].startswith("?")
+                and _looks_like_class(atom[1])
+            ):
+                return atom[1]
+        return None
+
+    # -- expressions ----------------------------------------------------
+    def eval(
+        self,
+        node: ast.expr,
+        result_used: bool = True,
+        assign_targets: list[ast.expr] | None = None,
+    ) -> Value:
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, result_used, assign_targets)
+        if isinstance(node, ast.Name):
+            self.loads.add(node.id)
+            if node.id in self.env:
+                return self.env[node.id]
+            const = self.ctx.consts.get(node.id)
+            if const is not None:
+                return frozenset({("lit", const)})
+            return EMPTY
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                return frozenset({("lit", node.value)})
+            return EMPTY
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            value = self.eval(node.value)
+            self.eval(node.slice)
+            return value
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left)
+            right = self.eval(node.right)
+            if interesting(left) and interesting(right):
+                self.mixes.append(
+                    MixRecord(node.lineno, node.col_offset + 1, left, right)
+                )
+            return left | right
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left)
+            out = left
+            for comparator in node.comparators:
+                right = self.eval(comparator)
+                if interesting(left) and interesting(right):
+                    self.mixes.append(
+                        MixRecord(node.lineno, node.col_offset + 1, left, right)
+                    )
+                out = out | right
+                left = right
+            return out
+        if isinstance(node, ast.BoolOp):
+            return _union(*[self.eval(v) for v in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return _union(*[self.eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k) for k in node.keys if k is not None]
+            parts.extend(self.eval(v) for v in node.values)
+            return _union(*parts)
+        if isinstance(node, ast.JoinedStr):
+            return _union(*[self.eval(v) for v in node.values])
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value)
+        if isinstance(node, ast.Yield):
+            return EMPTY if node.value is None else self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value)
+            self.assign(node.target, value)
+            return value
+        if isinstance(node, ast.Lambda):
+            return self.eval(node.body)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                self.assign(gen.target, self.eval(gen.iter))
+                for cond in gen.ifs:
+                    self.eval(cond)
+            if isinstance(node, ast.DictComp):
+                return self.eval(node.key) | self.eval(node.value)
+            return self.eval(node.elt)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part)
+            return EMPTY
+        return EMPTY
+
+    def _eval_attribute(self, node: ast.Attribute) -> Value:
+        base = node.value
+        if isinstance(base, ast.Name) and base.id == self.self_name:
+            value = EMPTY if self.cls is None else self.cls.attr_taint.get(
+                node.attr, EMPTY
+            )
+            return value
+        base_value = self.eval(base)
+        base_type = self._expr_type(base)
+        if base_type is not None:
+            return base_value | frozenset({("attr", base_type, node.attr)})
+        return base_value
+
+    def _expr_type(self, node: ast.expr) -> str | None:
+        """File-locally inferred type of an expression, if any."""
+        if isinstance(node, ast.Name):
+            return self.types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == self.self_name:
+                if self.cls is not None:
+                    return self.cls.attr_types.get(node.attr)
+                return None
+            base_type = self._expr_type(base)
+            if base_type is not None:
+                # One extra hop through a sibling class in this file.
+                info = self.ctx.classes.get(base_type)
+                if info is not None:
+                    return info.attr_types.get(node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            qualname = self._callee_qualname(node)[0]
+            if (
+                qualname is not None
+                and not qualname.startswith("?")
+                and _looks_like_class(qualname)
+            ):
+                return qualname
+        return None
+
+    def _callee_qualname(
+        self, node: ast.Call
+    ) -> tuple[str | None, str | None]:
+        """``(qualname, receiver_type)`` for a call's callee."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.env:
+                return None, None  # calling a local value: unknown target
+            return self.ctx.qualify_local(func.id), None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == self.self_name:
+                if self.cls is not None:
+                    return f"{self.cls.qualname}.{func.attr}", self.cls.qualname
+                return f"?.{func.attr}", None
+            recv_type = self._expr_type(base)
+            if recv_type is not None:
+                return f"{recv_type}.{func.attr}", recv_type
+            dotted = dotted_name(func)
+            if dotted is not None:
+                head = dotted.split(".", 1)[0]
+                if head not in self.env:
+                    return self.ctx.qualify_local(dotted), None
+            return f"?.{func.attr}", None
+        return None, None
+
+    def _eval_call(
+        self,
+        node: ast.Call,
+        result_used: bool,
+        assign_targets: list[ast.expr] | None,
+    ) -> Value:
+        qualname, recv_type = self._callee_qualname(node)
+        recv_value = EMPTY
+        if isinstance(node.func, ast.Attribute):
+            recv_value = self.eval(node.func.value)
+        arg_values: list[Value] = [recv_value]
+        for arg in node.args:
+            arg_values.append(self.eval(arg))
+        for keyword in node.keywords:
+            arg_values.append(self.eval(keyword.value))
+        if qualname is None:
+            return _union(*arg_values)
+        used = result_used
+        deferred_name: str | None = None
+        if assign_targets is not None:
+            used, deferred_name = _targets_use(assign_targets)
+        atom = ("call", qualname, tuple(arg_values))
+        if atom_depth(atom) > MAX_ATOM_DEPTH:
+            capped = tuple(flatten_atoms(v) for v in arg_values)
+            atom = ("call", qualname, capped)
+        record = CallRecord(
+            line=node.lineno,
+            col=node.col_offset + 1,
+            qualname=qualname,
+            args=atom[2],
+            result_used=used,
+            recv_type=recv_type,
+        )
+        self.calls.append(record)
+        if deferred_name is not None:
+            self._deferred_use.append((len(self.calls) - 1, deferred_name))
+        return frozenset({atom})
+
+
+def _targets_use(targets: list[ast.expr]) -> tuple[bool, str | None]:
+    """Is a call result assigned to these targets "used"?
+
+    Attribute/subscript/tuple targets store the value somewhere that
+    outlives the statement, so they count as used.  A single bare name
+    only counts once the name is *read* — the caller patches that in
+    after the body walk (deferred-use bookkeeping).
+    """
+    if len(targets) == 1 and isinstance(targets[0], ast.Name):
+        return False, targets[0].id
+    return True, None
+
+
+def _is_static(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in func.decorator_list:
+        name = dotted_name(decorator)
+        if name is not None and name.rsplit(".", 1)[-1] == "staticmethod":
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Per-file driver
+# ----------------------------------------------------------------------
+def _collect_class_types(
+    node: ast.ClassDef, ctx: _ModuleContext
+) -> _ClassInfo:
+    info = _ClassInfo(f"{ctx.module}.{node.name}")
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(method, ast.AnnAssign) and isinstance(
+                method.target, ast.Name
+            ):
+                hint = _annotation_type(method.annotation, ctx.imports)
+                if hint is not None:
+                    info.attr_types[method.target.id] = hint
+            continue
+        param_types: dict[str, str] = {}
+        ordered = list(method.args.posonlyargs) + list(method.args.args)
+        self_name = ordered[0].arg if ordered and not _is_static(method) else None
+        for arg in ordered + list(method.args.kwonlyargs):
+            hint = _annotation_type(arg.annotation, ctx.imports)
+            if hint is not None:
+                param_types[arg.arg] = hint
+        for stmt in ast.walk(method):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != self_name
+            ):
+                continue
+            if target.attr in info.attr_types:
+                continue
+            hint = _annotation_type(annotation, ctx.imports)
+            if hint is None:
+                hint = _infer_rhs_type(value, param_types, ctx)
+            if hint is not None:
+                info.attr_types[target.attr] = hint
+    return info
+
+
+def _infer_rhs_type(
+    value: ast.expr | None,
+    param_types: dict[str, str],
+    ctx: _ModuleContext,
+) -> str | None:
+    if value is None:
+        return None
+    if isinstance(value, ast.Name):
+        return param_types.get(value.id)
+    if isinstance(value, ast.Call):
+        dotted = dotted_name(value.func)
+        if dotted is not None:
+            qualified = ctx.qualify_local(dotted)
+            if _looks_like_class(qualified):
+                return qualified
+        return None
+    if isinstance(value, ast.IfExp):
+        for arm in (value.body, value.orelse):
+            hint = _infer_rhs_type(arm, param_types, ctx)
+            if hint is not None:
+                return hint
+    return None
+
+
+def _run_function(
+    ctx: _ModuleContext,
+    cls: _ClassInfo | None,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    name: str,
+) -> tuple[FunctionIR, dict[str, Value]]:
+    interp = _Interp(ctx, cls, func)
+    interp.exec_body(func.body)
+    return interp.finish(name), interp.attr_writes
+
+
+def extract_module(pm: ParsedModule) -> ModuleIR:
+    """Extract the symbolic taint summary for one parsed file."""
+    ctx = _ModuleContext(pm)
+    for node in pm.tree.body:
+        if isinstance(node, ast.ClassDef):
+            ctx.classes[f"{ctx.module}.{node.name}"] = _collect_class_types(
+                node, ctx
+            )
+
+    functions: dict[str, FunctionIR] = {}
+
+    # Module body (imports/constants/wiring) as a pseudo-function.
+    module_interp = _Interp(ctx, None, None)
+    module_interp.exec_body(
+        [
+            stmt
+            for stmt in pm.tree.body
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+    )
+    functions["<module>"] = module_interp.finish("<module>")
+
+    for node in pm.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fir, _ = _run_function(ctx, None, node, node.name)
+            functions[node.name] = fir
+        elif isinstance(node, ast.ClassDef):
+            info = ctx.classes[f"{ctx.module}.{node.name}"]
+            methods = [
+                m
+                for m in node.body
+                if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            # Attribute-taint fixpoint across the class's methods.
+            results: dict[str, FunctionIR] = {}
+            for _ in range(_ATTR_ROUNDS):
+                results = {}
+                writes: dict[str, Value] = {}
+                for method in methods:
+                    key = f"{node.name}.{method.name}"
+                    fir, method_writes = _run_function(ctx, info, method, key)
+                    results[key] = fir
+                    for attr, value in method_writes.items():
+                        writes[attr] = writes.get(attr, EMPTY) | value
+                changed = False
+                for attr, value in writes.items():
+                    merged = info.attr_taint.get(attr, EMPTY) | value
+                    if merged != info.attr_taint.get(attr, EMPTY):
+                        info.attr_taint[attr] = merged
+                        changed = True
+                if not changed:
+                    break
+            functions.update(results)
+
+    return ModuleIR(
+        module_name=pm.module_name,
+        path=pm.path,
+        imports=tuple(
+            sorted(set(pm.imports.known().values()) | pm.imports.modules())
+        ),
+        defs=frozenset(ctx.toplevel),
+        exports=dict(pm.imports.known()),
+        functions=functions,
+        line_suppressions={
+            line: set(rules) for line, rules in pm.line_suppressions.items()
+        },
+        file_suppressions=set(pm.file_suppressions),
+    )

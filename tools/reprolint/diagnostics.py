@@ -6,6 +6,16 @@ import enum
 from dataclasses import dataclass, field
 
 
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command data section (the message)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (file, title, ...)."""
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
 class Severity(enum.IntEnum):
     """How bad a finding is.  Ordering matters: higher is worse."""
 
@@ -56,11 +66,18 @@ class Diagnostic:
         )
 
     def format_github(self) -> str:
-        """A GitHub Actions workflow-command annotation line."""
+        """A GitHub Actions workflow-command annotation line.
+
+        Message and properties are percent-escaped per the workflow-
+        command grammar, so diagnostic text containing ``::`` or
+        newlines cannot terminate the command early and forge extra
+        annotations.
+        """
         kind = "error" if self.severity is Severity.ERROR else "warning"
+        path = _escape_property(self.path)
         return (
-            f"::{kind} file={self.path},line={self.line},col={self.column},"
-            f"title=reprolint {self.rule_id}::{self.message}"
+            f"::{kind} file={path},line={self.line},col={self.column},"
+            f"title=reprolint {self.rule_id}::{_escape_data(self.message)}"
         )
 
     def as_dict(self) -> dict[str, object]:

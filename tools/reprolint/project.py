@@ -1,0 +1,219 @@
+"""Project model: file walk, hash-keyed summary cache, name resolution.
+
+The whole-program pass needs three global facts that no single file can
+provide: the **import graph** (which project modules depend on which),
+the **canonical name** behind a re-export chain (``repro.power.SystemPowerMeter``
+→ ``repro.power.meter.SystemPowerMeter`` through the package
+``__init__``), and the **summary** of any function a call site resolves
+to.  :class:`ProjectModel` supplies all three on top of per-file
+:class:`~tools.reprolint.summaries.ModuleIR` extracted by
+:mod:`tools.reprolint.dataflow`.
+
+Extraction is file-local, so summaries are cached in one JSON file keyed
+by each file's SHA-256.  A warm run re-reads bytes, re-hashes, and skips
+extraction for every unchanged file; only resolution (cheap) runs fresh.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from tools.reprolint.dataflow import extract_module
+from tools.reprolint.source import ParsedModule
+from tools.reprolint.summaries import (
+    FunctionIR,
+    ModuleIR,
+    decode_module,
+    encode_module,
+)
+
+#: Bump when the IR shape or extraction semantics change: stale caches
+#: from older versions are discarded wholesale rather than misread.
+CACHE_VERSION = 2
+
+
+def file_hash(data: bytes) -> str:
+    """Content hash used as the summary-cache key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ProjectModel:
+    """Whole-program view over a set of extracted module summaries."""
+
+    def __init__(self, modules: Iterable[ModuleIR]) -> None:
+        self._by_name: dict[str, ModuleIR] = {}
+        self._by_path: dict[str, ModuleIR] = {}
+        for ir in modules:
+            self._by_name[ir.module_name] = ir
+            self._by_path[ir.path] = ir
+        #: Cache-effectiveness counters, populated by :meth:`build`.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._canon_memo: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        files: Iterable[Path],
+        cache_path: Path | None = None,
+    ) -> tuple["ProjectModel", list[str]]:
+        """Extract (or load from cache) summaries for ``files``.
+
+        Returns:
+            ``(project, parse_errors)`` — unparseable files are skipped
+            and reported as strings, mirroring the per-file runner.
+        """
+        cached: dict[str, dict] = {}
+        if cache_path is not None and cache_path.exists():
+            try:
+                raw = json.loads(cache_path.read_text(encoding="utf-8"))
+                if raw.get("version") == CACHE_VERSION:
+                    cached = raw.get("files", {})
+            except (json.JSONDecodeError, OSError):
+                cached = {}
+
+        modules: list[ModuleIR] = []
+        parse_errors: list[str] = []
+        hits = 0
+        misses = 0
+        fresh: dict[str, dict] = {}
+        for path in sorted(files):
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                parse_errors.append(f"{path}:0: {exc}")
+                continue
+            digest = file_hash(data)
+            key = str(path)
+            entry = cached.get(key)
+            if entry is not None and entry.get("hash") == digest:
+                ir = decode_module(entry["ir"], digest)
+                hits += 1
+                # Reuse the cached encoding verbatim — re-encoding every
+                # unchanged summary would cost more than decoding it.
+                fresh[key] = entry
+            else:
+                try:
+                    pm = ParsedModule.parse(
+                        path, source=data.decode("utf-8")
+                    )
+                except (SyntaxError, UnicodeDecodeError) as exc:
+                    lineno = getattr(exc, "lineno", 0) or 0
+                    msg = getattr(exc, "msg", None) or str(exc)
+                    parse_errors.append(f"{path}:{lineno}: {msg}")
+                    continue
+                ir = extract_module(pm)
+                ir.file_hash = digest
+                misses += 1
+                fresh[key] = {"hash": digest, "ir": encode_module(ir)}
+            modules.append(ir)
+
+        project = cls(modules)
+        project.cache_hits = hits
+        project.cache_misses = misses
+        # A fully warm run leaves the cache byte-identical: skip the
+        # serialize-and-write entirely (it dominates warm wall time).
+        unchanged = misses == 0 and set(fresh) == set(cached)
+        if cache_path is not None and not unchanged:
+            try:
+                cache_path.parent.mkdir(parents=True, exist_ok=True)
+                cache_path.write_text(
+                    json.dumps(
+                        {"version": CACHE_VERSION, "files": fresh},
+                        sort_keys=True,
+                    ),
+                    encoding="utf-8",
+                )
+            except OSError:
+                pass  # cache is best-effort; analysis already succeeded
+        return project, parse_errors
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def modules(self) -> list[ModuleIR]:
+        """Every module in the project, sorted by module name."""
+        return [
+            self._by_name[name] for name in sorted(self._by_name)
+        ]
+
+    def module(self, name: str) -> ModuleIR | None:
+        """The summary for dotted module ``name``, if in the project."""
+        return self._by_name.get(name)
+
+    def module_for_path(self, path: str) -> ModuleIR | None:
+        """The summary for the file at ``path``, if in the project."""
+        return self._by_path.get(path)
+
+    def split_module(self, qualname: str) -> tuple[str | None, str]:
+        """``(module, remainder)`` for the longest known module prefix."""
+        parts = qualname.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self._by_name:
+                return prefix, ".".join(parts[cut:])
+        return None, qualname
+
+    def canonical(self, qualname: str) -> str:
+        """Resolve ``qualname`` through ``__init__`` re-export chains.
+
+        ``repro.telemetry.TelemetryCollector.collect`` →
+        ``repro.telemetry.collector.TelemetryCollector.collect`` when the
+        package ``__init__`` re-exports the class.  Names outside the
+        project pass through unchanged.
+        """
+        memo = self._canon_memo.get(qualname)
+        if memo is not None:
+            return memo
+        seen: set[str] = set()
+        current = qualname
+        while current not in seen:
+            seen.add(current)
+            module, rest = self.split_module(current)
+            if module is None or not rest:
+                break
+            ir = self._by_name[module]
+            head, _, tail = rest.partition(".")
+            if head in ir.defs:
+                break
+            origin = ir.exports.get(head)
+            if origin is None:
+                break
+            current = f"{origin}.{tail}" if tail else origin
+        self._canon_memo[qualname] = current
+        return current
+
+    def function_ir(self, canonical: str) -> FunctionIR | None:
+        """The summary for a project function/method, if it exists.
+
+        Accepts ``module.func``, ``module.Class.method`` and class
+        constructors (``module.Class`` resolves to ``Class.__init__``).
+        """
+        module, rest = self.split_module(canonical)
+        if module is None or not rest:
+            return None
+        ir = self._by_name[module]
+        found = ir.functions.get(rest)
+        if found is not None:
+            return found
+        if "." not in rest:
+            return ir.functions.get(f"{rest}.__init__")
+        return None
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """Project-internal dependency edges: module → imported modules."""
+        graph: dict[str, set[str]] = {}
+        for ir in self.modules():
+            edges: set[str] = set()
+            for imported in ir.imports:
+                target, _ = self.split_module(imported)
+                if target is not None and target != ir.module_name:
+                    edges.add(target)
+            graph[ir.module_name] = edges
+        return graph

@@ -1,15 +1,34 @@
-"""Walk files, run every checker, filter suppressions."""
+"""Walk files, run every checker, filter suppressions.
+
+Two entry points:
+
+* :func:`lint_paths` — the original per-file pass (kept for callers
+  that only need single-file rules).
+* :func:`run` — the full pipeline: per-file rules, then the
+  whole-program flow pass (RL5xx) over the project model, suppression
+  filtering with *usage accounting* (``--warn-unused-suppressions``
+  reports suppressions that never matched a real finding as RL901),
+  and summary-cache statistics.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from tools.reprolint.checkers import all_checkers
+from tools.reprolint.checkers.flow import FlowAnalyzer
 from tools.reprolint.diagnostics import Diagnostic, Severity
+from tools.reprolint.project import ProjectModel
 from tools.reprolint.source import ParsedModule
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+#: The meta-diagnostic for suppressions that suppress nothing.  Not part
+#: of the rule catalogue (it cannot be selected or suppressed itself);
+#: emitted only under ``--warn-unused-suppressions``.
+USELESS_SUPPRESSION_ID = "RL901"
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
@@ -25,19 +44,34 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
     return sorted(found)
 
 
+def raw_module_diagnostics(
+    module: ParsedModule, select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Per-file diagnostics for ``module`` *before* suppression filtering."""
+    diagnostics: list[Diagnostic] = []
+    for checker in all_checkers():
+        # A checker none of whose rules are selected never runs at all —
+        # `--select=RL5` pays only for parsing plus the flow pass.
+        if select is not None and not any(
+            rule.rule_id in select for rule in checker.rules
+        ):
+            continue
+        for diag in checker.check(module):
+            if select is not None and diag.rule_id not in select:
+                continue
+            diagnostics.append(diag)
+    return diagnostics
+
+
 def lint_module(
     module: ParsedModule, select: Sequence[str] | None = None
 ) -> list[Diagnostic]:
     """All non-suppressed diagnostics for one parsed module."""
-    diagnostics: list[Diagnostic] = []
-    for checker in all_checkers():
-        for diag in checker.check(module):
-            if select is not None and diag.rule_id not in select:
-                continue
-            if module.is_suppressed(diag.rule_id, diag.line):
-                continue
-            diagnostics.append(diag)
-    return sorted(diagnostics)
+    return sorted(
+        diag
+        for diag in raw_module_diagnostics(module, select=select)
+        if not module.is_suppressed(diag.rule_id, diag.line)
+    )
 
 
 def lint_source(
@@ -51,7 +85,7 @@ def lint_source(
 def lint_paths(
     paths: Iterable[str | Path], select: Sequence[str] | None = None
 ) -> tuple[list[Diagnostic], list[str]]:
-    """Lint every Python file reachable from ``paths``.
+    """Lint every Python file reachable from ``paths`` (per-file rules).
 
     Returns:
         ``(diagnostics, parse_errors)`` — files that fail to parse are
@@ -67,6 +101,139 @@ def lint_paths(
             continue
         diagnostics.extend(lint_module(module, select=select))
     return sorted(diagnostics), parse_errors
+
+
+@dataclass
+class LintRun:
+    """Everything one full lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+    #: Whole-program summary-cache effectiveness (0/0 when flow is off).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def run(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    flow: bool = True,
+    flow_cache: Path | None = None,
+    warn_unused: bool = False,
+) -> LintRun:
+    """The full lint pipeline over ``paths``.
+
+    Args:
+        paths: Files or directories to lint.
+        select: Rule ids to run (``None`` = all).
+        flow: Run the whole-program RL5xx pass over the project model.
+        flow_cache: Optional JSON summary-cache path (keyed by file
+            hash) so warm whole-program runs skip extraction.
+        warn_unused: Emit :data:`USELESS_SUPPRESSION_ID` warnings for
+            suppression comments that matched no finding.
+    """
+    files = iter_python_files(Path(p) for p in paths)
+    result = LintRun()
+    parsed: dict[str, ParsedModule] = {}
+    raw: list[Diagnostic] = []
+    for file_path in files:
+        try:
+            module = ParsedModule.parse(file_path)
+        except SyntaxError as exc:
+            result.parse_errors.append(
+                f"{file_path}:{exc.lineno or 0}: {exc.msg}"
+            )
+            continue
+        parsed[str(file_path)] = module
+        raw.extend(raw_module_diagnostics(module, select=select))
+    result.files_checked = len(parsed)
+
+    if flow and parsed:
+        good = [fp for fp in files if str(fp) in parsed]
+        project, _ = ProjectModel.build(good, cache_path=flow_cache)
+        result.cache_hits = project.cache_hits
+        result.cache_misses = project.cache_misses
+        flow_diags = FlowAnalyzer().analyze(
+            project, targets=frozenset(parsed)
+        )
+        if select is not None:
+            flow_diags = [d for d in flow_diags if d.rule_id in select]
+        raw.extend(flow_diags)
+
+    kept: list[Diagnostic] = []
+    for diag in raw:
+        module = parsed.get(diag.path)
+        if module is not None and module.is_suppressed(diag.rule_id, diag.line):
+            continue
+        kept.append(diag)
+    if warn_unused:
+        kept.extend(_unused_suppressions(parsed, raw, select))
+    result.diagnostics = sorted(kept)
+    return result
+
+
+def _unused_suppressions(
+    parsed: dict[str, ParsedModule],
+    raw: Sequence[Diagnostic],
+    select: Sequence[str] | None,
+) -> list[Diagnostic]:
+    """RL901 findings: suppressions that never matched a diagnostic.
+
+    A suppression is judged only when the run could have produced the
+    rule it names (``select`` covers it, or it is ``*``) — a narrow
+    ``--select`` must not flag suppressions for rules it never ran.
+    """
+    selected = None if select is None else set(select)
+
+    def judged(rule: str) -> bool:
+        return rule == "*" or selected is None or rule in selected
+
+    fired_lines: dict[str, dict[int, set[str]]] = {}
+    fired_rules: dict[str, set[str]] = {}
+    for diag in raw:
+        fired_lines.setdefault(diag.path, {}).setdefault(
+            diag.line, set()
+        ).add(diag.rule_id)
+        fired_rules.setdefault(diag.path, set()).add(diag.rule_id)
+
+    out: list[Diagnostic] = []
+
+    def emit(path: str, line: int, rule: str, where: str) -> None:
+        label = "any rule" if rule == "*" else rule
+        out.append(
+            Diagnostic(
+                path=path,
+                line=line,
+                column=1,
+                rule_id=USELESS_SUPPRESSION_ID,
+                severity=Severity.WARNING,
+                message=(
+                    f"useless suppression: {label} never fires {where}; "
+                    "remove the stale '# reprolint: disable' comment"
+                ),
+            )
+        )
+
+    for path in sorted(parsed):
+        module = parsed[path]
+        at_line = fired_lines.get(path, {})
+        in_file = fired_rules.get(path, set())
+        for line in sorted(module.line_suppressions):
+            for rule in sorted(module.line_suppressions[line]):
+                if not judged(rule):
+                    continue
+                hits = at_line.get(line, set())
+                used = bool(hits) if rule == "*" else rule in hits
+                if not used:
+                    emit(path, line, rule, "on this line")
+        for rule in sorted(module.file_suppressions):
+            if not judged(rule):
+                continue
+            used = bool(in_file) if rule == "*" else rule in in_file
+            if not used:
+                emit(path, 1, rule, "in this file")
+    return out
 
 
 def max_severity(diagnostics: Sequence[Diagnostic]) -> Severity | None:

@@ -45,18 +45,29 @@ class ImportMap:
     ``import numpy as np`` → ``np: numpy``;
     ``from random import choice`` → ``choice: random.choice``;
     ``from numpy import random as npr`` → ``npr: numpy.random``.
-    Relative imports resolve against the module's own package.
+    Relative imports resolve against the module's own package — which is
+    the module itself for a package ``__init__``.
     """
 
-    def __init__(self, tree: ast.Module, module_name: str) -> None:
+    def __init__(
+        self, tree: ast.Module, module_name: str, is_package: bool = False
+    ) -> None:
         self._names: dict[str, str] = {}
-        package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+        #: Full dotted module paths named by import statements — a plain
+        #: ``import a.b`` binds only ``a`` locally but still creates a
+        #: dependency edge on ``a.b``.
+        self._modules: set[str] = set()
+        if is_package:
+            package = module_name
+        else:
+            package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     local = alias.asname or alias.name.split(".")[0]
                     target = alias.name if alias.asname else alias.name.split(".")[0]
                     self._names[local] = target
+                    self._modules.add(alias.name)
             elif isinstance(node, ast.ImportFrom):
                 base = node.module or ""
                 if node.level:
@@ -64,6 +75,8 @@ class ImportMap:
                     cut = len(prefix_parts) - (node.level - 1)
                     prefix_parts = prefix_parts[: max(cut, 0)]
                     base = ".".join(prefix_parts + ([base] if base else []))
+                if base:
+                    self._modules.add(base)
                 for alias in node.names:
                     if alias.name == "*":
                         continue
@@ -75,6 +88,14 @@ class ImportMap:
         head, _, rest = dotted.partition(".")
         base = self._names.get(head, head)
         return f"{base}.{rest}" if rest else base
+
+    def known(self) -> dict[str, str]:
+        """Local name → qualified origin, for every imported name."""
+        return dict(self._names)
+
+    def modules(self) -> frozenset[str]:
+        """Full dotted module paths named by import statements."""
+        return frozenset(self._modules)
 
 
 def dotted_name(node: ast.expr) -> str | None:
@@ -119,7 +140,7 @@ class ParsedModule:
             module_name=name,
             source=text,
             tree=tree,
-            imports=ImportMap(tree, name),
+            imports=ImportMap(tree, name, is_package=path.stem == "__init__"),
         )
         mod._collect_suppressions()
         return mod

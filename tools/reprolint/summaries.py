@@ -1,0 +1,364 @@
+"""Taint-summary IR and the whole-program evaluator.
+
+The dataflow engine (:mod:`tools.reprolint.dataflow`) extracts one
+:class:`ModuleIR` per source file.  Extraction is deliberately
+**file-local** — it resolves names only through the file's own imports
+and annotations — so a summary depends on nothing but the file's bytes
+and can be cached keyed by the file hash (:mod:`tools.reprolint.project`).
+
+A summary is *symbolic*: abstract values are sets of provenance atoms
+(``("param", i)``, ``("call", qualname, args)``, ``("attr", type, name)``,
+``("lit", s)``, ``("src", kind)``).  Nothing in the IR says what is
+tainted; that interpretation belongs to a flow *policy*
+(:mod:`tools.reprolint.checkers.flow`).  The :class:`SummaryEvaluator`
+here performs the whole-program step: it resolves call atoms through the
+project's re-export tables, applies callee summaries (call-site
+sensitive, with memoisation, a recursion guard and a depth cap) and
+reduces every symbolic value to the set of concrete source kinds that
+may flow into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from tools.reprolint.project import ProjectModel
+
+# An atom is a small tuple; a Value is a frozenset of atoms.  Atom kinds:
+#   ("param", i)            taint of the i-th parameter (self excluded)
+#   ("call", q, args)       result of calling ``q``; args[0] is the
+#                           receiver value, args[1:] the argument values
+#   ("attr", type, name)    attribute ``name`` read off a ``type`` value
+#   ("lit", s)              a string literal (carries stream names)
+#   ("src", kind)           a concrete source kind (evaluator output)
+Atom = tuple
+Value = frozenset
+
+EMPTY: Value = frozenset()
+
+#: Evaluation limits: recursion depth through callee summaries and the
+#: structural depth of nested call atoms kept during extraction.
+MAX_EVAL_DEPTH = 16
+MAX_ATOM_DEPTH = 5
+
+
+def atom_depth(atom: Atom) -> int:
+    """Structural nesting depth of a (possibly nested) call atom."""
+    if atom[0] != "call":
+        return 1
+    inner = 0
+    for arg in atom[2]:
+        for sub in arg:
+            d = atom_depth(sub)
+            if d > inner:
+                inner = d
+    return 1 + inner
+
+
+def flatten_atoms(value: Value) -> Value:
+    """Erase call structure, keeping every leaf atom (conservative)."""
+    out: set[Atom] = set()
+    stack = list(value)
+    while stack:
+        atom = stack.pop()
+        if atom[0] == "call":
+            for arg in atom[2]:
+                stack.extend(arg)
+        else:
+            out.add(atom)
+    return frozenset(out)
+
+
+def interesting(value: Value) -> bool:
+    """Whether ``value`` carries any provenance beyond string literals."""
+    return any(atom[0] != "lit" for atom in value)
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One call site inside a function body."""
+
+    line: int
+    col: int
+    qualname: str
+    args: tuple  # tuple[Value, ...]; args[0] = receiver value
+    result_used: bool = True
+    recv_type: str | None = None
+
+
+@dataclass(frozen=True)
+class MixRecord:
+    """One arithmetic/comparison site combining two tracked values."""
+
+    line: int
+    col: int
+    left: Value = EMPTY
+    right: Value = EMPTY
+
+
+@dataclass
+class FunctionIR:
+    """Symbolic summary of one function (or the module body)."""
+
+    name: str
+    returns: Value = EMPTY
+    calls: tuple = ()  # tuple[CallRecord, ...]
+    mixes: tuple = ()  # tuple[MixRecord, ...]
+
+
+@dataclass
+class ModuleIR:
+    """Everything the whole-program pass needs about one file."""
+
+    module_name: str
+    path: str
+    file_hash: str = ""
+    imports: tuple = ()  # tuple[str, ...] qualified imported names
+    defs: frozenset = frozenset()  # top-level names defined in the file
+    exports: dict = field(default_factory=dict)  # name -> qualified origin
+    functions: dict = field(default_factory=dict)  # qualpath -> FunctionIR
+    line_suppressions: dict = field(default_factory=dict)  # line -> {rule}
+    file_suppressions: set = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Mirror of :meth:`ParsedModule.is_suppressed` for cached IR."""
+        if {"*", rule_id} & self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(line, ())
+        return "*" in on_line or rule_id in on_line
+
+
+class FlowPolicy(Protocol):
+    """What the evaluator needs to know about sources and sanitizers."""
+
+    def call_source(self, canonical: str, args: tuple) -> frozenset:
+        """Concrete source kinds produced by calling ``canonical``."""
+
+    def attr_source(self, type_name: str, attr: str) -> frozenset:
+        """Concrete source kinds produced by reading ``type.attr``."""
+
+    def is_sanitizer(self, canonical: str) -> bool:
+        """Whether a call to ``canonical`` launders its result clean."""
+
+    def propagates(self, canonical: str) -> bool:
+        """Whether an *unknown* callable forwards argument taint."""
+
+
+class SummaryEvaluator:
+    """Reduces symbolic values to concrete source kinds, whole-program."""
+
+    def __init__(self, project: "ProjectModel", policy: FlowPolicy) -> None:
+        self._project = project
+        self._policy = policy
+        self._memo: dict = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def concrete(self, value: Value) -> frozenset:
+        """Source kinds that may flow into ``value`` without caller context.
+
+        ``("param", i)`` atoms contribute nothing: a parameter's taint is
+        the caller's to report (see :meth:`concrete_with_args`).
+        """
+        return self._eval(value, None, 0, frozenset())
+
+    def concrete_with_args(self, value: Value, args: tuple) -> frozenset:
+        """Like :meth:`concrete` but with parameters bound to ``args``.
+
+        ``args`` uses call-record indexing (``args[0]`` = receiver), so
+        parameter ``i`` reads ``args[i + 1]``.
+        """
+        return self._eval(value, args, 0, frozenset())
+
+    def param_indices(self, value: Value) -> frozenset:
+        """Parameter indices whose taint may reach ``value``.
+
+        Looks through call atoms into callee summaries so a chain like
+        ``return helper(p)`` still reports ``p``.
+        """
+        out: set[int] = set()
+        self._params(value, out, 0, frozenset())
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, value: Value, args, depth: int, stack: frozenset) -> frozenset:
+        if depth > MAX_EVAL_DEPTH:
+            return frozenset()
+        key = (value, args)
+        if args is None and key in self._memo:
+            return self._memo[key]
+        out: set = set()
+        for atom in value:
+            tag = atom[0]
+            if tag == "src":
+                out.add(atom[1])
+            elif tag == "param":
+                if args is not None and atom[1] + 1 < len(args):
+                    out |= self._eval(args[atom[1] + 1], None, depth + 1, stack)
+            elif tag == "attr":
+                out |= self._policy.attr_source(atom[1], atom[2])
+            elif tag == "call":
+                out |= self._eval_call(atom[1], atom[2], depth, stack)
+            # "lit" atoms are inert provenance for stream names.
+        result = frozenset(out)
+        if args is None:
+            self._memo[key] = result
+        return result
+
+    def _eval_call(self, qualname: str, args: tuple, depth: int, stack) -> frozenset:
+        canon = self._project.canonical(qualname)
+        policy = self._policy
+        if policy.is_sanitizer(canon):
+            return frozenset()
+        source = policy.call_source(canon, args)
+        if source:
+            return frozenset(source)
+        fir = self._project.function_ir(canon)
+        if fir is not None:
+            if canon in stack:
+                return frozenset()  # recursion: cut the cycle
+            return self._eval(
+                fir.returns, args, depth + 1, stack | {canon}
+            )
+        if not policy.propagates(canon):
+            return frozenset()
+        out: set = set()
+        for arg in args:
+            out |= self._eval(arg, None, depth + 1, stack)
+        return frozenset(out)
+
+    def _params(self, value: Value, out: set, depth: int, stack) -> None:
+        if depth > MAX_EVAL_DEPTH:
+            return
+        for atom in value:
+            tag = atom[0]
+            if tag == "param":
+                out.add(atom[1])
+            elif tag == "call":
+                canon = self._project.canonical(atom[1])
+                if self._policy.is_sanitizer(canon):
+                    continue
+                fir = self._project.function_ir(canon)
+                if fir is not None and canon not in stack:
+                    inner: set = set()
+                    self._params(fir.returns, inner, depth + 1, stack | {canon})
+                    for i in sorted(inner):
+                        if i + 1 < len(atom[2]):
+                            self._params(atom[2][i + 1], out, depth + 1, stack)
+                elif fir is None and self._policy.propagates(canon):
+                    for arg in atom[2]:
+                        self._params(arg, out, depth + 1, stack)
+
+
+# ----------------------------------------------------------------------
+# JSON serialisation (the summary cache)
+# ----------------------------------------------------------------------
+def encode_value(value: Value) -> list:
+    """JSON-ready encoding of a value (sorted for determinism)."""
+    return sorted((encode_atom(a) for a in value), key=repr)
+
+
+def encode_atom(atom: Atom) -> list:
+    if atom[0] == "call":
+        return ["call", atom[1], [encode_value(v) for v in atom[2]]]
+    return list(atom)
+
+
+def decode_value(data: Iterable) -> Value:
+    return frozenset(decode_atom(a) for a in data)
+
+
+def decode_atom(data: list) -> Atom:
+    if data[0] == "call":
+        return ("call", data[1], tuple(decode_value(v) for v in data[2]))
+    return tuple(data)
+
+
+def encode_module(ir: ModuleIR) -> dict:
+    """One cache entry for :class:`ModuleIR`."""
+    return {
+        "module": ir.module_name,
+        "path": ir.path,
+        "imports": list(ir.imports),
+        "defs": sorted(ir.defs),
+        "exports": dict(sorted(ir.exports.items())),
+        "functions": {
+            name: {
+                "returns": encode_value(fir.returns),
+                "calls": [
+                    {
+                        "line": c.line,
+                        "col": c.col,
+                        "qualname": c.qualname,
+                        "args": [encode_value(v) for v in c.args],
+                        "used": c.result_used,
+                        "recv_type": c.recv_type,
+                    }
+                    for c in fir.calls
+                ],
+                "mixes": [
+                    {
+                        "line": m.line,
+                        "col": m.col,
+                        "left": encode_value(m.left),
+                        "right": encode_value(m.right),
+                    }
+                    for m in fir.mixes
+                ],
+            }
+            for name, fir in sorted(ir.functions.items())
+        },
+        "line_suppressions": {
+            str(line): sorted(rules)
+            for line, rules in sorted(ir.line_suppressions.items())
+        },
+        "file_suppressions": sorted(ir.file_suppressions),
+    }
+
+
+def decode_module(data: dict, file_hash: str) -> ModuleIR:
+    functions = {}
+    for name, f in data["functions"].items():
+        functions[name] = FunctionIR(
+            name=name,
+            returns=decode_value(f["returns"]),
+            calls=tuple(
+                CallRecord(
+                    line=c["line"],
+                    col=c["col"],
+                    qualname=c["qualname"],
+                    args=tuple(decode_value(v) for v in c["args"]),
+                    result_used=c["used"],
+                    recv_type=c.get("recv_type"),
+                )
+                for c in f["calls"]
+            ),
+            mixes=tuple(
+                MixRecord(
+                    line=m["line"],
+                    col=m["col"],
+                    left=decode_value(m["left"]),
+                    right=decode_value(m["right"]),
+                )
+                for m in f["mixes"]
+            ),
+        )
+    return ModuleIR(
+        module_name=data["module"],
+        path=data["path"],
+        file_hash=file_hash,
+        imports=tuple(data["imports"]),
+        defs=frozenset(data["defs"]),
+        exports=dict(data["exports"]),
+        functions=functions,
+        line_suppressions={
+            int(line): set(rules)
+            for line, rules in data["line_suppressions"].items()
+        },
+        file_suppressions=set(data["file_suppressions"]),
+    )
