@@ -6,7 +6,10 @@ non-linearly with the sizes of A_candidate".
 This bench produces both views:
 
 * pytest-benchmark measures *this implementation's* collection +
-  estimation + ranking cycle at |A_candidate| ∈ {8, 32, 128};
+  estimation + ranking cycle at |A_candidate| ∈ {8, 32, 128, 1024, 4096}
+  (the two large sizes run on matching 1024/4096-node clusters — far
+  past the paper's 128, feasible because the vector engine keeps the
+  cycle loop-free);
 * the printed table shows the calibrated cost model's curve (the
   figure's y-axis) across the full sweep.
 """
@@ -32,7 +35,7 @@ from benchmarks.conftest import print_banner
 
 
 def _cycle_runner(size: int):
-    cluster = _busy_cluster(128)
+    cluster = _busy_cluster(max(128, size))
     sets = NodeSets.select(cluster, size)
     collector = TelemetryCollector(cluster.state, sets.candidates)
     estimator = NodePowerEstimator(PowerModel(cluster.spec))
@@ -47,7 +50,7 @@ def _cycle_runner(size: int):
     return one_cycle
 
 
-@pytest.mark.parametrize("size", [8, 32, 128])
+@pytest.mark.parametrize("size", [8, 32, 128, 1024, 4096])
 def test_fig5_measured_cycle_cost(benchmark, size):
     """Measured management-cycle wall time at |A_candidate| = size."""
     benchmark(_cycle_runner(size))
@@ -77,3 +80,27 @@ def test_fig5_report():
     # Shape assertions: monotone increase, superlinear growth.
     assert np.all(np.diff(result.modelled_cpu) > 0)
     assert result.nonlinearity() > 1.5
+
+
+def test_fig5_large_scale_completes():
+    """The sweep extends to a 4096-node machine (32x the paper's 128).
+
+    The vector engine keeps one full collection + estimation + ranking
+    cycle loop-free, so candidate sets far beyond the paper's scale stay
+    measurable; the modelled curve shows why the paper still restricts
+    |A_candidate| — the management node saturates long before 4096.
+    """
+    sizes = (128, 1024, 4096)
+    result = run_fig5(sizes=sizes, measure=True, num_nodes=4096)
+    print_banner("Figure 5 extension: 1024/4096-node sweep")
+    for i, size in enumerate(sizes):
+        measured = result.measured_cycle_s[i]
+        print(
+            f"|A|={int(size):>5}: modelled {result.modelled_cpu[i]:>6.1%}  "
+            f"measured {measured * 1e3:.2f} ms/cycle"
+        )
+    # The modelled utilisation clamps at 1.0 (the y-axis is a fraction
+    # of one management node), so past saturation the curve is flat.
+    assert np.all(np.diff(result.modelled_cpu) >= 0)
+    assert result.modelled_cpu[-1] == 1.0  # saturated well before 4096
+    assert all(s is not None and s > 0 for s in result.measured_cycle_s)

@@ -1,0 +1,159 @@
+"""Cycle-throughput gate: vector engine vs the object-per-node reference.
+
+Runs the complete per-cycle hot path — job stepping, telemetry sweep,
+Formula (1) estimation and policy ranking — on both engines over the
+same busy world and gates the structure-of-arrays speedup:
+
+* full mode (default): 1024 nodes, vector must be >= 10x the object
+  engine's cycle throughput;
+* ``--quick``: 256 nodes and a >= 3x gate — the CI smoke configuration.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_vector_engine.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_vector_engine.py --nodes 4096
+
+The module is also collectable by pytest (``test_quick_gate``) so the
+gate runs inside the benchmark suite too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core import NodeSets, PowerThresholds
+from repro.core.policies import PolicyContext, make_policy
+from repro.power import NodePowerEstimator, PowerModel
+from repro.sim import RandomSource
+from repro.telemetry import TelemetryCollector
+from repro.workload import Job, JobExecutor, get_application
+
+#: Nodes per job in the synthetic busy world.
+_BLOCK = 8
+
+
+@dataclass(frozen=True)
+class EngineTiming:
+    """Measured steady-state cost of one management cycle."""
+
+    engine: str
+    num_nodes: int
+    cycles: int
+    seconds_per_cycle: float
+
+    @property
+    def cycles_per_second(self) -> float:
+        return 1.0 / self.seconds_per_cycle
+
+
+def _build_world(engine: str, num_nodes: int):
+    """A fully-busy cluster: one running job per 8-node block."""
+    cluster = Cluster.tianhe_1a(num_nodes=num_nodes, engine=engine)
+    rng = RandomSource(seed=42)
+    executor = JobExecutor(
+        cluster.state, rng.stream("exec"), engine=cluster.engine
+    )
+    app = get_application("EP")
+    jobs = []
+    for start in range(0, num_nodes, _BLOCK):
+        ids = np.arange(start, min(start + _BLOCK, num_nodes))
+        jid = start // _BLOCK
+        job = Job(job_id=jid, app=app, nprocs=64, submit_time=0.0)
+        cluster.state.assign_job(ids, jid)
+        job.start(0.0, ids)
+        jobs.append(job)
+    sets = NodeSets(cluster)
+    collector = TelemetryCollector(
+        cluster.state, sets.candidates, engine=cluster.engine
+    )
+    estimator = NodePowerEstimator(PowerModel(cluster.spec), engine=cluster.engine)
+    policy = make_policy("mpc")
+    thresholds = PowerThresholds(p_low=1.0, p_high=2.0)
+
+    def one_cycle(t: float) -> None:
+        executor.advance(jobs, t, 1.0)
+        snapshot = collector.collect(t)
+        ctx = PolicyContext(
+            snapshot, collector.previous, estimator, 10.0, thresholds
+        )
+        policy.select(ctx)
+
+    return one_cycle
+
+
+def measure_engine(
+    engine: str, num_nodes: int, cycles: int, warmup: int = 2
+) -> EngineTiming:
+    """Steady-state seconds per management cycle on ``engine``."""
+    one_cycle = _build_world(engine, num_nodes)
+    t = 1.0
+    for _ in range(warmup):
+        one_cycle(t)
+        t += 1.0
+    start = time.perf_counter()
+    for _ in range(cycles):
+        one_cycle(t)
+        t += 1.0
+    elapsed = time.perf_counter() - start
+    return EngineTiming(engine, num_nodes, cycles, elapsed / cycles)
+
+
+def run_gate(
+    num_nodes: int, min_speedup: float, vector_cycles: int, object_cycles: int
+) -> float:
+    """Measure both engines, print the table, and enforce the gate."""
+    vector = measure_engine("vector", num_nodes, vector_cycles)
+    obj = measure_engine("object", num_nodes, object_cycles)
+    speedup = obj.seconds_per_cycle / vector.seconds_per_cycle
+    print(f"\nvector-engine gate @ {num_nodes} nodes")
+    print(f"{'engine':<8} {'ms/cycle':>10} {'cycles/s':>10}")
+    for timing in (vector, obj):
+        print(
+            f"{timing.engine:<8} {timing.seconds_per_cycle * 1e3:>10.3f} "
+            f"{timing.cycles_per_second:>10.1f}"
+        )
+    print(f"speedup: {speedup:.1f}x (gate: >= {min_speedup:.0f}x)")
+    if speedup < min_speedup:
+        raise SystemExit(
+            f"GATE FAILED: vector engine is only {speedup:.1f}x the object "
+            f"engine at {num_nodes} nodes (required >= {min_speedup:.0f}x)"
+        )
+    return speedup
+
+
+def test_quick_gate() -> None:
+    """The CI smoke gate, collectable by pytest."""
+    assert run_gate(
+        num_nodes=256, min_speedup=3.0, vector_cycles=20, object_cycles=5
+    ) >= 3.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="256 nodes, 3x gate (CI smoke) instead of 1024 nodes, 10x",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="override the cluster size (keeps the mode's gate)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        nodes = args.nodes or 256
+        run_gate(nodes, min_speedup=3.0, vector_cycles=20, object_cycles=5)
+    else:
+        nodes = args.nodes or 1024
+        run_gate(nodes, min_speedup=10.0, vector_cycles=30, object_cycles=5)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ from dataclasses import asdict, replace
 from typing import Any, Callable, Sequence
 
 from repro.analysis import Table, format_fig6_table, format_fig7_table
+from repro.cluster.engine import available_engines
 from repro.core.policies import available_policies
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
@@ -60,6 +61,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["run_duration_s"] = args.duration
     if args.steady_green is not None:
         overrides["steady_green_cycles"] = args.steady_green
+    if args.engine is not None:
+        overrides["engine"] = args.engine
     scenario = _scenario_from_args(args)
     corruption = _corruption_from_args(args)
     if getattr(args, "no_faults", False):
@@ -267,6 +270,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--steady-green", type=int, default=None, help="T_g in control cycles"
+    )
+    group.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help=(
+            "hot-path engine: 'vector' (SoA fast path, default) or "
+            "'object' (paper-literal per-node reference; bit-identical)"
+        ),
     )
     faults = parser.add_argument_group("fault injection")
     faults.add_argument(

@@ -15,12 +15,22 @@ architecture actually observes and actuates:
   live operating state of every node (DVFS level, CPU utilisation, memory
   occupancy, NIC rate, running job), which is what makes whole-cluster
   power evaluation a handful of vectorised array operations;
-* :mod:`repro.cluster.cluster` — the aggregate ``Cluster`` facade.
+* :mod:`repro.cluster.cluster` — the aggregate ``Cluster`` facade;
+* :mod:`repro.cluster.engine` — the hot-path engine switch (vectorised
+  production path vs. the paper-literal object-per-node reference, bit-
+  identical by construction), with the concrete engines in
+  :mod:`repro.cluster.vector` and :mod:`repro.cluster.object_engine`.
 """
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.cpu import ProcessorSpec
 from repro.cluster.dvfs import DvfsTable
+from repro.cluster.engine import (
+    ClusterEngine,
+    available_engines,
+    canonical_power_sum,
+    get_engine,
+)
 from repro.cluster.memory import MemorySpec
 from repro.cluster.nic import NicSpec
 from repro.cluster.node import ComputeNode, NodeSpec
@@ -28,6 +38,7 @@ from repro.cluster.state import ClusterState
 
 __all__ = [
     "Cluster",
+    "ClusterEngine",
     "ClusterState",
     "ComputeNode",
     "DvfsTable",
@@ -35,4 +46,7 @@ __all__ = [
     "NicSpec",
     "NodeSpec",
     "ProcessorSpec",
+    "available_engines",
+    "canonical_power_sum",
+    "get_engine",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.engine import ClusterEngine, get_engine
 from repro.cluster.node import ComputeNode, NodeSpec
 from repro.cluster.state import ClusterState
 from repro.errors import ConfigurationError
@@ -26,21 +27,38 @@ class Cluster:
         spec: Hardware specification shared by every node.
         num_nodes: Node count (the paper's environment has 128).
         name: Label used in reports.
+        engine: Hot-path engine preference (instance, registry name, or
+            ``None`` for the default vector engine); components built
+            around this cluster inherit it.
     """
 
-    def __init__(self, spec: NodeSpec, num_nodes: int, name: str = "cluster") -> None:
+    def __init__(
+        self,
+        spec: NodeSpec,
+        num_nodes: int,
+        name: str = "cluster",
+        engine: ClusterEngine | str | None = None,
+    ) -> None:
         self.spec = spec
         self.name = name
         self.state = ClusterState(spec, num_nodes)
+        self.engine = get_engine(engine)
 
     @classmethod
-    def tianhe_1a(cls, num_nodes: int = 128) -> "Cluster":
+    def tianhe_1a(
+        cls, num_nodes: int = 128, engine: ClusterEngine | str | None = None
+    ) -> "Cluster":
         """The paper's experiment environment: 128 Tianhe-1A blades."""
-        return cls(NodeSpec.tianhe_1a(), num_nodes, name="tianhe-1a-variant")
+        return cls(
+            NodeSpec.tianhe_1a(), num_nodes, name="tianhe-1a-variant", engine=engine
+        )
 
     @classmethod
     def heterogeneous(
-        cls, groups: list[tuple[NodeSpec, int]], name: str = "hetero-cluster"
+        cls,
+        groups: list[tuple[NodeSpec, int]],
+        name: str = "hetero-cluster",
+        engine: ClusterEngine | str | None = None,
     ) -> "Cluster":
         """A cluster mixing several node types.
 
@@ -85,6 +103,7 @@ class Cluster:
         cluster.state = ClusterState(
             primary, num_nodes, specs=specs, spec_index=spec_index
         )
+        cluster.engine = get_engine(engine)
         return cluster
 
     @property

@@ -69,6 +69,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.engine import ClusterEngine, canonical_power_sum, get_engine
 from repro.core.actuator import ActuationReport, DvfsActuator
 from repro.core.capping import CappingAction, CappingDecision, PowerCappingAlgorithm
 from repro.core.policies.base import PolicyContext, SelectionPolicy
@@ -216,6 +217,9 @@ class PowerManager:
             suspend and shed rungs and for killing jobs on blacked-out
             racks; optional (without it the ladder stops at the DVFS
             floor).
+        engine: Hot-path engine for estimation and telemetry sweeps
+            (instance, registry name, or ``None`` to inherit the
+            cluster's engine preference).
     """
 
     def __init__(
@@ -236,6 +240,7 @@ class PowerManager:
         integrity: IntegrityConfig | None = None,
         provision: ProvisionRuntime | None = None,
         scheduler: "BatchScheduler | None" = None,
+        engine: ClusterEngine | str | None = None,
     ) -> None:
         self._cluster = cluster
         self._sets = sets
@@ -246,7 +251,12 @@ class PowerManager:
         self._degraded_cfg = degraded if degraded is not None else DegradedModeConfig()
         self._cost_model = cost_model
         self._obs = resolve_obs(obs)
-        self._estimator = NodePowerEstimator(make_power_model(cluster))
+        self._engine = get_engine(
+            engine if engine is not None else getattr(cluster, "engine", None)
+        )
+        self._estimator = NodePowerEstimator(
+            make_power_model(cluster), engine=self._engine
+        )
         self._validator: TelemetryValidator | None = None
         self._meter_monitor: MeterIntegrityMonitor | None = None
         if integrity is not None:
@@ -265,6 +275,7 @@ class PowerManager:
             fault_injector,
             obs=obs,
             validator=self._validator,
+            engine=self._engine,
         )
         self._capping = PowerCappingAlgorithm(
             sets, cluster.spec.top_level, steady_green_cycles
@@ -1024,18 +1035,22 @@ class PowerManager:
         return max(0.0, est + self._offset_w)
 
     def _candidate_estimate_w(self, snapshot: TelemetrySnapshot) -> float:
-        """Σ over monitored nodes of the Formula (1) estimate, watts."""
+        """Σ over monitored nodes of the Formula (1) estimate, watts.
+
+        Accumulated in the canonical ascending-node-id order so the sum
+        is bit-identical on either engine and under any candidate
+        permutation.
+        """
         if snapshot.size == 0:
             return 0.0
-        return float(
-            self._estimator.estimate_nodes(
-                snapshot.level,
-                snapshot.cpu_util,
-                snapshot.mem_frac,
-                snapshot.nic_frac,
-                node_ids=snapshot.node_ids,
-            ).sum()
+        estimates = self._estimator.estimate_nodes(
+            snapshot.level,
+            snapshot.cpu_util,
+            snapshot.mem_frac,
+            snapshot.nic_frac,
+            node_ids=snapshot.node_ids,
         )
+        return canonical_power_sum(estimates, snapshot.node_ids)
 
     def _decide(self, state: PowerState, ctx: PolicyContext) -> CappingDecision:
         """The decision step of one cycle.

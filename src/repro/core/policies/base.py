@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.cluster.engine import canonical_power_sum
 from repro.core.thresholds import PowerThresholds
 from repro.errors import PolicyError
 from repro.power.estimator import JobPowerTable, NodePowerEstimator
@@ -104,7 +105,7 @@ class PolicyContext:
     def job_table(self) -> JobPowerTable:
         """``Power(J)`` per running job visible in the snapshot."""
         if self._job_table is None:
-            self._job_table = NodePowerEstimator.aggregate_by_job(
+            self._job_table = self.estimator.engine.aggregate_by_job(
                 self.snapshot.job_id, self.node_power
             )
         return self._job_table
@@ -117,7 +118,7 @@ class PolicyContext:
             prev_power = self.estimator.estimate_nodes(
                 p.level, p.cpu_util, p.mem_frac, p.nic_frac, node_ids=p.node_ids
             )
-            self._prev_job_table = NodePowerEstimator.aggregate_by_job(
+            self._prev_job_table = self.estimator.engine.aggregate_by_job(
                 p.job_id, prev_power
             )
         return self._prev_job_table
@@ -156,10 +157,14 @@ class PolicyContext:
         return np.sort(s.node_ids[mask])
 
     def savings_of_job(self, job_id: int) -> float:
-        """Σ over the job's degradable nodes of one-level savings, watts."""
+        """Σ over the job's degradable nodes of one-level savings, watts.
+
+        Accumulated in the canonical ascending-node-id order so both
+        engines (and any snapshot permutation) agree bit for bit.
+        """
         s = self.snapshot
         mask = (s.job_id == int(job_id)) & (s.level > 0)
-        return float(self.node_savings[mask].sum())
+        return canonical_power_sum(self.node_savings[mask], s.node_ids[mask])
 
 
 class SelectionPolicy(abc.ABC):

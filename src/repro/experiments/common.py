@@ -31,6 +31,7 @@ from typing import Any
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.engine import available_engines
 from repro.core.manager import PowerManager
 from repro.core.policies.base import SelectionPolicy, make_policy
 from repro.core.sets import CandidateSelector, NodeSets
@@ -159,10 +160,18 @@ class ExperimentConfig:
     #: Attach the delivery topology/runtime even when the scenario is
     #: healthy (used to prove the healthy attach changes no decision).
     attach_provision: bool = False
+    #: Hot-path engine: "vector" (SoA production path) or "object" (the
+    #: paper-literal per-node reference).  Bit-identical by construction;
+    #: the differential equivalence suite enforces it.
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ConfigurationError("num_nodes must be >= 1")
+        if self.engine not in available_engines():
+            raise ConfigurationError(
+                f"engine must be one of {available_engines()}, got {self.engine!r}"
+            )
         if self.control_period_s <= 0:
             raise ConfigurationError("control period must be positive")
         if self.runtime_scale <= 0:
@@ -321,7 +330,9 @@ class _World:
             Observability(config.obs) if config.obs.enabled else None
         )
         self.rng = RandomSource(seed=config.seed)
-        self.cluster = Cluster.tianhe_1a(num_nodes=config.num_nodes)
+        self.cluster = Cluster.tianhe_1a(
+            num_nodes=config.num_nodes, engine=config.engine
+        )
         if config.privileged_nodes:
             self.cluster.set_privileged_nodes(np.asarray(config.privileged_nodes))
         self.model = make_power_model(self.cluster)
@@ -336,6 +347,7 @@ class _World:
             self.rng.stream("workload.executor"),
             modulation_std=config.modulation_std,
             modulation_tau_s=config.effective_modulation_tau_s,
+            engine=self.cluster.engine,
         )
         scheduler_cls = (
             BackfillScheduler if config.scheduler == "backfill" else BatchScheduler

@@ -1,5 +1,7 @@
 """Per-node and per-job power estimation from telemetry samples.
 
+# reprolint: hot-path
+
 The global power manager never reads ground truth: it sees the operating
 points ``(l, u, m, d)`` the profiling agents sampled (possibly stale by up
 to one sampling interval) and applies Formula (1) — exactly the paper's
@@ -12,14 +14,18 @@ aggregates the selection policies rank on:
 * ``Power(J) = Σ_{x ∈ Nodes(J)} P(x)``  (state-based policies), and
 * per-job one-level degradation savings (MPC-C / BFP).
 
-Aggregation is vectorised with ``numpy.bincount`` over the job-id array,
-so ranking jobs costs O(N) regardless of job count.
+The kernels are carried out by a
+:class:`~repro.cluster.engine.ClusterEngine`: the default vector engine
+evaluates Formula (1) as fused array arithmetic and aggregates with
+``numpy.bincount``; the object engine applies the formula one node at a
+time, exactly as the paper narrates, with bit-identical results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.engine import ClusterEngine, get_engine
 from repro.power.model import PowerModel
 
 __all__ = ["NodePowerEstimator", "JobPowerTable"]
@@ -72,15 +78,25 @@ class NodePowerEstimator:
         model: The power profile model (shared with the simulator ground
             truth; see :mod:`repro.power.model` for why that is faithful
             to the paper).
+        engine: Hot-path engine evaluating the kernels (instance,
+            registry name, or ``None`` for the default vector engine).
     """
 
-    def __init__(self, model: PowerModel) -> None:
+    def __init__(
+        self, model: PowerModel, engine: ClusterEngine | str | None = None
+    ) -> None:
         self._model = model
+        self._engine = get_engine(engine)
 
     @property
     def model(self) -> PowerModel:
         """The underlying Formula (1) evaluator."""
         return self._model
+
+    @property
+    def engine(self) -> ClusterEngine:
+        """The hot-path engine evaluating this estimator's kernels."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Per-node estimation
@@ -99,13 +115,8 @@ class NodePowerEstimator:
         required on heterogeneous clusters (a level means different
         watts per node type) and ignored by the homogeneous model.
         """
-        if node_ids is not None:
-            return self._model.evaluate_for_nodes(
-                node_ids, level, cpu_util, mem_frac, nic_frac
-            )
-        return np.asarray(
-            self._model.evaluate(level, cpu_util, mem_frac, nic_frac),
-            dtype=np.float64,
+        return self._engine.estimate_node_power(
+            self._model, level, cpu_util, mem_frac, nic_frac, node_ids
         )
 
     def estimate_savings(
@@ -121,12 +132,9 @@ class NodePowerEstimator:
         Zero for nodes already at the lowest level.  ``node_ids`` as in
         :meth:`estimate_nodes`.
         """
-        lv = np.asarray(level, dtype=np.int64)
-        current = self.estimate_nodes(lv, cpu_util, mem_frac, nic_frac, node_ids)
-        lower = self.estimate_nodes(
-            np.maximum(lv - 1, 0), cpu_util, mem_frac, nic_frac, node_ids
+        return self._engine.estimate_savings(
+            self._model, level, cpu_util, mem_frac, nic_frac, node_ids
         )
-        return current - lower
 
     # ------------------------------------------------------------------
     # Per-job aggregation

@@ -1,5 +1,7 @@
 """Formula (1) over heterogeneous clusters.
 
+# reprolint: hot-path
+
 :class:`HeterogeneousPowerModel` generalises
 :class:`~repro.power.model.PowerModel` to clusters that mix node types
 (see :meth:`repro.cluster.cluster.Cluster.heterogeneous`): coefficient
@@ -19,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.engine import canonical_power_sum
 from repro.cluster.state import ClusterState
 from repro.errors import ConfigurationError
 from repro.power.model import PowerModel
@@ -92,8 +95,8 @@ class HeterogeneousPowerModel:
         )
 
     def system_power(self, state: ClusterState) -> float:
-        """Total cluster power, watts."""
-        return float(np.sum(self.node_power(state)))
+        """Total cluster power, watts (canonical ascending-id order)."""
+        return canonical_power_sum(self.node_power(state))
 
     def power_at_level(
         self, state: ClusterState, node_ids: np.ndarray, levels: np.ndarray | int

@@ -1,5 +1,7 @@
 """Vectorised implementation of the paper's power profile model (Formula 1).
 
+# reprolint: hot-path
+
 For a node at power state ``l`` with CPU utilisation ``u``, memory
 occupancy fraction ``m`` and NIC utilisation fraction ``d``::
 
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.engine import canonical_power_sum
 from repro.cluster.node import NodeSpec
 from repro.cluster.state import ClusterState
 from repro.errors import ConfigurationError
@@ -114,8 +117,8 @@ class PowerModel:
         )
 
     def system_power(self, state: ClusterState) -> float:
-        """Total cluster power, watts."""
-        return float(np.sum(self.node_power(state)))
+        """Total cluster power, watts (canonical ascending-id order)."""
+        return canonical_power_sum(self.node_power(state))
 
     # ------------------------------------------------------------------
     # What-if evaluation (used by MPC-C's ``P'(x)`` and BFP)

@@ -1,5 +1,7 @@
 """Per-node profiling agents.
 
+# reprolint: hot-path
+
 On the real machine each agent reads ``Uti_cpu``, ``Mem_used``,
 ``Mem_total`` from the Linux ``/proc`` interface and ``Data_NIC`` from the
 Tianhe-1A communication chipset's log (§V.A).  Here an agent reads the
@@ -10,9 +12,11 @@ Two access paths are provided:
 * :class:`ProfilingAgent` — the one-node object of the paper's
   description, returning a :class:`NodeSample`; convenient in examples
   and tests;
-* :class:`AgentPool` — samples many agents in one vectorised operation;
-  this is what the central collector uses, since per-cycle Python loops
-  over 128 agents would dominate simulation time.
+* :class:`AgentPool` — sweeps many agents through a
+  :class:`~repro.cluster.engine.ClusterEngine`; this is what the central
+  collector uses.  With the default vector engine the sweep is one
+  fancy-indexed gather; with the object engine it is a per-node loop,
+  bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.engine import ClusterEngine, get_engine
 from repro.cluster.state import ClusterState
 from repro.errors import TelemetryError
 
@@ -98,9 +103,16 @@ class AgentPool:
     Args:
         state: The cluster state.
         node_ids: The candidate nodes agents are deployed on.
+        engine: Hot-path engine performing the sweep (instance, registry
+            name, or ``None`` for the default vector engine).
     """
 
-    def __init__(self, state: ClusterState, node_ids: np.ndarray) -> None:
+    def __init__(
+        self,
+        state: ClusterState,
+        node_ids: np.ndarray,
+        engine: ClusterEngine | str | None = None,
+    ) -> None:
         ids = np.asarray(node_ids, dtype=np.int64)
         if ids.size and (ids.min() < 0 or ids.max() >= state.num_nodes):
             raise TelemetryError("agent node id out of range")
@@ -110,6 +122,7 @@ class AgentPool:
         self._node_ids = ids.copy()
         self._node_ids.setflags(write=False)
         self._samples_taken = 0
+        self._engine = get_engine(engine)
 
     @property
     def node_ids(self) -> np.ndarray:
@@ -136,13 +149,5 @@ class AgentPool:
             entry per monitored node in ``node_ids`` order.  Arrays are
             copies — the snapshot stays valid after the state mutates.
         """
-        ids = self._node_ids
-        s = self._state
         self._samples_taken += 1
-        return (
-            s.level[ids].copy(),
-            s.cpu_util[ids].copy(),
-            s.mem_frac[ids].copy(),
-            s.nic_frac[ids].copy(),
-            s.job_id[ids].copy(),
-        )
+        return self._engine.sample_telemetry(self._state, self._node_ids, now)

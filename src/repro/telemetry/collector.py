@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.engine import ClusterEngine
 from repro.cluster.state import ClusterState
 from repro.errors import TelemetryError
 from repro.faults.injector import FaultInjector
@@ -147,6 +148,8 @@ class TelemetryCollector:
             quarantined nodes' rows are replaced by the conservative
             worst-case envelope — full utilization at the node's known
             DVFS level, staleness pinned to ``inf``.
+        engine: Hot-path engine the agent pool sweeps through (instance,
+            registry name, or ``None`` for the default vector engine).
     """
 
     def __init__(
@@ -157,8 +160,9 @@ class TelemetryCollector:
         fault_injector: FaultInjector | None = None,
         obs: Observability | None = None,
         validator: TelemetryValidator | None = None,
+        engine: ClusterEngine | str | None = None,
     ) -> None:
-        self._pool = AgentPool(state, candidate_ids)
+        self._pool = AgentPool(state, candidate_ids, engine=engine)
         self._cost_model = cost_model
         self._injector = fault_injector
         self._validator = validator

@@ -1,5 +1,7 @@
 """Advances running jobs each control tick and drives the cluster state.
 
+# reprolint: hot-path
+
 The executor is the bridge between the workload models and the machine
 model.  Once per tick (``dt`` seconds, normally the telemetry/control
 interval τ) it, for every running job:
@@ -17,6 +19,12 @@ interval τ) it, for every running job:
    jitter, shared across the job's nodes plus per-node noise) and the
    ramping memory footprint into the structure-of-arrays cluster state.
 
+The per-node work is delegated to a
+:class:`~repro.cluster.engine.ClusterEngine` — the vector engine batches
+every running job's nodes into one array walk; the object engine steps
+them one at a time.  Both consume the executor's RNG stream identically,
+so the engines are interchangeable bit for bit.
+
 Power consumption itself is *not* computed here — the power model reads
 the state this executor wrote, keeping workload and power strictly
 layered.
@@ -28,11 +36,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.engine import ClusterEngine, get_engine
 from repro.cluster.state import ClusterState
 from repro.errors import WorkloadError
 from repro.workload.job import Job, JobState
-from repro.workload.phases import Phase
-from repro.workload.scaling import job_progress_rate
 
 __all__ = ["JobExecutor", "FinishedJob"]
 
@@ -65,6 +72,9 @@ class JobExecutor:
             power capping exists to contain; 0 disables it.
         modulation_tau_s: Correlation time of the modulation process,
             seconds — excursions last on this order.
+        engine: Hot-path engine (instance, registry name, or ``None``
+            for the default vector engine) that carries out the actual
+            per-node stepping.
     """
 
     def __init__(
@@ -75,6 +85,7 @@ class JobExecutor:
         node_noise_std: float = 0.02,
         modulation_std: float = 0.08,
         modulation_tau_s: float = 60.0,
+        engine: ClusterEngine | str | None = None,
     ) -> None:
         if util_jitter_std < 0 or node_noise_std < 0:
             raise WorkloadError("jitter std-devs must be non-negative")
@@ -89,6 +100,12 @@ class JobExecutor:
         self._modulation_std = float(modulation_std)
         self._modulation_tau = float(modulation_tau_s)
         self._modulation = 0.0  # AR(1) state, zero-mean
+        self._engine = get_engine(engine)
+
+    @property
+    def engine(self) -> ClusterEngine:
+        """The hot-path engine stepping this executor's jobs."""
+        return self._engine
 
     @property
     def modulation_factor(self) -> float:
@@ -112,47 +129,23 @@ class JobExecutor:
         if dt <= 0:
             raise WorkloadError("tick length must be positive")
         self._step_modulation(dt)
-        finished: list[FinishedJob] = []
-        for job in jobs:
-            if job.state is not JobState.RUNNING:
-                continue
-            notice = self._advance_one(job, now, dt)
-            if notice is not None:
-                finished.append(notice)
-        return finished
+        running = [job for job in jobs if job.state is JobState.RUNNING]
+        if not running:
+            return []
+        return self._engine.step_jobs(
+            self._state,
+            running,
+            now,
+            dt,
+            self._rng,
+            self._util_jitter,
+            self._node_noise,
+            self.modulation_factor,
+        )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _advance_one(self, job: Job, now: float, dt: float) -> FinishedJob | None:
-        phase = job.app.schedule.phase_at(job.cycle_position)
-        levels = self._state.level[job.nodes]
-        # Per-node speed respects each node's own DVFS ladder (types may
-        # differ on heterogeneous clusters).  The bottleneck rate below
-        # is the scalar fast path of
-        # :func:`repro.workload.scaling.job_progress_rate` — this runs
-        # once per job per tick and dominates the simulator's profile.
-        speeds = self._state.speed_of(job.nodes)
-        s_min = float(speeds.min())
-        beta = phase.compute_boundness
-        rate = 1.0 / ((1.0 - beta) + beta / s_min)
-
-        if levels.min() < self._state.spec.top_level:
-            job.degraded_exposure_s += dt
-
-        remaining = job.remaining_work_s
-        step_work = rate * dt
-        if step_work >= remaining and remaining >= 0.0:
-            # Completion inside this tick: interpolate the crossing.
-            time_to_finish = remaining / rate if rate > 0 else dt
-            job.progress_s = job.nominal_runtime_s
-            self._write_load(job, phase, now)
-            return FinishedJob(job=job, finish_time=now + time_to_finish)
-
-        job.progress_s += step_work
-        self._write_load(job, phase, now)
-        return None
-
     def _step_modulation(self, dt: float) -> None:
         """Advance the cluster-wide AR(1) load modulation by ``dt``."""
         if self._modulation_std == 0.0:
@@ -160,29 +153,3 @@ class JobExecutor:
         rho = float(np.exp(-dt / self._modulation_tau))
         innovation = self._rng.normal(0.0, self._modulation_std)
         self._modulation = rho * self._modulation + (1.0 - rho * rho) ** 0.5 * innovation
-
-    def _write_load(self, job: Job, phase: Phase, now: float) -> None:
-        nodes = job.nodes
-        k = len(nodes)
-        jitter = self.modulation_factor
-        if self._util_jitter > 0:
-            jitter *= max(0.0, 1.0 + self._rng.normal(0.0, self._util_jitter))
-        if self._node_noise > 0:
-            node_factor = np.maximum(
-                0.0, 1.0 + self._rng.normal(0.0, self._node_noise, size=k)
-            )
-        else:
-            node_factor = np.ones(k)
-
-        assert job.start_time is not None
-        ramp = 1.0
-        if job.app.mem_ramp_s > 0:
-            ramp = min(1.0, (now - job.start_time) / job.app.mem_ramp_s)
-        mem = job.app.mem_fraction * ramp
-
-        self._state.set_load(
-            nodes,
-            cpu_util=phase.cpu_util * jitter * node_factor,
-            mem_frac=mem,
-            nic_frac=phase.nic_frac * jitter * node_factor,
-        )

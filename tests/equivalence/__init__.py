@@ -1,0 +1,6 @@
+"""Differential equivalence suite: vector engine ≡ object engine.
+
+The harness (:mod:`tests.equivalence.harness`) runs the same seeded
+scenario on both hot-path engines and asserts the results are
+bit-identical — decision traces, journal records, metrics, every array.
+"""

@@ -1,0 +1,106 @@
+"""Regression pin for the canonical aggregate-power summation order.
+
+IEEE-754 addition is not associative, so the order per-node watts are
+accumulated in is part of the aggregate's bit pattern.  The rule both
+engines share — reduce in ascending node id — lives in
+:func:`repro.cluster.engine.canonical_power_sum`; these tests pin the
+rule itself so a future refactor cannot silently change the reduction
+order and break cross-engine bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, canonical_power_sum
+from repro.errors import ConfigurationError
+from repro.power import PowerModel
+from repro.power.hetero import make_power_model
+
+# Watts engineered so the reduction order is visible in the result's
+# bits: summed largest-first the 1.0 is absorbed (1e16 + 1.0 == 1e16 in
+# float64), summed after cancellation it survives.
+_CANCELLING = np.array([1.0e16, 1.0, -1.0e16])
+
+
+def test_permutation_of_inputs_does_not_change_the_bits() -> None:
+    ids = np.array([0, 1, 2])
+    reference = canonical_power_sum(_CANCELLING, ids)
+    rng = np.random.default_rng(13)
+    for _ in range(10):
+        perm = rng.permutation(3)
+        permuted = canonical_power_sum(_CANCELLING[perm], ids[perm])
+        assert repr(permuted) == repr(reference)
+
+
+def test_the_order_genuinely_matters_for_these_inputs() -> None:
+    # The guard above is only meaningful if a naive order-of-arrival
+    # reduction WOULD diverge on the same inputs.
+    ascending = float(np.sum(_CANCELLING))
+    arrival = float(np.sum(_CANCELLING[[0, 2, 1]]))
+    assert repr(ascending) != repr(arrival)
+
+
+def test_canonical_order_is_ascending_node_id() -> None:
+    # Pin the rule, not just the invariance: the reduction must equal a
+    # plain sum over values pre-sorted by node id.
+    ids = np.array([7, 3, 5])
+    expected = float(np.sum(_CANCELLING[np.argsort(ids)]))
+    assert repr(canonical_power_sum(_CANCELLING, ids)) == repr(expected)
+
+
+def test_none_node_ids_means_already_ascending() -> None:
+    assert repr(canonical_power_sum(_CANCELLING)) == repr(
+        float(np.sum(_CANCELLING))
+    )
+
+
+def test_misaligned_node_ids_is_a_configuration_error() -> None:
+    with pytest.raises(ConfigurationError, match="misaligned"):
+        canonical_power_sum(np.ones(3), np.array([0, 1]))
+
+
+def test_returns_python_float() -> None:
+    total = canonical_power_sum(np.array([1.5, 2.5]), np.array([1, 0]))
+    assert type(total) is float
+    assert total == 4.0
+
+
+@pytest.mark.parametrize("engine", ["vector", "object"])
+def test_system_power_reduces_in_canonical_order(engine: str) -> None:
+    cluster = Cluster.tianhe_1a(num_nodes=12, engine=engine)
+    rng = np.random.default_rng(5)
+    ids = np.arange(12)
+    cluster.state.set_load(
+        ids,
+        cpu_util=rng.uniform(0.05, 1.0, 12),
+        mem_frac=rng.uniform(0.0, 1.0, 12),
+        nic_frac=rng.uniform(0.0, 1.0, 12),
+    )
+    model = PowerModel(cluster.spec)
+    per_node = model.node_power(cluster.state)
+    assert repr(model.system_power(cluster.state)) == repr(
+        canonical_power_sum(per_node, ids)
+    )
+
+
+def test_heterogeneous_system_power_reduces_in_canonical_order() -> None:
+    from repro.cluster import NodeSpec
+
+    cluster = Cluster.heterogeneous(
+        [(NodeSpec.tianhe_1a(), 6), (NodeSpec.tianhe_1a(), 6)]
+    )
+    rng = np.random.default_rng(5)
+    ids = np.arange(12)
+    cluster.state.set_load(
+        ids,
+        cpu_util=rng.uniform(0.05, 1.0, 12),
+        mem_frac=rng.uniform(0.0, 1.0, 12),
+        nic_frac=rng.uniform(0.0, 1.0, 12),
+    )
+    model = make_power_model(cluster)
+    per_node = model.node_power(cluster.state)
+    assert repr(model.system_power(cluster.state)) == repr(
+        canonical_power_sum(per_node, ids)
+    )

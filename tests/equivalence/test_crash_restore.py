@@ -1,0 +1,89 @@
+"""Crash/restore replay on the vector engine is bit-identical.
+
+Two angles:
+
+* journal restore — run a journaled manager for N cycles, "crash" it,
+  restore a *fresh* manager from the journal mid-run, and require the
+  continued decision trace to match an uninterrupted run record for
+  record;
+* HA failover — the full ``run_experiment`` HA path (warm standby,
+  scripted crash) is deterministic across reruns and across engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ha import StateJournal
+from repro.ha.journal import JournalRecovery
+
+from tests.equivalence.harness import (
+    assert_records_equal,
+    assert_results_equal,
+    build_journaled_manager,
+    drive_load,
+    make_busy_cluster,
+    run_pair,
+)
+
+
+def _thresholds_of(cluster) -> tuple[float, float]:
+    from repro.power import PowerModel
+
+    p0 = PowerModel(cluster.spec).system_power(cluster.state)
+    return (p0 * 0.93, p0 * 0.99)
+
+
+def _run_with_crash(crash_after: int, total: int) -> tuple:
+    """Journaled trace where a fresh manager takes over mid-run."""
+    cluster = make_busy_cluster("vector")
+    pair = _thresholds_of(cluster)
+    journal = StateJournal(compact_every=10_000)
+    manager = build_journaled_manager(cluster, journal, thresholds=pair)
+    rng = np.random.default_rng(7)
+    for k in range(1, crash_after + 1):
+        drive_load(cluster.state, rng)
+        manager.control_cycle(float(k))
+    # Crash: the primary is gone.  A fresh manager over the same world
+    # restores from the journal alone (cold restore, fresh actuator); it
+    # inherits the primary's *configuration* (thresholds), never the hot
+    # state.
+    recovery = JournalRecovery(checkpoint=journal.base, records=journal.records)
+    successor = build_journaled_manager(cluster, journal, thresholds=pair)
+    successor.restore_state(recovery, restore_actuator=True)
+    for k in range(crash_after + 1, total + 1):
+        drive_load(cluster.state, rng)
+        successor.control_cycle(float(k))
+    return journal.records
+
+
+def _run_uninterrupted(total: int) -> tuple:
+    cluster = make_busy_cluster("vector")
+    journal = StateJournal(compact_every=10_000)
+    manager = build_journaled_manager(cluster, journal)
+    rng = np.random.default_rng(7)
+    for k in range(1, total + 1):
+        drive_load(cluster.state, rng)
+        manager.control_cycle(float(k))
+    return journal.records
+
+
+def test_mid_run_restore_replays_bit_identically() -> None:
+    baseline = _run_uninterrupted(total=60)
+    for crash_after in (10, 37):
+        restored = _run_with_crash(crash_after=crash_after, total=60)
+        assert_records_equal(
+            baseline, restored, context=f"crash@{crash_after}"
+        )
+
+
+def test_ha_failover_run_is_deterministic_on_vector_engine() -> None:
+    first, _ = run_pair(policy="mpc", seed=31, preset="ha-failover")
+    again, _ = run_pair(policy="mpc", seed=31, preset="ha-failover")
+    assert_results_equal(first, again, context="ha-rerun")
+    assert first.ha_stats is not None and first.ha_stats.crashes >= 1
+
+
+def test_ha_failover_identical_across_engines() -> None:
+    vector, obj = run_pair(policy="lpc", seed=31, preset="ha-failover")
+    assert_results_equal(vector, obj, context="ha-cross-engine")

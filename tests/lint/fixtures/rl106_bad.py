@@ -1,0 +1,24 @@
+"""Bad: per-node Python loops in a hot-path-marked module (RL106).
+
+# reprolint: hot-path
+"""
+
+
+def system_power(cluster) -> float:
+    total = 0.0
+    for node in cluster.nodes:  # rl-expect: RL106
+        total += node.power_w
+    return total
+
+
+def sample_all(state, node_ids) -> list:
+    return [state.cpu_util[i] for i in node_ids]  # rl-expect: RL106
+
+
+def degrade_each(cluster) -> None:
+    for node_id in range(cluster.num_nodes):  # rl-expect: RL106
+        cluster.degrade(node_id)
+
+
+def per_node_levels(snapshot) -> dict:
+    return {n.node_id: n.level for n in snapshot.node_samples}  # rl-expect: RL106

@@ -1,0 +1,26 @@
+"""Good: a hot-path module that batches node work through numpy.
+
+# reprolint: hot-path
+"""
+
+import numpy as np
+
+
+def system_power(node_power_w: np.ndarray) -> float:
+    return float(np.sum(node_power_w))
+
+
+def sample_all(cpu_util: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    return cpu_util[ids].copy()
+
+
+def per_job_work(jobs: list) -> list:
+    # Looping over *jobs* is fine — job count is O(10), not O(cluster).
+    return [job.progress_s for job in jobs]
+
+
+def per_spec_tables(specs: list) -> list:
+    out = []
+    for spec in specs:
+        out.append(spec.idle_power_per_level)
+    return out

@@ -66,10 +66,35 @@ _ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
 _SET_PRODUCERS = {"set", "frozenset"}
 _SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
 
+#: Marker declaring a module part of the vectorised per-cycle hot path.
+#: It must appear in the module *docstring* (a declaration about the
+#: whole module, not a line-level pragma).  Marked modules must not loop
+#: over nodes in Python (RL106) — that's exactly the scaling hazard the
+#: vector engine exists to remove.
+_HOT_PATH_MARKER = "# reprolint: hot-path"
+
+#: Identifier tokens that signal per-node iteration.
+_NODE_TOKENS = {"node", "nodes"}
+
+
+def _mentions_node(expr: ast.AST) -> bool:
+    """Whether any identifier in ``expr`` names a node or node container."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name):
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        else:
+            continue
+        if _NODE_TOKENS & set(ident.lower().split("_")):
+            return True
+    return False
+
 
 class DeterminismChecker(Checker):
     """RL101 unseeded RNG, RL102 wall clock, RL103 OS entropy,
-    RL104 hash-ordered set iteration."""
+    RL104 hash-ordered set iteration, RL106 per-node loops on the
+    hot path."""
 
     rules = (
         Rule(
@@ -104,17 +129,34 @@ class DeterminismChecker(Checker):
             "it reaches results, two identical runs can diverge.  Wrap "
             "the set in sorted().",
         ),
+        Rule(
+            "RL106",
+            "per-node-loop-on-hot-path",
+            Severity.ERROR,
+            "per-node Python loop in a hot-path-marked module",
+            "Modules carrying the '# reprolint: hot-path' marker promise "
+            "O(1) Python overhead per cycle regardless of cluster size; "
+            "a Python loop over nodes breaks that promise at scale.  "
+            "Batch the work through the vector engine, or move the loop "
+            "to the object reference engine.",
+        ),
     )
 
     def check(self, module: ParsedModule) -> Iterator[Diagnostic]:
         rng_exempt = module.in_package(*_RNG_EXEMPT_MODULES)
+        docstring = ast.get_docstring(module.tree, clean=False) or ""
+        hot_path = _HOT_PATH_MARKER in docstring
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 yield from self._check_call(module, node, rng_exempt)
             if isinstance(node, ast.For):
                 yield from self._check_iteration(module, node.iter)
+                if hot_path:
+                    yield from self._check_node_loop(module, node.target, node.iter)
             if isinstance(node, ast.comprehension):
                 yield from self._check_iteration(module, node.iter)
+                if hot_path:
+                    yield from self._check_node_loop(module, node.target, node.iter)
 
     # -- RL101/RL102/RL103 --------------------------------------------
     def _check_call(
@@ -176,6 +218,20 @@ class DeterminismChecker(Checker):
                 "RL104",
                 "iterating a set in an order-sensitive position; "
                 "wrap it in sorted() so the order is deterministic",
+            )
+
+    # -- RL106 ---------------------------------------------------------
+    def _check_node_loop(
+        self, module: ParsedModule, target: ast.expr, iterable: ast.expr
+    ) -> Iterator[Diagnostic]:
+        if _mentions_node(iterable) or _mentions_node(target):
+            yield self.emit(
+                module,
+                iterable,
+                "RL106",
+                "per-node Python loop in a hot-path module; batch this "
+                "through the vector engine (or move it to the object "
+                "reference engine)",
             )
 
     @staticmethod
