@@ -23,12 +23,14 @@ from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
     ExperimentConfig,
     ExperimentResult,
+    ResultCache,
     run_experiment,
     run_fig5,
     run_fig6,
     run_fig7,
 )
 from repro.experiments.ablations import policy_zoo
+from repro.experiments.sweep import SweepCell, baseline_cell, run_sweep, validate_jobs
 from repro.faults import CorruptionScenario, FaultScenario
 from repro.ha import HaConfig
 from repro.metrics import compare_runs
@@ -37,7 +39,7 @@ from repro.provision import ProvisionScenario
 from repro.telemetry import IntegrityConfig
 from repro.units import MICRO, fmt_power
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "metrics_dict"]
 
 _PRESETS: dict[str, Callable[..., ExperimentConfig]] = {
     "quick": ExperimentConfig.quick,
@@ -484,12 +486,57 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="flight-recorder dump path (default: flight.jsonl)",
     )
+    sweep = parser.add_argument_group("parallel execution and caching")
+    sweep.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for experiment grids (default: serial; "
+            "results are bit-identical for every N)"
+        ),
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "content-addressed result cache: unchanged cells are "
+            "replayed from PATH instead of re-simulated"
+        ),
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="assert no result caching (conflicts with --cache-dir)",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of tables"
     )
 
 
-def _metrics_dict(result: ExperimentResult) -> dict[str, Any]:
+def _sweep_from_args(
+    args: argparse.Namespace,
+) -> tuple[int, ResultCache | None]:
+    """``(jobs, cache)`` from the shared sweep options.
+
+    ``--jobs`` is validated here (not by argparse) so 0, negatives and
+    non-integers get the same friendly ``error:`` exit as an unknown
+    preset instead of an argparse usage dump.
+    """
+    jobs = validate_jobs(getattr(args, "jobs", None))
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "no_cache", False) and cache_dir is not None:
+        raise ConfigurationError(
+            "--no-cache conflicts with --cache-dir "
+            f"{cache_dir!r}; drop one of the two"
+        )
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return jobs, cache
+
+
+def metrics_dict(result: ExperimentResult) -> dict[str, Any]:
+    """The ``--json`` payload for one run (shared with the CI gates)."""
     m = result.metrics
     return {
         "label": result.label,
@@ -538,9 +585,19 @@ def _metrics_dict(result: ExperimentResult) -> dict[str, Any]:
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     policy = None if args.policy in (None, "none") else args.policy
-    result = run_experiment(config, policy)
+    jobs, cache = _sweep_from_args(args)
+    if cache is not None and config.obs.enabled:
+        raise ConfigurationError(
+            "--cache-dir cannot replay observability outputs; drop "
+            "--trace-out/--metrics-out/--flight-recorder or the cache"
+        )
+    if jobs == 1 and cache is None:
+        result = run_experiment(config, policy)
+    else:
+        cell = SweepCell(config, policy)
+        result = run_sweep([cell], jobs=jobs, cache=cache).result_for(cell)
     if args.json:
-        print(json.dumps(_metrics_dict(result), indent=2))
+        print(json.dumps(metrics_dict(result), indent=2))
         return 0
     m = result.metrics
     table = Table(["metric", "value"])
@@ -652,7 +709,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = run_fig7(config, policies=tuple(args.policies))
+    jobs, cache = _sweep_from_args(args)
+    result = run_fig7(
+        config, policies=tuple(args.policies), jobs=jobs, cache=cache
+    )
     if args.json:
         rows = [
             {
@@ -699,7 +759,14 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = run_fig6(config, sizes=tuple(args.sizes), policies=tuple(args.policies))
+    jobs, cache = _sweep_from_args(args)
+    result = run_fig6(
+        config,
+        sizes=tuple(args.sizes),
+        policies=tuple(args.policies),
+        jobs=jobs,
+        cache=cache,
+    )
     if args.json:
         rows = [
             {
@@ -724,7 +791,8 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 def _cmd_zoo(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = policy_zoo(config)
+    jobs, cache = _sweep_from_args(args)
+    result = policy_zoo(config, jobs=jobs, cache=cache)
     print(format_fig7_table(result))
     return 0
 
@@ -737,9 +805,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     if args.thermal:
         config = replace(config, track_thermal=True)
-    results = [run_experiment(config, None)]
-    for policy in args.policies:
-        results.append(run_experiment(config, policy))
+    jobs, cache = _sweep_from_args(args)
+    base = baseline_cell(config)
+    policy_cells = [SweepCell(config, p) for p in args.policies]
+    report = run_sweep([base, *policy_cells], jobs=jobs, cache=cache)
+    results = [report.result_for(base)]
+    results.extend(report.result_for(cell) for cell in policy_cells)
     text = render_run_report(
         results, title=f"Power capping report (seed {config.seed})"
     )

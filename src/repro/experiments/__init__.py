@@ -13,9 +13,16 @@
   interval and the full policy zoo;
 * :mod:`repro.experiments.failover` — controller-crash recovery graded
   against an uncrashed twin run (the :mod:`repro.ha` layer's report
-  card).
+  card);
+* :mod:`repro.experiments.sweep` — the deterministic parallel campaign
+  layer every harness above runs through (grid → worker processes →
+  bit-identical merge);
+* :mod:`repro.experiments.cache` / :mod:`repro.experiments.serialize` —
+  the content-addressed result cache and the canonical JSON round-trip
+  underneath it.
 """
 
+from repro.experiments.cache import CODE_VERSION, CacheStats, ResultCache
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
@@ -25,8 +32,24 @@ from repro.experiments.failover import FailoverResult, run_failover
 from repro.experiments.fig5_scalability import Fig5Result, run_fig5
 from repro.experiments.fig6_candidate_size import Fig6Point, Fig6Result, run_fig6
 from repro.experiments.fig7_policies import Fig7Result, PolicyOutcome, run_fig7
+from repro.experiments.serialize import (
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.sweep import (
+    SweepCell,
+    SweepReport,
+    SweepStats,
+    baseline_cell,
+    run_sweep,
+)
 
 __all__ = [
+    "CODE_VERSION",
+    "CacheStats",
     "ExperimentConfig",
     "ExperimentResult",
     "FailoverResult",
@@ -35,9 +58,20 @@ __all__ = [
     "Fig6Result",
     "Fig7Result",
     "PolicyOutcome",
+    "ResultCache",
+    "SweepCell",
+    "SweepReport",
+    "SweepStats",
+    "baseline_cell",
+    "config_from_dict",
+    "config_hash",
+    "config_to_dict",
+    "result_from_dict",
+    "result_to_dict",
     "run_experiment",
     "run_failover",
     "run_fig5",
     "run_fig6",
     "run_fig7",
+    "run_sweep",
 ]

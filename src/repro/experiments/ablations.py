@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentConfig, run_experiment
+from repro.experiments.cache import ResultCache
+from repro.experiments.common import ExperimentConfig
 from repro.experiments.fig7_policies import Fig7Result, run_fig7
+from repro.experiments.sweep import SweepCell, SweepReport, baseline_cell, run_sweep
 from repro.metrics.summary import compare_runs
 
 __all__ = [
@@ -44,9 +46,11 @@ class AblationRow:
     entered_red: bool
 
 
-def _evaluate(config: ExperimentConfig, policy: str, label: str) -> AblationRow:
-    baseline = run_experiment(config, None)
-    result = run_experiment(config, policy)
+def _row(
+    report: SweepReport, cell: SweepCell, base: SweepCell, label: str
+) -> AblationRow:
+    result = report.result_for(cell)
+    baseline = report.result_for(base)
     comparison = compare_runs(result.metrics, baseline.metrics)
     return AblationRow(
         label=label,
@@ -58,18 +62,50 @@ def _evaluate(config: ExperimentConfig, policy: str, label: str) -> AblationRow:
     )
 
 
+def _evaluate_grid(
+    specs: list[tuple[ExperimentConfig, str, str]],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[AblationRow]:
+    """Run ``(config, policy, label)`` rows as one deduplicated sweep.
+
+    Every row contributes its managed cell plus the shared unmanaged
+    baseline of its world; rows that only differ in manager knobs (T_g,
+    margins, sampling cadence, policy) therefore collapse onto *one*
+    baseline simulation per world.
+    """
+    pairs = [
+        (SweepCell(cfg, policy), baseline_cell(cfg))
+        for cfg, policy, _label in specs
+    ]
+    cells = [cell for pair in pairs for cell in pair]
+    report = run_sweep(cells, jobs=jobs, cache=cache)
+    return [
+        _row(report, cell, base, label)
+        for (cell, base), (_cfg, _policy, label) in zip(pairs, specs)
+    ]
+
+
 def sweep_steady_green(
     config: ExperimentConfig,
     values: tuple[int, ...] = (2, 5, 10, 20, 40),
     policy: str = "mpc",
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[AblationRow]:
     """Sweep ``T_g`` (the paper uses 10 cycles)."""
     if not values:
         raise ConfigurationError("empty T_g sweep")
-    return [
-        _evaluate(replace(config, steady_green_cycles=v), policy, f"T_g={v}")
-        for v in values
-    ]
+    return _evaluate_grid(
+        [
+            (replace(config, steady_green_cycles=v), policy, f"T_g={v}")
+            for v in values
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def sweep_margins(
@@ -81,29 +117,47 @@ def sweep_margins(
         (0.10, 0.22),
     ),
     policy: str = "mpc",
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[AblationRow]:
     """Sweep the (margin_high, margin_low) threshold pair."""
-    rows = []
-    for high, low in pairs:
-        cfg = replace(config, margin_high=high, margin_low=low)
-        rows.append(
-            _evaluate(cfg, policy, f"margins={high:.0%}/{low:.0%}")
-        )
-    return rows
+    return _evaluate_grid(
+        [
+            (
+                replace(config, margin_high=high, margin_low=low),
+                policy,
+                f"margins={high:.0%}/{low:.0%}",
+            )
+            for high, low in pairs
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def sweep_control_period(
     config: ExperimentConfig,
     periods_s: tuple[float, ...] = (0.5, 1.0, 2.0, 5.0),
     policy: str = "mpc",
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[AblationRow]:
-    """Sweep the control-cycle period τ."""
-    return [
-        _evaluate(
-            replace(config, control_period_s=p), policy, f"tau={p:g}s"
-        )
-        for p in periods_s
-    ]
+    """Sweep the control-cycle period τ.
+
+    τ changes the simulated world itself (telemetry cadence, thermal
+    stepping), so unlike the manager-knob sweeps each period gets its
+    own baseline cell.
+    """
+    return _evaluate_grid(
+        [
+            (replace(config, control_period_s=p), policy, f"tau={p:g}s")
+            for p in periods_s
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def policy_zoo(
@@ -120,6 +174,9 @@ def policy_zoo(
         "fair",
         "hybrid",
     ),
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> Fig7Result:
     """The Figure 7 protocol across every policy in the library."""
-    return run_fig7(config, policies=policies)
+    return run_fig7(config, policies=policies, jobs=jobs, cache=cache)

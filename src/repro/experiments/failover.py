@@ -29,7 +29,9 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.cache import ResultCache
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.sweep import SweepCell, run_sweep
 from repro.ha import HaStats
 from repro.metrics.faults import (
     controller_downtime_seconds,
@@ -58,6 +60,9 @@ def run_failover(
     config: ExperimentConfig,
     policy: str,
     label: str | None = None,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> FailoverResult:
     """Run the crashed/uncrashed pair and grade the recovery.
 
@@ -66,7 +71,10 @@ def run_failover(
             source (``ha.crash_at_cycles`` or
             ``faults.controller_crash_rate``).
         policy: Target-selection policy name for both runs.
-        label: Report label for the crashed run.
+        label: Report label for the crashed run (part of its sweep-cell
+            identity, so differently-labelled reruns cache separately).
+        jobs: Worker processes for the pair (bit-identical to serial).
+        cache: Optional content-addressed result cache.
 
     Raises:
         ConfigurationError: if the configuration cannot crash — the
@@ -84,8 +92,11 @@ def run_failover(
         ha=replace(config.ha, crash_at_cycles=()),
         faults=replace(config.faults, controller_crash_rate=0.0),
     )
-    crashed = run_experiment(config, policy, label=label)
-    reference = run_experiment(reference_config, policy, label="reference")
+    crashed_cell = SweepCell(config, policy, label=label)
+    reference_cell = SweepCell(reference_config, policy, label="reference")
+    report = run_sweep([crashed_cell, reference_cell], jobs=jobs, cache=cache)
+    crashed = report.result_for(crashed_cell)
+    reference = report.result_for(reference_cell)
     assert crashed.ha_stats is not None and crashed.controlled_flags is not None
 
     downtime = controller_downtime_seconds(crashed.times, crashed.controlled_flags)

@@ -20,11 +20,12 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
-    run_experiment,
 )
+from repro.experiments.sweep import SweepCell, baseline_cell, run_sweep
 from repro.metrics.summary import compare_runs
 
 __all__ = ["Fig6Point", "Fig6Result", "run_fig6", "DEFAULT_SIZES"]
@@ -80,15 +81,31 @@ def run_fig6(
     config: ExperimentConfig,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     policies: tuple[str, ...] = ("mpc", "hri"),
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> Fig6Result:
     """Run the Figure 6 sweep.
 
     Size 0 is the unmanaged baseline (ratios exactly 1 by definition);
-    it is run once and shared across policies.
+    it is one shared sweep cell — the same cell fig7 and the ablations
+    use — simulated once and shared across policies.  ``jobs`` fans the
+    grid over worker processes (results are bit-identical to serial);
+    ``cache`` replays unchanged cells from disk.
     """
     if 0 not in sizes:
         sizes = (0,) + tuple(sizes)
-    baseline = run_experiment(config, None)
+    base = baseline_cell(config)
+    managed: dict[tuple[str, int], SweepCell] = {}
+    for policy in policies:
+        for size in sorted(s for s in sizes if s > 0):
+            managed[(policy, size)] = SweepCell(
+                replace(config, candidate_size=size), policy
+            )
+    report = run_sweep(
+        [base, *managed.values()], jobs=jobs, cache=cache
+    )
+    baseline = report.result_for(base)
     points: list[Fig6Point] = []
     for policy in policies:
         points.append(
@@ -101,8 +118,7 @@ def run_fig6(
             )
         )
         for size in sorted(s for s in sizes if s > 0):
-            cfg = replace(config, candidate_size=size)
-            result = run_experiment(cfg, policy)
+            result = report.result_for(managed[(policy, size)])
             comparison = compare_runs(result.metrics, baseline.metrics)
             points.append(
                 Fig6Point(

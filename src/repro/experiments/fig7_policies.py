@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
-    run_experiment,
 )
+from repro.experiments.sweep import SweepCell, baseline_cell, run_sweep
 from repro.metrics.summary import compare_runs
 
 __all__ = ["PolicyOutcome", "Fig7Result", "run_fig7"]
@@ -71,12 +72,25 @@ class Fig7Result:
 def run_fig7(
     config: ExperimentConfig,
     policies: tuple[str, ...] = ("mpc", "hri"),
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> Fig7Result:
-    """Run the Figure 7 comparison: baseline + one run per policy."""
-    baseline = run_experiment(config, None)
+    """Run the Figure 7 comparison: baseline + one run per policy.
+
+    The baseline is the shared sweep cell every harness dedupes onto;
+    ``jobs`` fans the policy runs over worker processes (bit-identical
+    to serial) and ``cache`` replays unchanged cells from disk.
+    """
+    base = baseline_cell(config)
+    policy_cells = {p: SweepCell(config, p) for p in policies}
+    report = run_sweep(
+        [base, *policy_cells.values()], jobs=jobs, cache=cache
+    )
+    baseline = report.result_for(base)
     outcomes: list[PolicyOutcome] = []
     for policy in policies:
-        result = run_experiment(config, policy)
+        result = report.result_for(policy_cells[policy])
         comparison = compare_runs(result.metrics, baseline.metrics)
         outcomes.append(
             PolicyOutcome(

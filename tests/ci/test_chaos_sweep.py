@@ -1,0 +1,103 @@
+"""Tests for the sweep-runner chaos matrices (tools/ci/chaos_sweep.py)."""
+
+import json
+
+import pytest
+
+import tools.ci.chaos_sweep as chaos_sweep
+from repro.errors import ReproError
+from tools.ci.chaos_sweep import (
+    CORRUPTION_PRESETS,
+    PROVISION_PRESETS,
+    build_cells,
+    main,
+)
+
+
+@pytest.fixture(autouse=True)
+def _short_training(monkeypatch):
+    """The safety gates hold at a shorter training window; keep CI fast."""
+    monkeypatch.setattr(chaos_sweep, "_TRAINING_S", 120.0)
+
+
+def test_build_cells_corruption_matches_matrix():
+    cells = build_cells("corruption")
+    assert set(cells) == set(CORRUPTION_PRESETS)
+    for preset, cell in cells.items():
+        assert cell.policy == "bfp"
+        assert cell.config.seed == 2012
+        assert cell.config.num_nodes == 32
+        assert cell.config.run_duration_s == 600.0
+        assert cell.config.corruption.enabled
+        assert cell.config.integrity is not None
+        assert not cell.config.attach_provision
+
+
+def test_build_cells_provision_matches_matrix():
+    cells = build_cells("provision")
+    assert set(cells) == set(PROVISION_PRESETS)
+    for preset, cell in cells.items():
+        assert cell.policy == "bfp"
+        assert cell.config.run_duration_s == 900.0
+        assert cell.config.attach_provision
+        assert not cell.config.corruption.enabled
+
+
+def test_unknown_family_raises():
+    with pytest.raises(ReproError, match="family"):
+        build_cells("thermal")
+
+
+def test_cold_then_warm_byte_identical(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    cold_out = tmp_path / "cold.json"
+    warm_out = tmp_path / "warm.json"
+    base = [
+        "--family", "corruption",
+        "--cache-dir", str(cache),
+        "--max-overspend", "0.05",
+    ]
+    assert main(base + ["--out", str(cold_out)]) == 0
+    assert main(base + ["--out", str(warm_out), "--expect-warm"]) == 0
+    assert cold_out.read_bytes() == warm_out.read_bytes()
+    payload = json.loads(cold_out.read_text(encoding="utf-8"))
+    assert payload["family"] == "corruption"
+    assert set(payload["cells"]) == set(CORRUPTION_PRESETS)
+
+
+def test_expect_warm_fails_on_cold_cache(tmp_path, capsys):
+    code = main(
+        [
+            "--family", "corruption",
+            "--cache-dir", str(tmp_path / "fresh"),
+            "--out", str(tmp_path / "out.json"),
+            "--expect-warm",
+        ]
+    )
+    assert code == 1
+    assert "warm" in capsys.readouterr().err
+
+
+def test_jobs_validation_is_friendly(tmp_path, capsys):
+    code = main(
+        [
+            "--family", "corruption",
+            "--jobs", "0",
+            "--out", str(tmp_path / "out.json"),
+        ]
+    )
+    assert code == 2
+    assert "positive integer" in capsys.readouterr().err
+
+
+def test_gate_failure_propagates(tmp_path, capsys):
+    # An absurd overspend bound every defended run must violate.
+    code = main(
+        [
+            "--family", "corruption",
+            "--out", str(tmp_path / "out.json"),
+            "--max-overspend", "-1.0",
+        ]
+    )
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().err

@@ -329,3 +329,68 @@ def test_no_faults_conflicts_with_provision(capsys):
     assert code == 2
     err = capsys.readouterr().err
     assert "--no-faults" in err and "feed-loss" in err
+
+
+# ----------------------------------------------------------------------
+# Parallel execution and result caching
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", ["0", "-3", "abc", "2.5"])
+def test_jobs_rejects_non_positive_non_int(capsys, bad):
+    code = main(["compare", "mpc", "--jobs", bad] + _tiny())
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "--jobs" in err and "positive integer" in err
+
+
+def test_jobs_unset_defaults_serial(capsys):
+    # No --jobs at all: identical behaviour to the pre-sweep CLI.
+    assert main(["compare", "mpc", "--json"] + _tiny("--nodes", "32")) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["policy"] == "mpc"
+
+
+def test_no_cache_conflicts_with_cache_dir(capsys, tmp_path):
+    code = main(
+        ["compare", "mpc", "--no-cache", "--cache-dir", str(tmp_path)]
+        + _tiny()
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--no-cache" in err and "--cache-dir" in err
+
+
+def test_cache_dir_warm_rerun_is_byte_identical(capsys, tmp_path):
+    args = (
+        ["compare", "mpc", "--json", "--cache-dir", str(tmp_path)]
+        + _tiny("--nodes", "32")
+    )
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert any(tmp_path.iterdir())
+
+
+def test_run_jobs_and_cache(capsys, tmp_path):
+    args = (
+        ["run", "--policy", "mpc", "--json", "--jobs", "2",
+         "--cache-dir", str(tmp_path)]
+        + _tiny("--nodes", "32")
+    )
+    assert main(args) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert main(args) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm == cold
+
+
+def test_cache_dir_refuses_observability_runs(capsys, tmp_path):
+    code = main(
+        ["run", "--policy", "mpc", "--cache-dir", str(tmp_path),
+         "--trace-out", str(tmp_path / "t.jsonl")]
+        + _tiny()
+    )
+    assert code == 2
+    assert "observability" in capsys.readouterr().err

@@ -1,0 +1,28 @@
+"""Bad: host CPU topology read in deterministic code (RL107)."""
+
+import multiprocessing
+import os
+
+import psutil
+
+
+def grid_shard_count() -> int:
+    # Sweep shape now depends on the machine running it.
+    return os.cpu_count() or 1  # rl-expect: RL107
+
+
+def batch_size() -> int:
+    return 4 * multiprocessing.cpu_count()  # rl-expect: RL107
+
+
+def pinned_workers() -> int:
+    return len(os.sched_getaffinity(0))  # rl-expect: RL107
+
+
+def physical_cores() -> int:
+    return psutil.cpu_count(logical=False)  # rl-expect: RL107
+
+
+def interleave(cells: list) -> list:
+    stride = os.process_cpu_count()  # rl-expect: RL107
+    return cells[::stride]

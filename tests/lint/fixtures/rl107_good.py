@@ -1,0 +1,18 @@
+"""Good: worker count comes from explicit configuration.
+
+The sweep runner takes ``jobs`` from the caller (CLI ``--jobs N``),
+defaults to serial, and only ever uses it to size the pool — results
+are keyed and merged by cell key, so scheduling cannot reach them.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_cells(cells: list, jobs: int) -> list:
+    workers = min(jobs, len(cells))
+    if workers <= 1:
+        return [cell() for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(cell): index for index, cell in enumerate(cells)}
+    ordered = sorted(futures.items(), key=lambda item: item[1])
+    return [future.result() for future, _index in ordered]

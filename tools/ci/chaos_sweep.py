@@ -1,0 +1,195 @@
+"""CI chaos matrices through the deterministic sweep runner.
+
+Replaces the one-preset-per-job chaos matrices: the whole family of
+defended chaos runs (``--family corruption``: every sensor-corruption
+preset under the integrity defense; ``--family provision``: every
+power-delivery preset under the emergency response) becomes one sweep
+fanned over ``--jobs`` worker processes, with the content-addressed
+result cache underneath so a re-run of an unchanged tree replays from
+disk instead of re-simulating.
+
+Each cell's ``--json`` payload is gated through the same invariants
+:mod:`tools.ci.chaos_check` always enforced, then the merged payloads
+are written to ``--out`` in canonical form — byte-identical for every
+worker count and for cold vs warm cache, which CI asserts with ``cmp``.
+
+Usage::
+
+    PYTHONPATH=src python tools/ci/chaos_sweep.py --family corruption \\
+        --jobs 2 --cache-dir .chaos-cache --out chaos.json
+    PYTHONPATH=src python tools/ci/chaos_sweep.py --family corruption \\
+        --jobs 2 --cache-dir .chaos-cache --out warm.json --expect-warm
+    cmp chaos.json warm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.cli.main import metrics_dict
+from repro.errors import ReproError
+from repro.experiments import ExperimentConfig, ResultCache, SweepCell, run_sweep
+from repro.faults import CorruptionScenario
+from repro.provision import ProvisionScenario
+from repro.telemetry import IntegrityConfig
+from tools.ci.chaos_check import check, check_provision
+
+#: The presets each family sweeps — kept in sync with the defense
+#: suites these matrices smoke (see docs/robustness.md).
+CORRUPTION_PRESETS = ("stuck-at", "drift", "byzantine-meter")
+PROVISION_PRESETS = ("feed-loss", "pdu-failure", "breaker-stress", "cap-order")
+
+#: Every chaos cell runs the bfp policy on this 32-node world.
+_SEED = 2012
+_NODES = 32
+_RUNTIME_SCALE = 0.02
+_TRAINING_S = 300.0
+_POLICY = "bfp"
+
+
+def _base_config(run_duration_s: float) -> ExperimentConfig:
+    return replace(
+        ExperimentConfig.quick(seed=_SEED),
+        num_nodes=_NODES,
+        runtime_scale=_RUNTIME_SCALE,
+        training_duration_s=_TRAINING_S,
+        run_duration_s=run_duration_s,
+    )
+
+
+def build_cells(family: str) -> dict[str, SweepCell]:
+    """Preset name → sweep cell for one chaos family."""
+    if family == "corruption":
+        base = _base_config(run_duration_s=600.0)
+        return {
+            preset: SweepCell(
+                replace(
+                    base,
+                    corruption=CorruptionScenario.preset(preset),
+                    integrity=IntegrityConfig(),
+                ),
+                _POLICY,
+            )
+            for preset in CORRUPTION_PRESETS
+        }
+    if family == "provision":
+        base = _base_config(run_duration_s=900.0)
+        return {
+            preset: SweepCell(
+                replace(
+                    base,
+                    provision=ProvisionScenario.preset(preset),
+                    attach_provision=True,
+                ),
+                _POLICY,
+            )
+            for preset in PROVISION_PRESETS
+        }
+    raise ReproError(f"unknown chaos family {family!r}")
+
+
+def run_family(
+    family: str,
+    *,
+    jobs: int,
+    cache: ResultCache | None,
+    max_overspend: float,
+) -> tuple[dict[str, Any], dict[str, int], list[str]]:
+    """Run one family; returns (merged payload, stats, gate failures)."""
+    cells = build_cells(family)
+    report = run_sweep(list(cells.values()), jobs=jobs, cache=cache)
+    checker: Callable[[dict[str, Any], float], list[str]] = (
+        check if family == "corruption" else check_provision
+    )
+    failures: list[str] = []
+    payloads: dict[str, Any] = {}
+    for preset in sorted(cells):
+        payload = metrics_dict(report.result_for(cells[preset]))
+        payloads[preset] = payload
+        failures.extend(
+            f"[{preset}] {failure}"
+            for failure in checker(payload, max_overspend)
+        )
+    merged = {"family": family, "cells": payloads}
+    return merged, report.stats.as_dict(), failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--family",
+        choices=("corruption", "provision"),
+        required=True,
+        help="which chaos matrix to run",
+    )
+    parser.add_argument(
+        "--jobs", default=None, metavar="N", help="worker processes"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH", help="result cache"
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="merged canonical payload output path",
+    )
+    parser.add_argument(
+        "--max-overspend",
+        type=float,
+        default=0.05,
+        help="dPxT ceiling per defended cell (default 0.05)",
+    )
+    parser.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help=(
+            "assert every cell replayed from the cache (0 simulated) — "
+            "the CI warm-cache step"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.sweep import validate_jobs
+
+    try:
+        jobs = validate_jobs(args.jobs)
+        cache = (
+            ResultCache(args.cache_dir) if args.cache_dir is not None else None
+        )
+        merged, stats, failures = run_family(
+            args.family,
+            jobs=jobs,
+            cache=cache,
+            max_overspend=args.max_overspend,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+
+    print(f"chaos-sweep [{args.family}]: {stats}")
+    if failures:
+        for failure in failures:
+            print(f"chaos-sweep: FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.expect_warm and stats["computed"] != 0:
+        print(
+            f"chaos-sweep: FAIL: expected a warm cache but "
+            f"{stats['computed']} cell(s) re-simulated",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"chaos-sweep [{args.family}]: all safety invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,19 @@ _WALL_CLOCK = {
 #: OS / hardware entropy sources.
 _OS_ENTROPY_PREFIXES = ("os.urandom", "secrets.", "uuid.uuid1", "uuid.uuid4")
 
+#: Host parallelism topology reads.  Worker count may only ever affect
+#: *scheduling*; the moment it reaches a value (grid shape, batch size,
+#: seed, anything merged into a result) the same command produces
+#: different output on different machines — the exact property the
+#: sweep runner's bit-identical-merge contract forbids.
+_CPU_TOPOLOGY = {
+    "os.cpu_count",
+    "os.process_cpu_count",
+    "os.sched_getaffinity",
+    "multiprocessing.cpu_count",
+    "psutil.cpu_count",
+}
+
 #: Callables whose first argument is consumed in iteration order.
 _ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
 
@@ -94,7 +107,7 @@ def _mentions_node(expr: ast.AST) -> bool:
 class DeterminismChecker(Checker):
     """RL101 unseeded RNG, RL102 wall clock, RL103 OS entropy,
     RL104 hash-ordered set iteration, RL106 per-node loops on the
-    hot path."""
+    hot path, RL107 host CPU-topology reads."""
 
     rules = (
         Rule(
@@ -139,6 +152,17 @@ class DeterminismChecker(Checker):
             "a Python loop over nodes breaks that promise at scale.  "
             "Batch the work through the vector engine, or move the loop "
             "to the object reference engine.",
+        ),
+        Rule(
+            "RL107",
+            "cpu-topology-read",
+            Severity.ERROR,
+            "host CPU topology read (os.cpu_count and friends)",
+            "Deterministic code paths must not read the host's CPU "
+            "count or affinity: results become machine-dependent and "
+            "the sweep runner's parallel-equals-serial contract breaks. "
+            "Take an explicit worker count from configuration; worker "
+            "count may only affect scheduling, never results.",
         ),
     )
 
@@ -196,6 +220,16 @@ class DeterminismChecker(Checker):
                 "RL103",
                 f"call to {qualified}(); OS entropy is not reproducible "
                 "from the root seed",
+            )
+            return
+        if qualified in _CPU_TOPOLOGY:
+            yield self.emit(
+                module,
+                node,
+                "RL107",
+                f"call to {qualified}(); take an explicit worker count "
+                "from configuration — host CPU topology must never "
+                "influence results",
             )
             return
         # RL104: list(set(...)) and friends materialise hash order.
